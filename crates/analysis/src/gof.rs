@@ -1,0 +1,230 @@
+//! Goodness-of-fit: total variation distance and χ² tests.
+//!
+//! Used by the stationarity experiments (E8) to compare the empirical state
+//! distribution of Markov chain `M` against the exact Boltzmann distribution
+//! `π(σ) = λ^{e(σ)}/Z` of Lemma 3.13.
+
+/// Total variation distance `½ Σ |p_i − q_i|` between two distributions
+/// given as aligned probability vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distributions must align");
+    0.5 * p
+        .iter()
+        .zip(q.iter())
+        .map(|(a, b)| (a - b).abs())
+        .sum::<f64>()
+}
+
+/// Pearson's χ² statistic for observed counts against expected counts.
+///
+/// Categories with zero expected count must have zero observed count.
+///
+/// # Panics
+///
+/// Panics on length mismatch or an impossible observation.
+#[must_use]
+pub fn chi_square_statistic(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(observed.len(), expected.len(), "categories must align");
+    let mut chi2 = 0.0;
+    for (&o, &e) in observed.iter().zip(expected.iter()) {
+        if e == 0.0 {
+            assert_eq!(o, 0.0, "observed mass in a zero-probability category");
+            continue;
+        }
+        let d = o - e;
+        chi2 += d * d / e;
+    }
+    chi2
+}
+
+/// Upper-tail p-value of the χ² distribution with `dof` degrees of freedom:
+/// `P(X ≥ chi2) = Q(dof/2, chi2/2)`.
+///
+/// # Panics
+///
+/// Panics for non-positive `dof` or negative `chi2`.
+#[must_use]
+pub fn chi_square_p_value(chi2: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    assert!(chi2 >= 0.0, "χ² statistic cannot be negative");
+    reg_gamma_q(dof as f64 / 2.0, chi2 / 2.0)
+}
+
+/// Lanczos approximation of `ln Γ(x)` for `x > 0`.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    // g = 7, n = 9 Lanczos coefficients.
+    const COEFFS: [f64; 8] = [
+        676.520_368_121_885,
+        -1_259.139_216_722_403,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_9,
+        -0.138_571_095_265_72,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_312e-7,
+    ];
+    assert!(x > 0.0, "ln_gamma requires positive argument");
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = core::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = 0.999_999_999_999_81;
+    for (i, &c) in COEFFS.iter().enumerate() {
+        a += c / (x + (i + 1) as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * core::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`.
+#[must_use]
+pub fn reg_gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_continued_fraction(a, x)
+    }
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+#[must_use]
+pub fn reg_gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_continued_fraction(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut term = 1.0 / a;
+    let mut sum = term;
+    let mut ap = a;
+    for _ in 0..500 {
+        ap += 1.0;
+        term *= x / ap;
+        sum += term;
+        if term.abs() < sum.abs() * 1e-16 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_continued_fraction(a: f64, x: f64) -> f64 {
+    // Modified Lentz's method.
+    let tiny = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / tiny;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + an / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < 1e-16 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_distance_basics() {
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+        let tv = total_variation(&[0.7, 0.3], &[0.5, 0.5]);
+        assert!((tv - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_zero_for_perfect_fit() {
+        let obs = [10.0, 20.0, 30.0];
+        assert_eq!(chi_square_statistic(&obs, &obs), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n−1)!
+        let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
+        for (n, &f) in facts.iter().enumerate() {
+            let lg = ln_gamma((n + 1) as f64);
+            assert!(
+                (lg - f.ln()).abs() < 1e-10,
+                "Γ({}) = {f}",
+                n + 1
+            );
+        }
+        // Γ(1/2) = √π.
+        assert!((ln_gamma(0.5) - core::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity() {
+        for &(a, x) in &[(0.5, 0.3), (1.0, 1.0), (2.5, 4.0), (10.0, 3.0), (3.0, 12.0)] {
+            let p = reg_gamma_p(a, x);
+            let q = reg_gamma_q(a, x);
+            assert!((p + q - 1.0).abs() < 1e-12, "a={a}, x={x}");
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn chi_square_known_values() {
+        // For dof = 2 the χ² distribution is Exp(1/2):
+        // P(X ≥ x) = exp(−x/2).
+        for x in [0.5, 1.0, 2.0, 5.0] {
+            let p = chi_square_p_value(x, 2);
+            assert!((p - (-x / 2.0_f64).exp()).abs() < 1e-10, "x = {x}");
+        }
+        // Median of χ²(1) is ≈ 0.4549.
+        let p = chi_square_p_value(0.4549, 1);
+        assert!((p - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn chi_square_p_value_monotone_in_statistic() {
+        let mut last = 1.0;
+        for i in 0..20 {
+            let p = chi_square_p_value(i as f64, 5);
+            assert!(p <= last + 1e-15);
+            last = p;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-probability category")]
+    fn impossible_observation_panics() {
+        let _ = chi_square_statistic(&[1.0], &[0.0]);
+    }
+}

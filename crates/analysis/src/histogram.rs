@@ -1,0 +1,229 @@
+//! Fixed-bin histograms and bootstrap confidence intervals.
+//!
+//! Used by the experiment harness to summarize perimeter distributions at
+//! stationarity and to attach uncertainty to tail-averaged estimates.
+
+/// A histogram over `[min, max)` with equally sized bins.
+///
+/// # Example
+///
+/// ```
+/// use sops_analysis::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 1.5, 7.2, 9.9] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.bin_counts()[0], 2); // [0, 2)
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[min, max)` with `bins` equal bins.
+    ///
+    /// Returns `None` if the range is empty/invalid or `bins == 0`.
+    #[must_use]
+    pub fn new(min: f64, max: f64, bins: usize) -> Option<Histogram> {
+        if !(min < max) || bins == 0 || !min.is_finite() || !max.is_finite() {
+            return None;
+        }
+        Some(Histogram {
+            min,
+            max,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds an observation; values outside the range are tallied as
+    /// under-/overflow rather than dropped silently.
+    pub fn add(&mut self, x: f64) {
+        if x < self.min {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.max {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.max - self.min) / self.bins.len() as f64;
+        let idx = ((x - self.min) / width) as usize;
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Total observations, including under-/overflow.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Observations below the range.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper edge.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin out of range");
+        let width = (self.max - self.min) / self.bins.len() as f64;
+        (
+            self.min + width * i as f64,
+            self.min + width * (i + 1) as f64,
+        )
+    }
+
+    /// Normalized bin densities (summing to 1 over in-range mass).
+    #[must_use]
+    pub fn densities(&self) -> Vec<f64> {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.bins.len()];
+        }
+        self.bins
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+}
+
+/// A bootstrap percentile confidence interval for the mean.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BootstrapCi {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+}
+
+/// Percentile-bootstrap confidence interval for the mean at the given
+/// level (e.g. `0.95`), using `resamples` deterministic xorshift draws.
+///
+/// # Panics
+///
+/// Panics on an empty sample, `resamples == 0`, or a level outside (0, 1).
+#[must_use]
+pub fn bootstrap_mean_ci(data: &[f64], level: f64, resamples: usize, seed: u64) -> BootstrapCi {
+    assert!(!data.is_empty(), "empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+    let n = data.len();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let mut sum = 0.0;
+            for _ in 0..n {
+                let idx = (next() % n as u64) as usize;
+                sum += data[idx];
+            }
+            sum / n as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.total_cmp(b));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha) as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)) as usize).min(resamples - 1);
+    BootstrapCi {
+        mean: data.iter().sum::<f64>() / n as f64,
+        lo: means[lo_idx],
+        hi: means[hi_idx],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for x in [0.1, 0.3, 0.3, 0.9] {
+            h.add(x);
+        }
+        assert_eq!(h.bin_counts(), &[1, 2, 0, 1]);
+        assert_eq!(h.bin_edges(1), (0.25, 0.5));
+        let d = h.densities();
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_is_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-5.0);
+        h.add(1.0); // upper edge exclusive
+        h.add(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+    }
+
+    #[test]
+    fn bootstrap_brackets_the_mean() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 31) % 97) as f64).collect();
+        let ci = bootstrap_mean_ci(&data, 0.95, 2000, 42);
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+        // Width shrinks with a tighter level.
+        let narrow = bootstrap_mean_ci(&data, 0.5, 2000, 42);
+        assert!(narrow.hi - narrow.lo < ci.hi - ci.lo);
+    }
+
+    #[test]
+    fn bootstrap_of_constant_sample_is_tight() {
+        let data = vec![3.0; 50];
+        let ci = bootstrap_mean_ci(&data, 0.99, 500, 7);
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+        assert_eq!(ci.mean, 3.0);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let a = bootstrap_mean_ci(&data, 0.9, 300, 5);
+        let b = bootstrap_mean_ci(&data, 0.9, 300, 5);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+//! Statistics toolkit for the `sops` experiment harness.
+//!
+//! Self-contained implementations (no external math dependencies) of the
+//! statistical machinery the experiments need:
+//!
+//! * [`stats`] — summaries (mean/variance/quantiles) and Welford online
+//!   accumulation.
+//! * [`timeseries`] — autocorrelation and integrated autocorrelation time
+//!   for MCMC diagnostics, plus tail averaging.
+//! * [`gof`] — goodness of fit: total-variation distance, χ² statistics and
+//!   p-values (via the regularized incomplete gamma function).
+//! * [`histogram`] — fixed-bin histograms and bootstrap confidence
+//!   intervals.
+//! * [`regression`] — ordinary least squares with `R²`, including log–log
+//!   fits for scaling exponents.
+//! * [`table`] — Markdown tables and CSV output for experiment reports.
+//! * [`plot`] — ASCII line plots and sparklines for terminal-friendly
+//!   figures.
+//!
+//! # Example
+//!
+//! ```
+//! use sops_analysis::stats::Summary;
+//!
+//! let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+//! assert!((s.mean - 2.5).abs() < 1e-12);
+//! assert!((s.median - 2.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gof;
+pub mod histogram;
+pub mod plot;
+pub mod regression;
+pub mod stats;
+pub mod table;
+pub mod timeseries;
+
+pub use gof::{chi_square_p_value, chi_square_statistic, total_variation};
+pub use histogram::{bootstrap_mean_ci, BootstrapCi, Histogram};
+pub use regression::LinearFit;
+pub use stats::{OnlineStats, Summary};

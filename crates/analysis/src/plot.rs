@@ -1,0 +1,104 @@
+//! ASCII plots for terminal-friendly figures.
+
+/// Renders a single series as an ASCII line plot of the given size.
+///
+/// The y-axis is scaled to the series range; the x-axis resamples the
+/// series to `width` columns.
+///
+/// # Panics
+///
+/// Panics if the series is empty or `width`/`height` is zero.
+#[must_use]
+pub fn line_plot(series: &[f64], width: usize, height: usize) -> String {
+    assert!(!series.is_empty(), "empty series");
+    assert!(width > 0 && height > 0, "plot must have positive size");
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let span = if max > min { max - min } else { 1.0 };
+    let mut grid = vec![vec![' '; width]; height];
+    let mut marks = Vec::with_capacity(width);
+    for col in 0..width {
+        let idx = (col * (series.len() - 1).max(1) / width.max(1)).min(series.len() - 1);
+        let v = series[idx];
+        let level = ((v - min) / span * (height - 1) as f64).round() as usize;
+        marks.push(height - 1 - level.min(height - 1));
+    }
+    for (col, row) in marks.into_iter().enumerate() {
+        grid[row][col] = '*';
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{max:>12.3} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height.saturating_sub(1)] {
+        out.push_str("             │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    if height > 1 {
+        out.push_str(&format!("{min:>12.3} ┤"));
+        out.push_str(&grid[height - 1].iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("             └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out
+}
+
+/// Renders a compact sparkline using unicode block characters.
+///
+/// # Panics
+///
+/// Panics if the series is empty.
+#[must_use]
+pub fn sparkline(series: &[f64]) -> String {
+    assert!(!series.is_empty(), "empty series");
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = series.iter().cloned().fold(f64::MAX, f64::min);
+    let max = series.iter().cloned().fold(f64::MIN, f64::max);
+    let span = if max > min { max - min } else { 1.0 };
+    series
+        .iter()
+        .map(|&v| {
+            let level = ((v - min) / span * 7.0).round() as usize;
+            BLOCKS[level.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plot_has_requested_dimensions() {
+        let series: Vec<f64> = (0..50).map(|i| (i as f64 / 5.0).sin()).collect();
+        let plot = line_plot(&series, 40, 8);
+        let lines: Vec<&str> = plot.lines().collect();
+        // height rows + axis row.
+        assert_eq!(lines.len(), 9);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn sparkline_maps_extremes() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let s = sparkline(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.chars().count(), 3);
+        let plot = line_plot(&[5.0; 10], 10, 3);
+        assert!(plot.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn empty_sparkline_panics() {
+        let _ = sparkline(&[]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Ordinary least squares, including log–log fits for scaling exponents.
+
+/// The result of a least-squares line fit `y ≈ intercept + slope · x`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination `R²`.
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits `y = intercept + slope·x` by ordinary least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, contain fewer than two points,
+    /// or all `x` are identical.
+    #[must_use]
+    pub fn fit(x: &[f64], y: &[f64]) -> LinearFit {
+        assert_eq!(x.len(), y.len(), "x and y must align");
+        assert!(x.len() >= 2, "need at least two points");
+        let n = x.len() as f64;
+        let mx = x.iter().sum::<f64>() / n;
+        let my = y.iter().sum::<f64>() / n;
+        let sxx: f64 = x.iter().map(|xi| (xi - mx).powi(2)).sum();
+        assert!(sxx > 0.0, "x values must not all be equal");
+        let sxy: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(xi, yi)| (xi - mx) * (yi - my))
+            .sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        let ss_tot: f64 = y.iter().map(|yi| (yi - my).powi(2)).sum();
+        let ss_res: f64 = x
+            .iter()
+            .zip(y.iter())
+            .map(|(xi, yi)| (yi - (intercept + slope * xi)).powi(2))
+            .sum();
+        let r_squared = if ss_tot == 0.0 {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        }
+    }
+
+    /// Fits `log y = intercept + slope · log x`, i.e. the power law
+    /// `y ≈ C · x^slope`. Used by the convergence-scaling experiment (E7) to
+    /// estimate the exponent in "iterations to compression ≈ Θ(n^k)".
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-positive (logarithms required), plus the
+    /// panics of [`LinearFit::fit`].
+    #[must_use]
+    pub fn fit_power_law(x: &[f64], y: &[f64]) -> LinearFit {
+        let lx: Vec<f64> = x
+            .iter()
+            .map(|&v| {
+                assert!(v > 0.0, "power-law fit needs positive x");
+                v.ln()
+            })
+            .collect();
+        let ly: Vec<f64> = y
+            .iter()
+            .map(|&v| {
+                assert!(v > 0.0, "power-law fit needs positive y");
+                v.ln()
+            })
+            .collect();
+        LinearFit::fit(&lx, &ly)
+    }
+
+    /// Predicted value at `x` (in the fitted space).
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v - 2.0).collect();
+        let fit = LinearFit::fit(&x, &y);
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r_squared() {
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, v)| 2.0 * v + 1.0 + ((i as f64).sin()))
+            .collect();
+        let fit = LinearFit::fit(&x, &y);
+        assert!((fit.slope - 2.0).abs() < 0.01);
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn power_law_exponent_recovered() {
+        let x = [25.0, 50.0, 100.0, 200.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| 0.7 * v.powf(3.3)).collect();
+        let fit = LinearFit::fit_power_law(&x, &y);
+        assert!((fit.slope - 3.3).abs() < 1e-10, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn predict_interpolates() {
+        let fit = LinearFit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(fit.predict(3.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x values must not all be equal")]
+    fn degenerate_x_panics() {
+        let _ = LinearFit::fit(&[1.0, 1.0], &[2.0, 3.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Summary statistics and online (Welford) accumulation.
+
+/// A one-pass summary of a sample: moments, extremes and quantiles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 for fewer than 2 observations).
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Median (linear interpolation between order statistics).
+    pub median: f64,
+    /// Lower quartile.
+    pub q25: f64,
+    /// Upper quartile.
+    pub q75: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or contains NaN.
+    #[must_use]
+    pub fn of(data: &[f64]) -> Summary {
+        assert!(!data.is_empty(), "cannot summarize an empty sample");
+        let mut sorted: Vec<f64> = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+        let mut online = OnlineStats::new();
+        for &x in data {
+            online.push(x);
+        }
+        Summary {
+            count: data.len(),
+            mean: online.mean(),
+            variance: online.variance(),
+            std_dev: online.variance().sqrt(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            median: quantile_sorted(&sorted, 0.5),
+            q25: quantile_sorted(&sorted, 0.25),
+            q75: quantile_sorted(&sorted, 0.75),
+        }
+    }
+
+    /// The standard error of the mean, `s/√n`.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        self.std_dev / (self.count as f64).sqrt()
+    }
+}
+
+/// Quantile of a pre-sorted sample with linear interpolation.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile must lie in [0, 1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use sops_analysis::OnlineStats;
+///
+/// let mut acc = OnlineStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     acc.push(x);
+/// }
+/// assert!((acc.mean() - 4.0).abs() < 1e-12);
+/// assert!((acc.variance() - 4.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> OnlineStats {
+        OnlineStats::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Current mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than 2 observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / (total as f64);
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 3.875).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 10.0];
+        assert!((quantile_sorted(&sorted, 0.25) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(quantile_sorted(&sorted, 1.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+        let mut acc = OnlineStats::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((acc.mean() - mean).abs() < 1e-9);
+        assert!((acc.variance() - var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let a: Vec<f64> = (0..57).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = (0..91).map(|i| (i as f64).cos() * 3.0).collect();
+        let mut acc_a = OnlineStats::new();
+        let mut acc_b = OnlineStats::new();
+        for &x in &a {
+            acc_a.push(x);
+        }
+        for &x in &b {
+            acc_b.push(x);
+        }
+        let mut merged = acc_a;
+        merged.merge(&acc_b);
+        let mut all = OnlineStats::new();
+        for &x in a.iter().chain(b.iter()) {
+            all.push(x);
+        }
+        assert_eq!(merged.count(), all.count());
+        assert!((merged.mean() - all.mean()).abs() < 1e-12);
+        assert!((merged.variance() - all.variance()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let mut acc = OnlineStats::new();
+        assert_eq!(acc.variance(), 0.0);
+        acc.push(5.0);
+        assert_eq!(acc.mean(), 5.0);
+        assert_eq!(acc.variance(), 0.0);
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.median, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Markdown tables and CSV output for experiment reports.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned table builder for experiment output.
+///
+/// # Example
+///
+/// ```
+/// use sops_analysis::table::Table;
+///
+/// let mut t = Table::new(["λ", "perimeter"]);
+/// t.row(["2.0", "184"]);
+/// t.row(["4.0", "44"]);
+/// let md = t.to_markdown();
+/// assert!(md.contains("| λ"));
+/// assert!(md.contains("| 4.0"));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as a column-aligned Markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            out.push('|');
+            for (i, cell) in cells.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, " {}{} |", cell, " ".repeat(pad));
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes or newlines).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let render = |cells: &[String], out: &mut String| {
+            let mut first = true;
+            for cell in cells {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if cell.contains([',', '"', '\n']) {
+                    let _ = write!(out, "\"{}\"", cell.replace('"', "\"\""));
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        render(&self.headers, &mut out);
+        for row in &self.rows {
+            render(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+/// Formats a float compactly for tables: integers without decimals,
+/// otherwise `digits` significant decimals.
+#[must_use]
+pub fn fmt_f64(v: f64, digits: usize) -> String {
+    if v.is_nan() {
+        return "NaN".to_string();
+    }
+    if v.is_infinite() {
+        return if v > 0.0 { "∞" } else { "-∞" }.to_string();
+    }
+    if (v.fract()).abs() < 1e-12 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.digits$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new(["n", "value"]);
+        t.row(["1", "short"]).row(["100", "a longer cell"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let widths: Vec<usize> = lines.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{md}");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x,y", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let mut t = Table::new(["only"]);
+        t.row(["a", "b"]);
+    }
+
+    #[test]
+    fn fmt_f64_cases() {
+        assert_eq!(fmt_f64(3.0, 2), "3");
+        assert_eq!(fmt_f64(3.15159, 2), "3.15");
+        assert_eq!(fmt_f64(f64::INFINITY, 2), "∞");
+        assert_eq!(fmt_f64(f64::NAN, 2), "NaN");
+    }
+
+    #[test]
+    fn write_csv_to_disk() {
+        let mut t = Table::new(["k"]);
+        t.row(["v"]);
+        let dir = std::env::temp_dir().join("sops_table_test.csv");
+        t.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&dir).unwrap();
+        assert_eq!(content, "k\nv\n");
+        let _ = std::fs::remove_file(&dir);
+    }
+}

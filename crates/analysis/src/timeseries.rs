@@ -1,0 +1,135 @@
+//! Time-series diagnostics for Markov chain output.
+
+/// Sample autocorrelation at the given lag.
+///
+/// Returns 0 for degenerate series (constant, or lag ≥ length).
+#[must_use]
+pub fn autocorrelation(series: &[f64], lag: usize) -> f64 {
+    let n = series.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let denom: f64 = series.iter().map(|x| (x - mean).powi(2)).sum();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Integrated autocorrelation time `τ = 1 + 2 Σ ρ(k)`, summing until the
+/// first non-positive autocorrelation (the standard initial-positive-
+/// sequence cutoff).
+///
+/// The effective sample size of a correlated series of length `n` is
+/// approximately `n / τ`.
+#[must_use]
+pub fn integrated_autocorrelation_time(series: &[f64]) -> f64 {
+    let mut tau = 1.0;
+    for lag in 1..series.len() / 2 {
+        let rho = autocorrelation(series, lag);
+        if rho <= 0.0 {
+            break;
+        }
+        tau += 2.0 * rho;
+    }
+    tau
+}
+
+/// The mean of the final `fraction` of the series (tail average), the
+/// standard estimator for a quantity at stationarity after burn-in.
+///
+/// # Panics
+///
+/// Panics if `series` is empty or `fraction` is outside `(0, 1]`.
+#[must_use]
+pub fn tail_mean(series: &[f64], fraction: f64) -> f64 {
+    assert!(!series.is_empty(), "empty series");
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1]"
+    );
+    let start = ((series.len() as f64) * (1.0 - fraction)).floor() as usize;
+    let tail = &series[start.min(series.len() - 1)..];
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Splits the series into `k` equal blocks and returns the block means
+/// (batch-means method for error estimation).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the series length.
+#[must_use]
+pub fn block_means(series: &[f64], k: usize) -> Vec<f64> {
+    assert!(k > 0 && k <= series.len(), "invalid block count");
+    let block = series.len() / k;
+    (0..k)
+        .map(|i| {
+            let chunk = &series[i * block..(i + 1) * block];
+            chunk.iter().sum::<f64>() / chunk.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn white_noise_has_no_autocorrelation() {
+        // Deterministic pseudo-noise from a xorshift generator.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let series: Vec<f64> = (0..10_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let rho1 = autocorrelation(&series, 1);
+        assert!(rho1.abs() < 0.05, "ρ(1) = {rho1}");
+        let tau = integrated_autocorrelation_time(&series);
+        assert!(tau < 1.5, "τ = {tau}");
+    }
+
+    #[test]
+    fn constant_series_is_degenerate() {
+        let series = vec![3.0; 100];
+        assert_eq!(autocorrelation(&series, 1), 0.0);
+        assert_eq!(integrated_autocorrelation_time(&series), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_at_lag_zero_is_one() {
+        let series: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        assert!((autocorrelation(&series, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn persistent_series_has_large_tau() {
+        // A slowly varying series: long blocks of equal values.
+        let series: Vec<f64> = (0..1000).map(|i| f64::from(i / 100 % 2 == 0)).collect();
+        let tau = integrated_autocorrelation_time(&series);
+        assert!(tau > 10.0, "τ = {tau}");
+    }
+
+    #[test]
+    fn tail_mean_uses_only_tail() {
+        let mut series = vec![100.0; 50];
+        series.extend(vec![2.0; 50]);
+        assert!((tail_mean(&series, 0.5) - 2.0).abs() < 1e-12);
+        assert!((tail_mean(&series, 1.0) - 51.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_means_partition() {
+        let series: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let blocks = block_means(&series, 3);
+        assert_eq!(blocks, vec![1.5, 5.5, 9.5]);
+    }
+}

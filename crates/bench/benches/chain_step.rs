@@ -1,0 +1,50 @@
+//! Throughput of one step of Markov chain `M` as a function of system size.
+//!
+//! The figure-scale experiments run 5M–20M steps, so single-step cost is the
+//! limiting factor of the whole harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sops::prelude::*;
+
+fn equilibrated_chain(n: usize, lambda: f64) -> CompressionChain {
+    let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+    let mut chain = CompressionChain::from_seed(start, lambda, 7).unwrap();
+    chain.run(20_000); // move past the highly-rejecting initial line
+    chain
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_step");
+    for n in [25usize, 100, 400] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("lambda4", n), &n, |b, &n| {
+            let mut chain = equilibrated_chain(n, 4.0);
+            b.iter(|| chain.step());
+        });
+    }
+    // Acceptance regime comparison at fixed n.
+    for lambda in [0.5, 2.0, 6.0] {
+        group.bench_with_input(
+            BenchmarkId::new("n100_lambda", format!("{lambda}")),
+            &lambda,
+            |b, &lambda| {
+                let mut chain = equilibrated_chain(100, lambda);
+                b.iter(|| chain.step());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_run_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_run");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_steps_n100", |b| {
+        let mut chain = equilibrated_chain(100, 4.0);
+        b.iter(|| chain.run(10_000));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_step, bench_run_block);
+criterion_main!(benches);

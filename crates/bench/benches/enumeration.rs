@@ -1,0 +1,45 @@
+//! Throughput of the exact-combinatorics layer: polyhex enumeration,
+//! self-avoiding walk counting and transition-matrix construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sops::enumerate::{polyhex, saw, StateSpace};
+
+fn bench_polyhex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("polyhex");
+    group.sample_size(20);
+    group.bench_function("count_connected_8", |b| {
+        b.iter(|| polyhex::count_connected(std::hint::black_box(8)))
+    });
+    group.bench_function("count_hole_free_7", |b| {
+        b.iter(|| polyhex::count_hole_free(std::hint::black_box(7)))
+    });
+    group.finish();
+}
+
+fn bench_saw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saw");
+    group.sample_size(20);
+    group.bench_function("count_walks_16", |b| {
+        b.iter(|| saw::count_walks_up_to(std::hint::black_box(16)))
+    });
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_chain");
+    group.sample_size(10);
+    group.bench_function("state_space_n6", |b| {
+        b.iter(|| StateSpace::build(std::hint::black_box(6)))
+    });
+    let space = StateSpace::build(6);
+    group.bench_function("transition_matrix_n6", |b| {
+        b.iter(|| space.transition_matrix(std::hint::black_box(4.0)))
+    });
+    let matrix = space.transition_matrix(4.0);
+    let pi = space.boltzmann(4.0);
+    group.bench_function("evolve_n6", |b| b.iter(|| matrix.evolve(&pi)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_polyhex, bench_saw, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Event throughput of the asynchronous local-algorithm simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sops::prelude::*;
+
+fn bench_activations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("local_sim");
+    for n in [25usize, 100, 400] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("activation", n), &n, |b, &n| {
+            let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+            let mut runner = LocalRunner::from_seed(&start, 4.0, 5).unwrap();
+            runner.run_rounds(20);
+            b.iter(|| runner.step());
+        });
+    }
+    group.throughput(Throughput::Elements(100));
+    group.bench_function("round_n100", |b| {
+        let start = ParticleSystem::connected(shapes::line(100)).unwrap();
+        let mut runner = LocalRunner::from_seed(&start, 4.0, 6).unwrap();
+        b.iter(|| runner.run_rounds(1));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_activations);
+criterion_main!(benches);

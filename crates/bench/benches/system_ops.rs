@@ -1,0 +1,55 @@
+//! Cost of the configuration-layer primitives: move checks, perimeter,
+//! hole analysis and boundary tracing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::lattice::Direction;
+use sops::system::{boundary, holes, moves, shapes, ParticleSystem};
+
+fn cluster(n: usize) -> ParticleSystem {
+    let mut rng = StdRng::seed_from_u64(3);
+    ParticleSystem::connected(shapes::random_connected(n, &mut rng)).unwrap()
+}
+
+fn bench_check_move(c: &mut Criterion) {
+    let mut group = c.benchmark_group("check_move");
+    let sys = cluster(200);
+    let from = sys.position(77);
+    group.bench_function("table_lookup", |b| {
+        b.iter(|| sys.check_move(std::hint::black_box(from), Direction::NE))
+    });
+    group.bench_function("reference_bfs", |b| {
+        let occupied = |p| sys.is_occupied(p);
+        b.iter(|| {
+            (
+                moves::reference::property1(&occupied, std::hint::black_box(from), Direction::NE),
+                moves::reference::property2(&occupied, std::hint::black_box(from), Direction::NE),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("geometry");
+    for n in [100usize, 400] {
+        let sys = cluster(n);
+        group.bench_with_input(BenchmarkId::new("hole_analysis", n), &sys, |b, sys| {
+            b.iter(|| holes::analyze(sys))
+        });
+        group.bench_with_input(BenchmarkId::new("boundary_trace", n), &sys, |b, sys| {
+            b.iter(|| boundary::trace(sys))
+        });
+        group.bench_with_input(BenchmarkId::new("perimeter", n), &sys, |b, sys| {
+            b.iter(|| sys.perimeter())
+        });
+        group.bench_with_input(BenchmarkId::new("triangle_count", n), &sys, |b, sys| {
+            b.iter(|| sys.triangle_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_check_move, bench_geometry);
+criterion_main!(benches);

@@ -1,0 +1,165 @@
+//! Ablated variants of Markov chain `M`, demonstrating that the paper's
+//! move conditions are *necessary*, not conservative.
+//!
+//! Algorithm `M` guards every move with: (1) `e ≠ 5` — prevents creating a
+//! hole at the vacated site; (2) Property 1 or Property 2 — preserves
+//! connectivity and prevents the remaining hole formations. The ablation
+//! chain lets experiments disable either guard and observe the invariant
+//! violations the paper's Lemmas 3.1/3.2 rule out.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops::lattice::Direction;
+use sops::system::ParticleSystem;
+
+/// Which structural guards of Algorithm `M` to enforce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Guards {
+    /// Condition (1): refuse moves when the particle has five neighbors.
+    pub five_neighbor_rule: bool,
+    /// Condition (2): require Property 1 or Property 2.
+    pub properties: bool,
+}
+
+impl Guards {
+    /// The full algorithm (both guards on).
+    #[must_use]
+    pub fn full() -> Guards {
+        Guards {
+            five_neighbor_rule: true,
+            properties: true,
+        }
+    }
+
+    /// Ablation: drop the five-neighbor rule only.
+    #[must_use]
+    pub fn without_five_neighbor_rule() -> Guards {
+        Guards {
+            five_neighbor_rule: false,
+            properties: true,
+        }
+    }
+
+    /// Ablation: drop the property checks only.
+    #[must_use]
+    pub fn without_properties() -> Guards {
+        Guards {
+            five_neighbor_rule: true,
+            properties: false,
+        }
+    }
+}
+
+/// Statistics of an ablation run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AblationReport {
+    /// Steps executed.
+    pub steps: u64,
+    /// Moves accepted.
+    pub moves: u64,
+    /// Steps after which the configuration was disconnected.
+    pub disconnection_events: u64,
+    /// Steps after which a previously hole-free configuration had holes.
+    pub hole_events: u64,
+    /// Step at which the first invariant violation was observed.
+    pub first_violation_step: Option<u64>,
+}
+
+/// Runs the (possibly ablated) chain for `steps` steps from `start`,
+/// checking invariants every `check_every` steps. Stops early once ten
+/// violations have been observed: a disconnected system drifts apart
+/// without bound, making both further simulation and hole analysis
+/// meaningless (and the flood fill arbitrarily expensive).
+///
+/// The Metropolis filter stays intact in all variants — only the structural
+/// guards change — so any invariant violation is attributable to the
+/// ablated condition.
+#[must_use]
+pub fn run(
+    start: &ParticleSystem,
+    lambda: f64,
+    guards: Guards,
+    steps: u64,
+    check_every: u64,
+    seed: u64,
+) -> AblationReport {
+    let mut sys = start.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = sys.len();
+    let mut report = AblationReport::default();
+    let mut was_hole_free = sys.hole_count() == 0;
+    for step in 1..=steps {
+        report.steps = step;
+        let id = rng.gen_range(0..n);
+        let dir = Direction::from_index(rng.gen_range(0..6usize));
+        let from = sys.position(id);
+        let validity = sys.check_move(from, dir);
+        if validity.target_occupied {
+            continue;
+        }
+        if guards.five_neighbor_rule && validity.five_neighbor_blocked() {
+            continue;
+        }
+        if guards.properties && !(validity.property1 || validity.property2) {
+            continue;
+        }
+        let threshold = lambda.powi(validity.edge_delta()).min(1.0);
+        if threshold < 1.0 && rng.gen::<f64>() >= threshold {
+            continue;
+        }
+        sys.move_particle(id, dir).expect("target checked empty");
+        report.moves += 1;
+        if step % check_every == 0 {
+            let mut violated = false;
+            if !sys.is_connected() {
+                report.disconnection_events += 1;
+                violated = true;
+            }
+            let hole_free = sys.hole_count() == 0;
+            if was_hole_free && !hole_free {
+                report.hole_events += 1;
+                violated = true;
+            }
+            was_hole_free = hole_free;
+            if violated && report.first_violation_step.is_none() {
+                report.first_violation_step = Some(step);
+            }
+            if report.disconnection_events + report.hole_events >= 10 {
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops::system::shapes;
+
+    #[test]
+    fn full_guards_never_violate() {
+        let start = ParticleSystem::connected(shapes::line(20)).unwrap();
+        let report = run(&start, 4.0, Guards::full(), 50_000, 50, 1);
+        assert_eq!(report.disconnection_events, 0);
+        assert_eq!(report.hole_events, 0);
+        assert!(report.moves > 0);
+    }
+
+    #[test]
+    fn dropping_properties_breaks_invariants() {
+        let start = ParticleSystem::connected(shapes::line(20)).unwrap();
+        let report = run(&start, 4.0, Guards::without_properties(), 50_000, 10, 2);
+        assert!(
+            report.disconnection_events + report.hole_events > 0,
+            "removing Property 1/2 must eventually violate an invariant"
+        );
+    }
+
+    #[test]
+    fn guards_constructors() {
+        assert!(Guards::full().properties);
+        assert!(!Guards::without_properties().properties);
+        assert!(!Guards::without_five_neighbor_rule().five_neighbor_rule);
+    }
+}

@@ -1,0 +1,52 @@
+//! E10 — Theorem 4.2: the connective constant of the hexagonal lattice.
+//!
+//! Enumerates self-avoiding walks of increasing length and shows the growth
+//! estimators converging toward `√(2+√2) = 1.84776…`, the exact value of
+//! Duminil-Copin & Smirnov that powers the paper's Peierls argument
+//! (Lemma 4.3 / Lemma 4.4).
+//!
+//! ```sh
+//! cargo run --release -p sops-bench --bin connective_constant
+//! ```
+
+use sops::analysis::table::{fmt_f64, Table};
+use sops::enumerate::saw;
+use sops_bench::{out, Args};
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let max_len = args.get_usize("max-len", if quick { 16 } else { 26 });
+
+    println!("# E10 / Theorem 4.2 — connective constant of the hexagonal lattice");
+    let mu = saw::connective_constant();
+    println!("exact value: μ = √(2+√2) = {mu:.10}\n");
+
+    let counts = saw::count_walks_up_to(max_len);
+    let mut table = Table::new(["l", "N_l", "N_l^(1/l)", "N_l / N_(l-1)"]);
+    for l in 1..=max_len {
+        let root = (counts[l] as f64).powf(1.0 / l as f64);
+        let ratio = if l >= 2 {
+            fmt_f64(counts[l] as f64 / counts[l - 1] as f64, 5)
+        } else {
+            "-".to_string()
+        };
+        table.row([
+            l.to_string(),
+            counts[l].to_string(),
+            fmt_f64(root, 5),
+            ratio,
+        ]);
+    }
+    out::emit("connective_constant", &table).expect("write results");
+
+    let root = saw::estimate_mu(&counts);
+    let ratio = saw::estimate_mu_ratio(&counts);
+    println!("\nestimates at l = {max_len}: root = {root:.5} (→ μ from above), ratio = {ratio:.5}");
+    println!(
+        "errors: root {:+.4}, ratio {:+.4} (paper's μ = {mu:.5})",
+        root - mu,
+        ratio - mu
+    );
+    assert!(root > mu, "root estimator must upper-bound μ");
+}

@@ -1,0 +1,154 @@
+//! E11 — Section 3.3: compression despite crash failures.
+//!
+//! Two crash scenarios, under both the chain `M` and the local algorithm `A`:
+//!
+//! * **crash at start** (adversarial): evenly spaced particles of the
+//!   initial *line* freeze, anchoring a long skeleton. Compression is
+//!   necessarily limited by the frozen geometry, but the healthy particles
+//!   still gather around the anchors and the system stays connected.
+//! * **crash mid-run** (the paper's scenario): the system first compresses,
+//!   then a fraction of particles crash in place; the rest "simply continue
+//!   to compress" around them (Section 3.3) and the compression ratio is
+//!   essentially unaffected.
+//!
+//! ```sh
+//! cargo run --release -p sops-bench --bin fault_tolerance
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops::analysis::table::{fmt_f64, Table};
+use sops::analysis::timeseries::tail_mean;
+use sops::prelude::*;
+use sops_bench::{out, Args};
+
+struct Scenario {
+    crash_percent: usize,
+    crash_at_start: bool,
+}
+
+/// Tail-averaged α under chain `M` for a crash scenario.
+fn chain_alpha(n: usize, lambda: f64, sc: &Scenario, steps: u64, seed: u64) -> f64 {
+    let start = ParticleSystem::connected(shapes::line(n)).expect("line");
+    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("params");
+    let crash_count = n * sc.crash_percent / 100;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a5);
+    let mut crash_now = |chain: &mut CompressionChain| {
+        let mut crashed = 0;
+        while crashed < crash_count {
+            let id = rng.gen_range(0..n);
+            if !chain.crash(id) {
+                crashed += 1;
+            }
+        }
+    };
+    if sc.crash_at_start {
+        crash_now(&mut chain);
+        chain.run(steps / 2);
+    } else {
+        chain.run(steps / 2);
+        crash_now(&mut chain);
+    }
+    // Measure over the second half.
+    let mut perimeters = Vec::new();
+    for _ in 0..50 {
+        chain.run(steps / 100);
+        perimeters.push(chain.perimeter() as f64);
+    }
+    assert!(chain.system().is_connected(), "must stay connected");
+    tail_mean(&perimeters, 0.5) / metrics::pmin(n) as f64
+}
+
+/// Tail-averaged α under the local algorithm `A` for a crash scenario.
+fn local_alpha(n: usize, lambda: f64, sc: &Scenario, rounds: u64, seed: u64) -> f64 {
+    let start = ParticleSystem::connected(shapes::line(n)).expect("line");
+    let mut runner = LocalRunner::from_seed(&start, lambda, seed).expect("params");
+    let crash_count = n * sc.crash_percent / 100;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10ca1);
+    if sc.crash_at_start {
+        for _ in 0..crash_count {
+            runner.crash(rng.gen_range(0..n));
+        }
+        runner.run_rounds(rounds / 2);
+    } else {
+        runner.run_rounds(rounds / 2);
+        for _ in 0..crash_count {
+            runner.crash(rng.gen_range(0..n));
+        }
+    }
+    let mut perimeters = Vec::new();
+    for _ in 0..50 {
+        runner.run_rounds(rounds / 100);
+        perimeters.push(runner.tail_system().perimeter() as f64);
+    }
+    assert!(runner.tail_system().is_connected(), "must stay connected");
+    tail_mean(&perimeters, 0.5) / metrics::pmin(n) as f64
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n = args.get_usize("n", 100);
+    let lambda = args.get_f64("lambda", 4.0);
+    let steps = args.get_u64("steps", if quick { 400_000 } else { 8_000_000 });
+    let rounds = steps / n as u64;
+
+    println!("# E11 / Section 3.3 — fault tolerance under crash failures");
+    println!("n = {n}, λ = {lambda}; chain: {steps} steps, local: {rounds} rounds");
+    println!("α is the tail-averaged compression ratio p/pmin\n");
+
+    let percents = [0usize, 5, 10, 20];
+    let scenarios: Vec<(String, Scenario)> = percents
+        .iter()
+        .flat_map(|&pct| {
+            [
+                (
+                    format!("{pct}% at start (line anchored)"),
+                    Scenario {
+                        crash_percent: pct,
+                        crash_at_start: true,
+                    },
+                ),
+                (
+                    format!("{pct}% mid-run (paper's scenario)"),
+                    Scenario {
+                        crash_percent: pct,
+                        crash_at_start: false,
+                    },
+                ),
+            ]
+        })
+        .collect();
+
+    let results: Vec<(String, f64, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, (name, sc))| {
+                let name = name.clone();
+                scope.spawn(move || {
+                    (
+                        name,
+                        chain_alpha(n, lambda, sc, steps, 50 + i as u64),
+                        local_alpha(n, lambda, sc, rounds, 90 + i as u64),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+
+    let mut table = Table::new(["scenario", "α under chain M", "α under local A"]);
+    for (name, chain_a, local_a) in &results {
+        table.row([name.clone(), fmt_f64(*chain_a, 2), fmt_f64(*local_a, 2)]);
+    }
+    out::emit("fault_tolerance", &table).expect("write results");
+
+    println!("\npaper's claim: crashed particles act as fixed points and healthy");
+    println!("particles continue to compress around them. Mid-run crashes barely");
+    println!("change α; start-of-line crashes anchor the initial geometry (the");
+    println!("adversarial bound) yet never disconnect the system.");
+}

@@ -1,0 +1,106 @@
+//! E6 — phase behavior: long-run perimeter vs the bias λ.
+//!
+//! Theorem 4.5 proves compression for λ > 2+√2 ≈ 3.414; Theorem 5.7 proves
+//! expansion for λ < 2.17; Section 6 conjectures a sharp phase transition
+//! between. This binary sweeps λ across all three regimes (one thread per
+//! λ), tail-averages the perimeter of long runs, and reports α = p/pmin and
+//! β = p/pmax per λ.
+//!
+//! ```sh
+//! cargo run --release -p sops-bench --bin phase_diagram
+//! cargo run --release -p sops-bench --bin phase_diagram -- --quick
+//! ```
+
+use sops::analysis::plot::sparkline;
+use sops::analysis::table::{fmt_f64, Table};
+use sops::analysis::timeseries::tail_mean;
+use sops::prelude::*;
+use sops_bench::{out, Args};
+
+struct LambdaResult {
+    lambda: f64,
+    alpha: f64,
+    beta: f64,
+    trend: String,
+}
+
+fn run_lambda(n: usize, lambda: f64, steps: u64, seed: u64) -> LambdaResult {
+    let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
+    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("valid parameters");
+    let trajectory = chain.trajectory(steps, steps / 100);
+    let perimeters: Vec<f64> = trajectory.iter().map(|t| t.perimeter as f64).collect();
+    let tail = tail_mean(&perimeters, 0.25);
+    LambdaResult {
+        lambda,
+        alpha: tail / metrics::pmin(n) as f64,
+        beta: tail / metrics::pmax(n) as f64,
+        trend: sparkline(&perimeters),
+    }
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let n = args.get_usize("n", 100);
+    let steps = args.get_u64("steps", if quick { 200_000 } else { 4_000_000 });
+    let seed = args.get_u64("seed", 7);
+
+    let lambdas = [1.0, 1.5, 2.0, 2.17, 2.5, 2.8, 3.0, 3.2, 3.414, 4.0, 5.0, 6.0];
+
+    println!("# E6 — phase behavior across λ");
+    println!("n = {n}, {steps} iterations per λ, tail-averaged over the final 25%");
+    println!(
+        "proved: expansion for λ < {:.3}, compression for λ > {:.3}\n",
+        LAMBDA_EXPANSION, LAMBDA_COMPRESSION
+    );
+
+    // One worker thread per λ (independent chains — embarrassingly parallel).
+    let results: Vec<LambdaResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = lambdas
+            .iter()
+            .enumerate()
+            .map(|(i, &lambda)| {
+                scope.spawn(move || run_lambda(n, lambda, steps, seed + i as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    let mut table = Table::new(["λ", "regime", "α = p/pmin", "β = p/pmax", "perimeter trend"]);
+    for r in &results {
+        let regime = if r.lambda < LAMBDA_EXPANSION {
+            "expansion (proved)"
+        } else if r.lambda > LAMBDA_COMPRESSION {
+            "compression (proved)"
+        } else {
+            "open window"
+        };
+        table.row([
+            fmt_f64(r.lambda, 3),
+            regime.to_string(),
+            fmt_f64(r.alpha, 2),
+            fmt_f64(r.beta, 3),
+            r.trend.clone(),
+        ]);
+    }
+    out::emit("phase_diagram", &table).expect("write results");
+
+    // Shape check matching the paper: proven-expanded λ keep β large;
+    // proven-compressed λ reach small α; the trend is monotone overall.
+    let beta_low = results
+        .iter()
+        .filter(|r| r.lambda <= 2.0)
+        .map(|r| r.beta)
+        .fold(f64::MAX, f64::min);
+    let alpha_high = results
+        .iter()
+        .filter(|r| r.lambda >= 4.0)
+        .map(|r| r.alpha)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nshape check: min β over λ ≤ 2 is {beta_low:.2} (paper: bounded away from 0);"
+    );
+    println!(
+        "             max α over λ ≥ 4 is {alpha_high:.2} (paper: O(1), approaching 1 for large λ)"
+    );
+}

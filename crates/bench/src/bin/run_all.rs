@@ -1,0 +1,68 @@
+//! Runs every experiment binary in sequence.
+//!
+//! With `--quick`, forwards the quick flag to each experiment — useful as a
+//! smoke test of the full harness:
+//!
+//! ```sh
+//! cargo run --release -p sops-bench --bin run_all -- --quick
+//! ```
+
+use std::process::Command;
+
+use sops_bench::Args;
+
+const EXPERIMENTS: [&str; 15] = [
+    "fig2_compression",
+    "fig10_expansion",
+    "fig3_property2",
+    "fig11_enumeration",
+    "table_thresholds",
+    "table_geometry",
+    "phase_diagram",
+    "scaling_time",
+    "stationary_exact",
+    "invariants",
+    "connective_constant",
+    "fault_tolerance",
+    "local_vs_chain",
+    "ergodicity_check",
+    "mixing_diagnostics",
+];
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let this = std::env::current_exe().expect("own path");
+    let bin_dir = this.parent().expect("bin directory");
+
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS.iter().chain(std::iter::once(&"ablation")) {
+        println!("\n════════════════════════════════════════════════════════════");
+        println!("▶ {name}{}", if quick { " --quick" } else { "" });
+        println!("════════════════════════════════════════════════════════════");
+        let mut cmd = Command::new(bin_dir.join(name));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("✗ {name} exited with {status}");
+                failures.push(name.to_string());
+            }
+            Err(err) => {
+                eprintln!("✗ {name} failed to launch: {err}");
+                eprintln!("  (build all binaries first: cargo build --release -p sops-bench)");
+                failures.push(name.to_string());
+            }
+        }
+    }
+
+    println!("\n════════════════════════════════════════════════════════════");
+    if failures.is_empty() {
+        println!("all {} experiments completed; artifacts in results/", EXPERIMENTS.len() + 1);
+    } else {
+        println!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}

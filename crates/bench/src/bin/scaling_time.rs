@@ -1,0 +1,103 @@
+//! E7 — Section 3.7: iterations to compression scale like n^3…n^4.
+//!
+//! The paper reports that "doubling the number of particles consistently
+//! results in about a ten-fold increase in iterations until compression",
+//! and conjectures the iteration count is Ω(n³) and O(n⁴) (≈ n^3.3 for a
+//! ten-fold-per-doubling law). This binary measures first-hit times to
+//! α-compression for a doubling ladder of n, fits the power law, and
+//! reports the ratio between consecutive sizes.
+//!
+//! ```sh
+//! cargo run --release -p sops-bench --bin scaling_time
+//! cargo run --release -p sops-bench --bin scaling_time -- --quick
+//! ```
+
+use sops::analysis::stats::Summary;
+use sops::analysis::table::{fmt_f64, Table};
+use sops::analysis::LinearFit;
+use sops::prelude::*;
+use sops_bench::{out, Args};
+
+fn first_hit(n: usize, lambda: f64, alpha: f64, max_steps: u64, seed: u64) -> Option<u64> {
+    let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
+    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("valid parameters");
+    chain.run_until_compressed(alpha, max_steps)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let quick = args.flag("quick");
+    let lambda = args.get_f64("lambda", 4.0);
+    let alpha = args.get_f64("alpha", 2.0);
+    let reps = args.get_u64("reps", if quick { 2 } else { 5 });
+    let sizes: Vec<usize> = if quick {
+        vec![12, 25, 50]
+    } else {
+        vec![25, 50, 100, 200]
+    };
+    let max_steps = args.get_u64("max-steps", if quick { 20_000_000 } else { 400_000_000 });
+
+    println!("# E7 / Section 3.7 — iterations until α-compression");
+    println!("λ = {lambda}, target α = {alpha}, {reps} repetitions per n\n");
+
+    // Parallel over (n, repetition) pairs.
+    let jobs: Vec<(usize, u64)> = sizes
+        .iter()
+        .flat_map(|&n| (0..reps).map(move |r| (n, r)))
+        .collect();
+    let hits: Vec<(usize, Option<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|&(n, r)| {
+                scope.spawn(move || (n, first_hit(n, lambda, alpha, max_steps, 1000 + r)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+    });
+
+    let mut table = Table::new(["n", "median iterations", "mean", "min", "max", "×prev"]);
+    let mut medians: Vec<(f64, f64)> = Vec::new();
+    let mut prev_median: Option<f64> = None;
+    for &n in &sizes {
+        let times: Vec<f64> = hits
+            .iter()
+            .filter(|(hn, hit)| *hn == n && hit.is_some())
+            .map(|(_, hit)| hit.expect("filtered") as f64)
+            .collect();
+        if times.is_empty() {
+            table.row([n.to_string(), "> max-steps".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        }
+        let summary = Summary::of(&times);
+        let ratio = prev_median
+            .map(|p| fmt_f64(summary.median / p, 1))
+            .unwrap_or_else(|| "-".to_string());
+        table.row([
+            n.to_string(),
+            fmt_f64(summary.median, 0),
+            fmt_f64(summary.mean, 0),
+            fmt_f64(summary.min, 0),
+            fmt_f64(summary.max, 0),
+            ratio,
+        ]);
+        medians.push((n as f64, summary.median));
+        prev_median = Some(summary.median);
+    }
+    out::emit("scaling_time", &table).expect("write results");
+
+    if medians.len() >= 3 {
+        let xs: Vec<f64> = medians.iter().map(|&(n, _)| n).collect();
+        let ys: Vec<f64> = medians.iter().map(|&(_, t)| t).collect();
+        let fit = LinearFit::fit_power_law(&xs, &ys);
+        println!(
+            "\npower-law fit: iterations ≈ {:.3} · n^{:.2}  (R² = {:.3})",
+            fit.intercept.exp(),
+            fit.slope,
+            fit.r_squared
+        );
+        println!(
+            "paper's claim: exponent in [3, 4] (ten-fold per doubling ⇒ ≈ 3.32); measured {:.2}",
+            fit.slope
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! E5 — the paper's threshold constants and guarantee curves.
+//!
+//! Tabulates the named constants (√2, (2·N₅₀)^(1/100) ≈ 2.17, 2+√2 ≈ 3.414,
+//! the connective constant √(2+√2)) and the guarantee functions: α(λ) of
+//! Corollary 4.6 (compression quality as a function of bias) and β(λ) of
+//! Corollaries 5.3/5.8 (expansion strength).
+//!
+//! ```sh
+//! cargo run --release -p sops-bench --bin table_thresholds
+//! ```
+
+use sops::analysis::table::{fmt_f64, Table};
+use sops::enumerate::{bounds, saw};
+use sops_bench::out;
+
+fn main() {
+    println!("# E5 — threshold constants and guarantee curves\n");
+
+    let mut constants = Table::new(["constant", "value", "role (paper reference)"]);
+    constants.row([
+        "√2".to_string(),
+        fmt_f64(bounds::lambda_expansion_threshold_simple(), 6),
+        "expansion for λ < √2, all λ (Corollary 5.3)".to_string(),
+    ]);
+    constants.row([
+        "(2·N₅₀)^(1/100)".to_string(),
+        fmt_f64(bounds::lambda_expansion_threshold(), 6),
+        "expansion for λ < 2.17 (Lemma 5.6, Theorem 5.7)".to_string(),
+    ]);
+    constants.row([
+        "2+√2".to_string(),
+        fmt_f64(bounds::lambda_compression_threshold(), 6),
+        "compression for λ > 2+√2 (Theorem 4.5)".to_string(),
+    ]);
+    constants.row([
+        "μ_hex = √(2+√2)".to_string(),
+        fmt_f64(saw::connective_constant(), 6),
+        "connective constant of the hexagonal lattice (Theorem 4.2)".to_string(),
+    ]);
+    constants.row([
+        "N₅₀".to_string(),
+        bounds::N50.to_string(),
+        "benzenoids with 50 cells (Lemma 5.5, Jensen)".to_string(),
+    ]);
+    out::emit("table_thresholds_constants", &constants).expect("write results");
+
+    println!("\nα(λ): guaranteed compression ratio (Corollary 4.6)");
+    let mut alphas = Table::new(["λ", "guaranteed α", "equivalently: λ needed for this α"]);
+    for lambda in [3.5, 4.0, 5.0, 6.0, 8.0, 12.0, 20.0] {
+        let alpha = bounds::min_alpha(lambda).expect("above threshold");
+        alphas.row([
+            fmt_f64(lambda, 2),
+            fmt_f64(alpha, 4),
+            fmt_f64(bounds::min_lambda_for_alpha(alpha), 4),
+        ]);
+    }
+    out::emit("table_thresholds_alpha", &alphas).expect("write results");
+
+    println!("\nβ(λ): guaranteed expansion fraction (Corollaries 5.3/5.8)");
+    let mut betas = Table::new(["λ", "guaranteed β", "regime"]);
+    for lambda in [0.25, 0.5, 0.9, 1.0, 1.3, 1.6, 2.0, 2.1] {
+        let beta = bounds::max_beta(lambda).expect("below threshold");
+        let regime = if lambda < 1.0 {
+            "Corollary 5.3 (x = √2)"
+        } else {
+            "Theorem 5.7 (x = 2.17)"
+        };
+        betas.row([fmt_f64(lambda, 2), fmt_f64(beta, 4), regime.to_string()]);
+    }
+    out::emit("table_thresholds_beta", &betas).expect("write results");
+
+    println!(
+        "\nopen window (Section 6): the conjectured phase transition λc lies in [{:.4}, {:.4}]",
+        bounds::lambda_expansion_threshold(),
+        bounds::lambda_compression_threshold()
+    );
+}

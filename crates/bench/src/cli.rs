@@ -1,0 +1,139 @@
+//! A minimal `--key value` argument parser for experiment binaries.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line arguments: `--key value` pairs plus bare flags.
+///
+/// # Example
+///
+/// ```
+/// use sops_bench::Args;
+///
+/// let args = Args::from_iter(["--n", "100", "--quick"].map(String::from));
+/// assert_eq!(args.get_usize("n", 50), 100);
+/// assert!(args.flag("quick"));
+/// assert_eq!(args.get_f64("lambda", 4.0), 4.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments (skipping the binary name).
+    #[must_use]
+    pub fn from_env() -> Args {
+        Args::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator of argument strings.
+    ///
+    /// Not the `FromIterator` trait method: this performs flag parsing, not
+    /// collection, and is deliberately an inherent constructor.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Args {
+        let mut parsed = Args::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked");
+                    parsed.values.insert(key.to_string(), value);
+                }
+                _ => parsed.flags.push(key.to_string()),
+            }
+        }
+        parsed
+    }
+
+    /// Whether a bare flag like `--quick` was passed.
+    #[must_use]
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// A `usize` value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    #[must_use]
+    pub fn get_usize(&self, name: &str, default: usize) -> usize {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// A `u64` value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    #[must_use]
+    pub fn get_u64(&self, name: &str, default: u64) -> u64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    /// A string value, if present.
+    #[must_use]
+    pub fn get_string(&self, name: &str) -> Option<String> {
+        self.values.get(name).cloned()
+    }
+
+    /// An `f64` value with a default.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse.
+    #[must_use]
+    pub fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.values
+            .get(name)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number")))
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_args() {
+        let args = Args::from_iter(
+            ["--steps", "1000", "--quick", "--lambda", "2.5"].map(String::from),
+        );
+        assert_eq!(args.get_u64("steps", 1), 1000);
+        assert!((args.get_f64("lambda", 0.0) - 2.5).abs() < 1e-12);
+        assert!(args.flag("quick"));
+        assert!(!args.flag("verbose"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let args = Args::from_iter(std::iter::empty());
+        assert_eq!(args.get_usize("n", 42), 42);
+    }
+
+    #[test]
+    fn trailing_flag_is_a_flag() {
+        let args = Args::from_iter(["--quick"].map(String::from));
+        assert!(args.flag("quick"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_value_panics() {
+        let args = Args::from_iter(["--n", "abc"].map(String::from));
+        let _ = args.get_usize("n", 0);
+    }
+}

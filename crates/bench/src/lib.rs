@@ -1,0 +1,17 @@
+//! Shared infrastructure for the experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the experiment index E1–E13). This library provides
+//! the tiny pieces they share: a flag parser, a results directory, and the
+//! *ablation chain* — a deliberately weakened variant of Markov chain `M`
+//! used to demonstrate why the paper's move conditions are necessary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod cli;
+pub mod out;
+
+/// Re-export so binaries only need `sops_bench` and `sops`.
+pub use cli::Args;

@@ -1,0 +1,97 @@
+//! Experiment output: a `results/` directory with CSV and text artifacts.
+
+use std::io;
+use std::path::PathBuf;
+
+use sops::analysis::table::Table;
+
+/// The results directory (created on demand): `results/` under the current
+/// working directory, overridable with the `SOPS_RESULTS_DIR` environment
+/// variable.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var_os("SOPS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Prints a table to stdout (Markdown) and writes it as CSV under
+/// `results/<name>.csv`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the CSV.
+pub fn emit(name: &str, table: &Table) -> io::Result<PathBuf> {
+    print!("{}", table.to_markdown());
+    let path = results_dir().join(format!("{name}.csv"));
+    table.write_csv(&path)?;
+    println!("(csv: {})", path.display());
+    Ok(path)
+}
+
+/// Writes a text artifact (e.g. an ASCII rendering) under `results/`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_text(name: &str, content: &str) -> io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Writes an SVG artifact under `results/`.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_svg(name: &str, sys: &sops::system::ParticleSystem) -> io::Result<PathBuf> {
+    let path = results_dir().join(name);
+    sops::render::svg::write_svg(sys, &path)?;
+    Ok(path)
+}
+
+/// Joins a path under the results dir (without creating the file).
+#[must_use]
+pub fn path(name: &str) -> PathBuf {
+    results_dir().join(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_created() {
+        let tmp = std::env::temp_dir().join("sops_results_test");
+        std::env::set_var("SOPS_RESULTS_DIR", &tmp);
+        let dir = results_dir();
+        assert!(dir.exists());
+        std::env::remove_var("SOPS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn emit_writes_csv() {
+        let tmp = std::env::temp_dir().join("sops_results_emit");
+        std::env::set_var("SOPS_RESULTS_DIR", &tmp);
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        let path = emit("unit_test_table", &t).unwrap();
+        assert!(path.exists());
+        std::env::remove_var("SOPS_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(&tmp);
+    }
+
+    #[test]
+    fn path_does_not_create_file() {
+        let p = path("nonexistent_artifact.txt");
+        assert!(!p.exists() || p.is_file());
+    }
+}

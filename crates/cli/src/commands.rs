@@ -1,0 +1,69 @@
+//! Shared helpers for the CLI subcommands.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::prelude::*;
+use sops_bench::Args;
+
+/// Builds the starting configuration from `--shape` (default: line).
+///
+/// Shapes: `line`, `spiral`, `hexagon` (radius derived from n), `annulus`
+/// (radius from `--radius`, default 3), `lshape`, `random` (Eden growth,
+/// seeded), `witness` (the Figure-3 configuration; ignores `--n`).
+pub fn build_shape(args: &Args, n: usize, seed: u64) -> ParticleSystem {
+    let shape = args.get_string("shape").unwrap_or_else(|| "line".into());
+    let points = match shape.as_str() {
+        "line" => shapes::line(n),
+        "spiral" => shapes::spiral(n),
+        "hexagon" => {
+            // Smallest radius whose ball holds at least n cells; then trim.
+            let mut r = 0u32;
+            while 3 * (r as usize) * (r as usize + 1) + 1 < n {
+                r += 1;
+            }
+            let mut cells = shapes::spiral(n);
+            cells.truncate(n);
+            let _ = r;
+            cells
+        }
+        "annulus" => shapes::annulus(args.get_usize("radius", 3) as u32),
+        "lshape" => shapes::l_shape(n / 2 + n % 2, n / 2 + 1),
+        "random" => shapes::random_connected(n, &mut StdRng::seed_from_u64(seed ^ 0x5eed)),
+        "witness" => shapes::figure3_witness(),
+        other => {
+            eprintln!("unknown shape: {other} (try line|spiral|annulus|lshape|random|witness)");
+            std::process::exit(2);
+        }
+    };
+    match ParticleSystem::connected(points) {
+        Ok(sys) => sys,
+        Err(err) => {
+            eprintln!("invalid shape: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Prints the top-level usage text.
+pub fn print_usage() {
+    println!(
+        "sops-cli — compression in self-organizing particle systems
+
+USAGE:
+  sops-cli <command> [--key value]...
+
+COMMANDS:
+  simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
+  local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
+  enumerate  exact configuration counts  --max-n
+  saw        self-avoiding walk counts   --max-len
+  render     draw a shape                --shape --n --seed --svg
+  witness    show the Figure-3 witness configuration
+  help       this text
+
+EXAMPLES:
+  sops-cli simulate --n 100 --lambda 4 --steps 5000000 --svg compressed.svg
+  sops-cli local --n 64 --lambda 2 --rounds 20000
+  sops-cli render --shape annulus --radius 4"
+    );
+}

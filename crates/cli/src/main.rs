@@ -1,0 +1,179 @@
+//! `sops-cli` — run compression simulations from the command line.
+//!
+//! ```text
+//! sops-cli simulate --n 100 --lambda 4 --steps 1000000 [--shape line|spiral|annulus|random]
+//!                   [--seed S] [--svg out.svg] [--every K]
+//! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S]
+//! sops-cli enumerate --max-n 9
+//! sops-cli saw      --max-len 20
+//! sops-cli render   --shape spiral --n 50 [--svg out.svg]
+//! sops-cli witness
+//! ```
+
+use sops::analysis::table::{fmt_f64, Table};
+use sops::enumerate::{polyhex, saw};
+use sops::prelude::*;
+use sops::render::{ascii, svg};
+use sops_bench::Args;
+
+mod commands;
+
+use commands::{build_shape, print_usage};
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(command) = argv.next() else {
+        print_usage();
+        std::process::exit(2);
+    };
+    let args = Args::from_iter(argv);
+    match command.as_str() {
+        "simulate" => simulate(&args),
+        "local" => local(&args),
+        "enumerate" => enumerate(&args),
+        "saw" => saw_counts(&args),
+        "render" => render(&args),
+        "witness" => witness(),
+        "help" | "--help" | "-h" => print_usage(),
+        other => {
+            eprintln!("unknown command: {other}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+}
+
+fn simulate(args: &Args) {
+    let n = args.get_usize("n", 100);
+    let lambda = args.get_f64("lambda", 4.0);
+    let steps = args.get_u64("steps", 1_000_000);
+    let seed = args.get_u64("seed", 0);
+    let every = args.get_u64("every", steps / 10);
+    let start = build_shape(args, n, seed);
+
+    println!(
+        "chain M: n = {n}, λ = {lambda}, {steps} steps, seed {seed} (pmin = {}, pmax = {})",
+        metrics::pmin(n),
+        metrics::pmax(n)
+    );
+    let mut chain = match CompressionChain::from_seed(start, lambda, seed) {
+        Ok(chain) => chain,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = Table::new(["step", "edges", "perimeter", "alpha", "beta", "holes"]);
+    for point in chain.trajectory(steps, every) {
+        table.row([
+            point.step.to_string(),
+            point.edges.to_string(),
+            point.perimeter.to_string(),
+            fmt_f64(point.alpha, 3),
+            fmt_f64(point.beta, 3),
+            point.holes.to_string(),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    println!("\nfinal: {}", ascii::summary(chain.system()));
+    println!(
+        "acceptance rate {:.3}",
+        chain.counts().acceptance_rate()
+    );
+    maybe_svg(args, chain.system());
+}
+
+fn local(args: &Args) {
+    let n = args.get_usize("n", 100);
+    let lambda = args.get_f64("lambda", 4.0);
+    let rounds = args.get_u64("rounds", 10_000);
+    let seed = args.get_u64("seed", 0);
+    let start = build_shape(args, n, seed);
+
+    println!("local algorithm A: n = {n}, λ = {lambda}, {rounds} rounds, seed {seed}");
+    let mut runner = match LocalRunner::from_seed(&start, lambda, seed) {
+        Ok(runner) => runner,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = Table::new(["round", "perimeter", "alpha", "moves", "activations"]);
+    let chunk = (rounds / 10).max(1);
+    let mut done = 0;
+    while done < rounds {
+        runner.run_rounds(chunk.min(rounds - done));
+        done = runner.rounds();
+        let tails = runner.tail_system();
+        table.row([
+            runner.rounds().to_string(),
+            tails.perimeter().to_string(),
+            fmt_f64(metrics::compression_ratio(&tails), 3),
+            runner.moves_completed().to_string(),
+            runner.activations().to_string(),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    let tails = runner.tail_system();
+    println!("\nfinal: {}", ascii::summary(&tails));
+    maybe_svg(args, &tails);
+}
+
+fn enumerate(args: &Args) {
+    let max_n = args.get_usize("max-n", 9);
+    let all = polyhex::count_connected_up_to(max_n);
+    let mut table = Table::new(["n", "connected", "hole-free"]);
+    for (n, &count) in all.iter().enumerate().skip(1) {
+        table.row([
+            n.to_string(),
+            count.to_string(),
+            polyhex::count_hole_free(n).to_string(),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+}
+
+fn saw_counts(args: &Args) {
+    let max_len = args.get_usize("max-len", 20);
+    let counts = saw::count_walks_up_to(max_len);
+    let mut table = Table::new(["l", "N_l", "N_l^(1/l)"]);
+    for (l, &count) in counts.iter().enumerate().skip(1) {
+        table.row([
+            l.to_string(),
+            count.to_string(),
+            fmt_f64((count as f64).powf(1.0 / l as f64), 5),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    println!(
+        "\nconnective constant μ = √(2+√2) = {:.6}",
+        saw::connective_constant()
+    );
+}
+
+fn render(args: &Args) {
+    let n = args.get_usize("n", 50);
+    let seed = args.get_u64("seed", 0);
+    let sys = build_shape(args, n, seed);
+    println!("{}", ascii::summary(&sys));
+    println!("{}", ascii::render(&sys));
+    maybe_svg(args, &sys);
+}
+
+fn witness() {
+    let sys = ParticleSystem::connected(shapes::figure3_witness()).expect("witness");
+    println!(
+        "Figure-3 witness: {} — no valid Property-1 move, Property-2 moves only",
+        ascii::summary(&sys)
+    );
+    println!("{}", ascii::render(&sys));
+}
+
+fn maybe_svg(args: &Args, sys: &ParticleSystem) {
+    if let Some(path) = args.get_string("svg") {
+        match svg::write_svg(sys, &path) {
+            Ok(()) => println!("svg written to {path}"),
+            Err(err) => eprintln!("failed to write {path}: {err}"),
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! The Markov chain `M` for compression (Algorithm `M`, Section 3.1).
+//!
+//! One step of `M`, starting from a connected configuration of `n`
+//! contracted particles:
+//!
+//! 1. Select a particle `P` uniformly at random; let `ℓ` be its location.
+//! 2. Choose a neighboring location `ℓ′` and `q ∈ (0, 1)` uniformly.
+//! 3. If `ℓ′` is unoccupied, `P` moves to `ℓ′` iff (1) `e ≠ 5`, (2) `(ℓ, ℓ′)`
+//!    satisfies Property 1 or Property 2, and (3) `q < λ^(e′−e)`.
+//!
+//! The chain keeps the system connected (Lemma 3.1), eventually eliminates
+//! holes and never re-creates them (Lemmas 3.2 and 3.8), is eventually
+//! ergodic on the hole-free space `Ω*` (Corollary 3.11), and converges to
+//! `π(σ) = λ^{e(σ)}/Z` (Lemma 3.13). For `λ > 2 + √2` the stationary
+//! distribution is α-compressed with all but exponentially small probability
+//! (Theorem 4.5); for `λ < 2.17` it is β-expanded (Theorem 5.7).
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops_lattice::Direction;
+use sops_system::{metrics, ParticleSystem, SystemError};
+
+/// Errors from constructing a [`CompressionChain`].
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum ChainError {
+    /// The bias parameter must be finite and strictly positive.
+    InvalidLambda(f64),
+    /// The starting configuration must be connected (Section 3.1).
+    NotConnected,
+    /// The underlying configuration was invalid.
+    System(SystemError),
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::InvalidLambda(l) => {
+                write!(f, "bias parameter must be finite and positive, got {l}")
+            }
+            ChainError::NotConnected => write!(f, "starting configuration must be connected"),
+            ChainError::System(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChainError::System(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SystemError> for ChainError {
+    fn from(e: SystemError) -> ChainError {
+        ChainError::System(e)
+    }
+}
+
+/// The outcome of a single step of `M`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The particle moved to the chosen neighboring location.
+    Moved {
+        /// The particle that moved.
+        id: usize,
+        /// The direction it moved in.
+        dir: Direction,
+        /// The resulting change in the configuration edge count.
+        edge_delta: i32,
+    },
+    /// The chosen location was occupied; no move (Step 3 guard).
+    TargetOccupied,
+    /// The selected particle is crashed and cannot act (Section 3.3).
+    CrashedParticle,
+    /// Condition (1) failed: the particle has five neighbors.
+    FiveNeighborBlocked,
+    /// Condition (2) failed: neither Property 1 nor Property 2 holds.
+    PropertyViolated,
+    /// Condition (3) failed: the Metropolis draw rejected the move.
+    MetropolisRejected,
+}
+
+/// Aggregate counts of step outcomes, for acceptance-rate diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepCounts {
+    /// Steps that moved a particle.
+    pub moved: u64,
+    /// Steps rejected because the target was occupied.
+    pub target_occupied: u64,
+    /// Steps rejected because the selected particle was crashed.
+    pub crashed: u64,
+    /// Steps rejected by the five-neighbor rule.
+    pub five_neighbor: u64,
+    /// Steps rejected because Properties 1/2 both failed.
+    pub property: u64,
+    /// Steps rejected by the Metropolis filter.
+    pub metropolis: u64,
+}
+
+impl StepCounts {
+    /// Total number of steps recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.moved
+            + self.target_occupied
+            + self.crashed
+            + self.five_neighbor
+            + self.property
+            + self.metropolis
+    }
+
+    /// Fraction of steps that moved a particle.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.moved as f64 / total as f64
+    }
+
+    fn record(&mut self, outcome: StepOutcome) {
+        match outcome {
+            StepOutcome::Moved { .. } => self.moved += 1,
+            StepOutcome::TargetOccupied => self.target_occupied += 1,
+            StepOutcome::CrashedParticle => self.crashed += 1,
+            StepOutcome::FiveNeighborBlocked => self.five_neighbor += 1,
+            StepOutcome::PropertyViolated => self.property += 1,
+            StepOutcome::MetropolisRejected => self.metropolis += 1,
+        }
+    }
+}
+
+/// A sampled point of a chain trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Chain step at which the sample was taken.
+    pub step: u64,
+    /// Configuration edge count `e(σ)`.
+    pub edges: u64,
+    /// Configuration perimeter `p(σ)`.
+    pub perimeter: u64,
+    /// Number of holes.
+    pub holes: usize,
+    /// Compression ratio `p / pmin` (∞ when `pmin = 0`).
+    pub alpha: f64,
+    /// Expansion ratio `p / pmax` (NaN when `pmax = 0`).
+    pub beta: f64,
+}
+
+/// The Markov chain `M`, biased by `λ` toward configurations with more edges.
+///
+/// Generic over the random source; the [`CompressionChain::from_seed`]
+/// convenience constructor uses a seeded [`StdRng`] for exact
+/// reproducibility.
+#[derive(Clone, Debug)]
+pub struct CompressionChain<R: Rng = StdRng> {
+    sys: ParticleSystem,
+    lambda: f64,
+    /// `lambda_pow[i]` = `λ^(i − 5)` for edge deltas in `[−5, 5]`.
+    lambda_pow: [f64; 11],
+    rng: R,
+    steps: u64,
+    counts: StepCounts,
+    hole_free: bool,
+    crashed: Vec<bool>,
+    crashed_count: usize,
+    validate: bool,
+}
+
+impl CompressionChain<StdRng> {
+    /// Builds a chain with a [`StdRng`] seeded from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompressionChain::new`].
+    pub fn from_seed(
+        sys: ParticleSystem,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<CompressionChain<StdRng>, ChainError> {
+        CompressionChain::new(sys, lambda, StdRng::seed_from_u64(seed))
+    }
+}
+
+impl<R: Rng> CompressionChain<R> {
+    /// Builds the chain from a connected starting configuration `σ₀` and
+    /// bias `λ`.
+    ///
+    /// `λ > 1` biases particles toward having more neighbors; the paper's
+    /// main results require `λ > 2 + √2` for compression and show
+    /// `0 < λ < 2.17` yields expansion instead. Any finite positive `λ` is
+    /// accepted.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] for non-finite or non-positive `λ`,
+    /// [`ChainError::NotConnected`] for a disconnected start.
+    pub fn new(sys: ParticleSystem, lambda: f64, rng: R) -> Result<CompressionChain<R>, ChainError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ChainError::InvalidLambda(lambda));
+        }
+        if !sys.is_connected() {
+            return Err(ChainError::NotConnected);
+        }
+        let mut lambda_pow = [0.0; 11];
+        for (i, slot) in lambda_pow.iter_mut().enumerate() {
+            *slot = lambda.powi(i as i32 - 5);
+        }
+        let hole_free = sys.hole_count() == 0;
+        let n = sys.len();
+        Ok(CompressionChain {
+            sys,
+            lambda,
+            lambda_pow,
+            rng,
+            steps: 0,
+            counts: StepCounts::default(),
+            hole_free,
+            crashed: vec![false; n],
+            crashed_count: 0,
+            validate: false,
+        })
+    }
+
+    /// The bias parameter `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn system(&self) -> &ParticleSystem {
+        &self.sys
+    }
+
+    /// Consumes the chain and returns the final configuration.
+    #[must_use]
+    pub fn into_system(self) -> ParticleSystem {
+        self.sys
+    }
+
+    /// Number of steps executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Outcome counts since construction.
+    #[must_use]
+    pub fn counts(&self) -> StepCounts {
+        self.counts
+    }
+
+    /// Enables per-move invariant validation (connectivity and
+    /// hole-freeness re-checked after every accepted move). Expensive;
+    /// intended for tests and the invariant experiment (E9).
+    pub fn set_validation(&mut self, enabled: bool) {
+        self.validate = enabled;
+    }
+
+    /// Marks a particle as crashed: it stays in place forever and acts as a
+    /// fixed obstacle (Section 3.3). Returns the previous crash state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn crash(&mut self, id: usize) -> bool {
+        let was = self.crashed[id];
+        if !was {
+            self.crashed[id] = true;
+            self.crashed_count += 1;
+        }
+        was
+    }
+
+    /// Number of crashed particles.
+    #[must_use]
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_count
+    }
+
+    /// `true` once the configuration is hole-free; monotone by Lemma 3.2.
+    ///
+    /// Lazily recomputed (flood fill) while holes remain.
+    pub fn is_hole_free(&mut self) -> bool {
+        if !self.hole_free && self.sys.hole_count() == 0 {
+            self.hole_free = true;
+        }
+        self.hole_free
+    }
+
+    /// The current perimeter `p(σ)`.
+    ///
+    /// O(1) once the chain has reached the hole-free space `Ω*`.
+    #[must_use = "perimeter is a measurement; ignoring it wastes a flood fill"]
+    pub fn perimeter(&mut self) -> u64 {
+        if self.is_hole_free() {
+            self.sys.perimeter_with_holes(0)
+        } else {
+            self.sys.perimeter()
+        }
+    }
+
+    /// Executes one step of `M` (Algorithm `M`, Steps 1–8).
+    pub fn step(&mut self) -> StepOutcome {
+        self.steps += 1;
+        let n = self.sys.len();
+        // Step 1: uniform particle.
+        let id = self.rng.gen_range(0..n);
+        // Step 2: uniform neighboring location and uniform q ∈ (0, 1).
+        // (q is drawn lazily below; the acceptance law is identical.)
+        let dir = Direction::from_index(self.rng.gen_range(0..6usize));
+        let outcome = self.try_move(id, dir);
+        self.counts.record(outcome);
+        outcome
+    }
+
+    fn try_move(&mut self, id: usize, dir: Direction) -> StepOutcome {
+        if self.crashed[id] {
+            return StepOutcome::CrashedParticle;
+        }
+        let from = self.sys.position(id);
+        let validity = self.sys.check_move(from, dir);
+        if validity.target_occupied {
+            return StepOutcome::TargetOccupied;
+        }
+        if validity.five_neighbor_blocked() {
+            return StepOutcome::FiveNeighborBlocked;
+        }
+        if !(validity.property1 || validity.property2) {
+            return StepOutcome::PropertyViolated;
+        }
+        // Condition (3): Metropolis filter with probability min(1, λ^(e′−e)).
+        let delta = validity.edge_delta();
+        let threshold = self.lambda_pow[(delta + 5) as usize];
+        if threshold < 1.0 {
+            let q: f64 = self.rng.gen();
+            if q >= threshold {
+                return StepOutcome::MetropolisRejected;
+            }
+        }
+        self.sys
+            .move_particle(id, dir)
+            .expect("validated move must apply");
+        if self.validate {
+            assert!(self.sys.is_connected(), "Lemma 3.1 violated: disconnected");
+            if self.hole_free {
+                assert_eq!(self.sys.hole_count(), 0, "Lemma 3.2 violated: hole");
+            }
+        }
+        StepOutcome::Moved {
+            id,
+            dir,
+            edge_delta: delta,
+        }
+    }
+
+    /// Runs `steps` steps and returns the number of accepted moves.
+    pub fn run(&mut self, steps: u64) -> u64 {
+        let before = self.counts.moved;
+        for _ in 0..steps {
+            self.step();
+        }
+        self.counts.moved - before
+    }
+
+    /// Runs until the configuration is α-compressed (`p ≤ α · pmin`) or
+    /// `max_steps` elapse; returns the step count at first hit.
+    ///
+    /// Checks the perimeter every `n` steps (one expected activation per
+    /// particle).
+    pub fn run_until_compressed(&mut self, alpha: f64, max_steps: u64) -> Option<u64> {
+        let n = self.sys.len() as u64;
+        let target = alpha * metrics::pmin(self.sys.len()) as f64;
+        let check_every = n.max(1);
+        let start = self.steps;
+        loop {
+            if self.perimeter() as f64 <= target {
+                return Some(self.steps);
+            }
+            if self.steps - start >= max_steps {
+                return None;
+            }
+            for _ in 0..check_every {
+                self.step();
+            }
+        }
+    }
+
+    /// Samples the current trajectory point (perimeter, edges, ratios).
+    pub fn sample(&mut self) -> TrajectoryPoint {
+        let holes = if self.is_hole_free() {
+            0
+        } else {
+            self.sys.hole_count()
+        };
+        let perimeter = self.sys.perimeter_with_holes(holes as u64);
+        let n = self.sys.len();
+        TrajectoryPoint {
+            step: self.steps,
+            edges: self.sys.edge_count(),
+            perimeter,
+            holes,
+            alpha: if metrics::pmin(n) == 0 {
+                f64::INFINITY
+            } else {
+                perimeter as f64 / metrics::pmin(n) as f64
+            },
+            beta: if metrics::pmax(n) == 0 {
+                f64::NAN
+            } else {
+                perimeter as f64 / metrics::pmax(n) as f64
+            },
+        }
+    }
+
+    /// Runs the chain, sampling every `interval` steps, for `total` steps.
+    pub fn trajectory(&mut self, total: u64, interval: u64) -> Vec<TrajectoryPoint> {
+        let interval = interval.max(1);
+        let mut points = vec![self.sample()];
+        let mut done = 0u64;
+        while done < total {
+            let burst = interval.min(total - done);
+            self.run(burst);
+            done += burst;
+            points.push(self.sample());
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_system::shapes;
+
+    fn line_chain(n: usize, lambda: f64, seed: u64) -> CompressionChain {
+        let sys = ParticleSystem::connected(shapes::line(n)).unwrap();
+        CompressionChain::from_seed(sys, lambda, seed).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        let sys = ParticleSystem::connected(shapes::line(3)).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = CompressionChain::from_seed(sys.clone(), bad, 0).unwrap_err();
+            assert!(matches!(err, ChainError::InvalidLambda(_)), "{bad}");
+        }
+    }
+
+    #[test]
+    fn rejects_disconnected_start() {
+        let sys = ParticleSystem::new([
+            sops_lattice::TriPoint::new(0, 0),
+            sops_lattice::TriPoint::new(9, 9),
+        ])
+        .unwrap();
+        let err = CompressionChain::from_seed(sys, 2.0, 0).unwrap_err();
+        assert_eq!(err, ChainError::NotConnected);
+    }
+
+    #[test]
+    fn steps_are_counted_and_reproducible() {
+        let mut a = line_chain(10, 4.0, 42);
+        let mut b = line_chain(10, 4.0, 42);
+        a.run(5000);
+        b.run(5000);
+        assert_eq!(a.steps(), 5000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.system().canonical_key(), b.system().canonical_key());
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = line_chain(10, 4.0, 1);
+        let mut b = line_chain(10, 4.0, 2);
+        a.run(5000);
+        b.run(5000);
+        // Overwhelmingly likely to differ.
+        assert_ne!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn invariants_hold_with_validation() {
+        let mut chain = line_chain(12, 4.0, 7);
+        chain.set_validation(true);
+        chain.run(20_000);
+        chain.system().assert_invariants();
+        assert!(chain.system().is_connected());
+        assert!(chain.is_hole_free());
+    }
+
+    #[test]
+    fn compression_happens_at_high_lambda() {
+        let mut chain = line_chain(20, 5.0, 3);
+        chain.run(200_000);
+        let p = chain.perimeter();
+        assert!(
+            p <= 2 * metrics::pmin(20),
+            "perimeter {p} should approach pmin = {}",
+            metrics::pmin(20)
+        );
+    }
+
+    #[test]
+    fn hole_elimination_from_annulus() {
+        let sys = ParticleSystem::connected(shapes::annulus(3)).unwrap();
+        let mut chain = CompressionChain::from_seed(sys, 4.0, 9).unwrap();
+        assert!(!chain.is_hole_free());
+        chain.run(200_000);
+        assert!(chain.is_hole_free(), "holes must eventually vanish");
+        // After elimination the perimeter formula is consistent with a full
+        // hole analysis.
+        assert_eq!(chain.perimeter(), chain.system().perimeter());
+    }
+
+    #[test]
+    fn crashed_particles_never_move() {
+        let mut chain = line_chain(10, 4.0, 5);
+        let frozen = chain.system().position(0);
+        chain.crash(0);
+        assert!(chain.crash(0), "second crash reports prior state");
+        assert_eq!(chain.crashed_count(), 1);
+        chain.run(20_000);
+        assert_eq!(chain.system().position(0), frozen);
+        assert!(chain.counts().crashed > 0);
+    }
+
+    #[test]
+    fn run_until_compressed_reports_first_hit() {
+        let mut chain = line_chain(15, 6.0, 11);
+        let hit = chain.run_until_compressed(1.8, 2_000_000);
+        assert!(hit.is_some(), "λ=6 must compress a 15-particle line");
+        let p = chain.perimeter() as f64;
+        assert!(p <= 1.8 * metrics::pmin(15) as f64);
+    }
+
+    #[test]
+    fn trajectory_samples_are_monotone_in_step() {
+        let mut chain = line_chain(10, 2.0, 13);
+        let traj = chain.trajectory(1000, 100);
+        assert_eq!(traj.len(), 11);
+        for w in traj.windows(2) {
+            assert!(w[0].step < w[1].step);
+        }
+        // Perimeter and edges always satisfy the hole-free identity once
+        // hole-free (a line is hole-free from the start).
+        for pt in traj {
+            assert_eq!(pt.holes, 0);
+            assert_eq!(pt.edges, 3 * 10 - pt.perimeter - 3);
+        }
+    }
+
+    #[test]
+    fn acceptance_rate_is_sane() {
+        let mut chain = line_chain(10, 4.0, 17);
+        chain.run(10_000);
+        let rate = chain.counts().acceptance_rate();
+        assert!(rate > 0.0 && rate < 1.0, "rate {rate}");
+        assert_eq!(chain.counts().total(), 10_000);
+    }
+}

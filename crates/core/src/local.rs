@@ -1,0 +1,617 @@
+//! The local, distributed, asynchronous algorithm `A` (Section 3.2).
+//!
+//! Each particle runs the paper's Algorithm `A` independently:
+//!
+//! * **Contracted** at `ℓ`: pick a uniformly random neighboring location
+//!   `ℓ′`; if `ℓ′` is unoccupied and no neighbor is expanded, expand to
+//!   occupy both `ℓ` (tail) and `ℓ′` (head), then set `flag` to whether no
+//!   *other* expanded particle is adjacent to `ℓ` or `ℓ′`.
+//! * **Expanded** over `(ℓ, ℓ′)`: draw `q ∈ (0, 1)`; compute neighbor
+//!   counts `e`, `e′` over `N*(·)` — neighborhoods that *exclude heads* of
+//!   expanded particles — and contract to `ℓ′` iff `e ≠ 5`, the pair
+//!   satisfies Property 1 or 2 with respect to `N*`, `q < λ^(e′−e)`, and
+//!   `flag` is still true; otherwise contract back to `ℓ`.
+//!
+//! Activations are driven by independent Poisson clocks of rate 1 (Section
+//! 3.2): inter-activation delays are `Exp(1)`, which makes every particle
+//! equally likely to act next regardless of history, so the asynchronous
+//! execution emulates the uniform particle selection of Markov chain `M`.
+//! The runner is a discrete-event simulator with a future-event list; the
+//! sequentialization of atomic actions is exactly the standard asynchronous
+//! model argument of Section 2.1.
+//!
+//! The *configuration* of the system at any instant is the set of particle
+//! **tails** (heads are ignored; Section 2.2, footnote 2), exposed as
+//! [`LocalRunner::tail_system`].
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops_lattice::{Direction, PairRing, TriMap, TriPoint};
+use sops_system::{moves::MoveValidity, ParticleSystem};
+
+use crate::chain::ChainError;
+
+/// What happened during one particle activation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// A contracted particle expanded into an adjacent empty location.
+    Expanded {
+        /// The acting particle.
+        id: usize,
+        /// Whether its `flag` was set (no other expanded particle nearby).
+        flag: bool,
+    },
+    /// An expanded particle completed its move by contracting to its head.
+    ContractedForward {
+        /// The acting particle.
+        id: usize,
+    },
+    /// An expanded particle aborted its move by contracting to its tail.
+    ContractedBack {
+        /// The acting particle.
+        id: usize,
+    },
+    /// A contracted particle activated but could not expand (occupied
+    /// target or an expanded neighbor).
+    Idle {
+        /// The acting particle.
+        id: usize,
+    },
+    /// The activated particle has crashed; nothing happened and its clock
+    /// is not rescheduled.
+    Crashed {
+        /// The acting particle.
+        id: usize,
+    },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Event {
+    time: f64,
+    id: usize,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    id: usize,
+    is_head: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Particle {
+    tail: TriPoint,
+    head: Option<TriPoint>,
+    flag: bool,
+}
+
+/// Discrete-event simulator for the asynchronous local algorithm `A`.
+///
+/// # Example
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use sops_core::local::LocalRunner;
+/// use sops_system::{shapes, ParticleSystem};
+///
+/// let start = ParticleSystem::connected(shapes::line(12)).unwrap();
+/// let mut runner = LocalRunner::new(&start, 4.0, StdRng::seed_from_u64(5)).unwrap();
+/// runner.run_rounds(200);
+/// let tails = runner.tail_system();
+/// assert!(tails.is_connected());
+/// assert!(tails.perimeter() < 22); // compressed below the initial line's 22
+/// ```
+#[derive(Clone, Debug)]
+pub struct LocalRunner<R: Rng = StdRng> {
+    particles: Vec<Particle>,
+    occ: TriMap<TriPoint, Slot>,
+    queue: BinaryHeap<Event>,
+    time: f64,
+    lambda_pow: [f64; 11],
+    lambda: f64,
+    rng: R,
+    activations: u64,
+    moves_completed: u64,
+    rounds: u64,
+    activated_in_round: Vec<bool>,
+    remaining_in_round: usize,
+    crashed: Vec<bool>,
+    live: usize,
+}
+
+impl LocalRunner<StdRng> {
+    /// Builds a runner with a [`StdRng`] seeded from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocalRunner::new`].
+    pub fn from_seed(
+        start: &ParticleSystem,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<LocalRunner<StdRng>, ChainError> {
+        LocalRunner::new(start, lambda, StdRng::seed_from_u64(seed))
+    }
+}
+
+impl<R: Rng> LocalRunner<R> {
+    /// Creates the runner with all particles contracted at the positions of
+    /// `start`, which must be connected.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] or [`ChainError::NotConnected`].
+    pub fn new(start: &ParticleSystem, lambda: f64, mut rng: R) -> Result<LocalRunner<R>, ChainError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ChainError::InvalidLambda(lambda));
+        }
+        if !start.is_connected() {
+            return Err(ChainError::NotConnected);
+        }
+        let particles: Vec<Particle> = start
+            .positions()
+            .iter()
+            .map(|&tail| Particle {
+                tail,
+                head: None,
+                flag: false,
+            })
+            .collect();
+        let mut occ: TriMap<TriPoint, Slot> = TriMap::default();
+        for (id, p) in particles.iter().enumerate() {
+            occ.insert(p.tail, Slot { id, is_head: false });
+        }
+        let mut lambda_pow = [0.0; 11];
+        for (i, slot) in lambda_pow.iter_mut().enumerate() {
+            *slot = lambda.powi(i as i32 - 5);
+        }
+        let n = particles.len();
+        let mut queue = BinaryHeap::with_capacity(n);
+        for id in 0..n {
+            let delay = exp1(&mut rng);
+            queue.push(Event { time: delay, id });
+        }
+        Ok(LocalRunner {
+            particles,
+            occ,
+            queue,
+            time: 0.0,
+            lambda_pow,
+            lambda,
+            rng,
+            activations: 0,
+            moves_completed: 0,
+            rounds: 0,
+            activated_in_round: vec![false; n],
+            remaining_in_round: n,
+            crashed: vec![false; n],
+            live: n,
+        })
+    }
+
+    /// The bias parameter `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Simulated (continuous) time elapsed.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total particle activations processed.
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Completed moves (forward contractions).
+    #[must_use]
+    pub fn moves_completed(&self) -> u64 {
+        self.moves_completed
+    }
+
+    /// Completed asynchronous rounds: a round ends when every live particle
+    /// has been activated at least once since the round began (Section 2.1).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// `true` if the runner has no particles (constructors forbid this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Whether particle `id` is currently expanded.
+    #[must_use]
+    pub fn is_expanded(&self, id: usize) -> bool {
+        self.particles[id].head.is_some()
+    }
+
+    /// Crashes particle `id`: it never activates again (Section 3.3). If it
+    /// is expanded at crash time it remains expanded forever, obstructing
+    /// its neighborhood — the adversarial behavior the paper speculates
+    /// about for Byzantine particles.
+    pub fn crash(&mut self, id: usize) {
+        if !self.crashed[id] {
+            self.crashed[id] = true;
+            self.live -= 1;
+            // Round accounting ignores crashed particles from now on.
+            if !self.activated_in_round[id] {
+                self.remaining_in_round -= 1;
+                self.maybe_finish_round();
+            }
+        }
+    }
+
+    /// The configuration as defined by the paper: tails of all particles
+    /// (heads ignored; Section 2.2 footnote 2).
+    #[must_use]
+    pub fn tail_system(&self) -> ParticleSystem {
+        ParticleSystem::new(self.particles.iter().map(|p| p.tail))
+            .expect("tails are distinct by construction")
+    }
+
+    /// Processes the next activation event. Returns `None` when no events
+    /// remain (all particles crashed).
+    pub fn step(&mut self) -> Option<Activation> {
+        let event = self.queue.pop()?;
+        self.time = event.time;
+        let id = event.id;
+        if self.crashed[id] {
+            return Some(Activation::Crashed { id });
+        }
+        self.activations += 1;
+        let outcome = self.activate(id);
+        // Reschedule with a fresh Exp(1) delay.
+        let next = Event {
+            time: self.time + exp1(&mut self.rng),
+            id,
+        };
+        self.queue.push(next);
+        // Round bookkeeping.
+        if !self.activated_in_round[id] {
+            self.activated_in_round[id] = true;
+            self.remaining_in_round -= 1;
+            self.maybe_finish_round();
+        }
+        Some(outcome)
+    }
+
+    fn maybe_finish_round(&mut self) {
+        if self.remaining_in_round == 0 {
+            self.rounds += 1;
+            for (id, slot) in self.activated_in_round.iter_mut().enumerate() {
+                *slot = self.crashed[id];
+            }
+            self.remaining_in_round = self.live;
+            // A system with zero live particles completes no further rounds.
+            if self.live == 0 {
+                self.remaining_in_round = usize::MAX;
+            }
+        }
+    }
+
+    /// Runs `k` activations (or until no events remain).
+    pub fn run_activations(&mut self, k: u64) {
+        for _ in 0..k {
+            if self.step().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Runs until `r` more asynchronous rounds complete.
+    pub fn run_rounds(&mut self, r: u64) {
+        let target = self.rounds + r;
+        while self.rounds < target {
+            if self.step().is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Algorithm `A` for one activation of particle `id`.
+    fn activate(&mut self, id: usize) -> Activation {
+        let particle = self.particles[id];
+        match particle.head {
+            None => self.activate_contracted(id, particle.tail),
+            Some(head) => self.activate_expanded(id, particle.tail, head),
+        }
+    }
+
+    /// Steps 1–7 of Algorithm `A` (contracted phase).
+    fn activate_contracted(&mut self, id: usize, tail: TriPoint) -> Activation {
+        // Step 2: choose ℓ′ uniformly among the six neighbors.
+        let dir = Direction::from_index(self.rng.gen_range(0..6usize));
+        let target = tail + dir;
+        // Step 3: require ℓ′ unoccupied and no expanded neighbors of ℓ.
+        if self.occ.contains_key(&target) || self.has_expanded_neighbor(tail, id) {
+            return Activation::Idle { id };
+        }
+        // Step 4: expand.
+        self.occ.insert(target, Slot { id, is_head: true });
+        self.particles[id].head = Some(target);
+        // Steps 5–7: set the flag.
+        let flag = !self.has_expanded_neighbor(tail, id) && !self.has_expanded_neighbor(target, id);
+        self.particles[id].flag = flag;
+        Activation::Expanded { id, flag }
+    }
+
+    /// Steps 8–13 of Algorithm `A` (expanded phase).
+    fn activate_expanded(&mut self, id: usize, tail: TriPoint, head: TriPoint) -> Activation {
+        // Step 8: draw q.
+        let q: f64 = self.rng.gen();
+        // Steps 9–10: neighbor counts over N*(·), excluding heads (including
+        // the particle's own head) and the particle's own tail.
+        let dir = tail
+            .direction_to(head)
+            .expect("head is adjacent to tail by construction");
+        let ring = PairRing::new(tail, dir);
+        let mask = ring.occupancy_mask(|p| self.is_tail_of_other(p, id));
+        let validity = MoveValidity::from_mask(mask, false);
+        // Step 11: the four conditions.
+        let delta = validity.edge_delta();
+        let threshold = self.lambda_pow[(delta + 5) as usize];
+        let accept = !validity.five_neighbor_blocked()
+            && (validity.property1 || validity.property2)
+            && q < threshold
+            && self.particles[id].flag;
+        if accept {
+            // Step 12: contract to ℓ′.
+            self.occ.remove(&tail);
+            self.occ.insert(head, Slot { id, is_head: false });
+            self.particles[id].tail = head;
+            self.particles[id].head = None;
+            self.moves_completed += 1;
+            Activation::ContractedForward { id }
+        } else {
+            // Step 13: contract back to ℓ.
+            self.occ.remove(&head);
+            self.particles[id].head = None;
+            Activation::ContractedBack { id }
+        }
+    }
+
+    /// Does `p` have a neighbor site occupied by an expanded particle other
+    /// than `id` (at either that particle's head or tail)?
+    fn has_expanded_neighbor(&self, p: TriPoint, id: usize) -> bool {
+        p.neighbors().any(|q| {
+            self.occ
+                .get(&q)
+                .is_some_and(|slot| slot.id != id && self.particles[slot.id].head.is_some())
+        })
+    }
+
+    /// Is `p` occupied by a non-head slot of a particle other than `id`?
+    /// This realizes the paper's `N*(·)` neighborhoods.
+    fn is_tail_of_other(&self, p: TriPoint, id: usize) -> bool {
+        self.occ
+            .get(&p)
+            .is_some_and(|slot| slot.id != id && !slot.is_head)
+    }
+
+    /// Checks internal invariants (slot/particle agreement, tail
+    /// distinctness). Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant fails.
+    pub fn assert_invariants(&self) {
+        let mut slots = 0usize;
+        for (p, slot) in &self.occ {
+            let particle = &self.particles[slot.id];
+            if slot.is_head {
+                assert_eq!(particle.head, Some(*p), "head slot mismatch at {p}");
+            } else {
+                assert_eq!(particle.tail, *p, "tail slot mismatch at {p}");
+            }
+            slots += 1;
+        }
+        let expected: usize = self
+            .particles
+            .iter()
+            .map(|p| 1 + usize::from(p.head.is_some()))
+            .sum();
+        assert_eq!(slots, expected, "slot count mismatch");
+    }
+}
+
+/// Samples an `Exp(1)` delay by inversion.
+fn exp1(rng: &mut impl Rng) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_system::{metrics, shapes};
+
+    fn runner(n: usize, lambda: f64, seed: u64) -> LocalRunner {
+        let sys = ParticleSystem::connected(shapes::line(n)).unwrap();
+        LocalRunner::from_seed(&sys, lambda, seed).unwrap()
+    }
+
+    #[test]
+    fn exp1_is_positive_and_finite() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = exp1(&mut rng);
+            assert!(x.is_finite() && x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "Exp(1) mean ≈ 1, got {mean}");
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let sys = ParticleSystem::connected(shapes::line(4)).unwrap();
+        assert!(matches!(
+            LocalRunner::from_seed(&sys, -1.0, 0),
+            Err(ChainError::InvalidLambda(_))
+        ));
+        let disconnected = ParticleSystem::new([
+            sops_lattice::TriPoint::new(0, 0),
+            sops_lattice::TriPoint::new(8, 8),
+        ])
+        .unwrap();
+        assert!(matches!(
+            LocalRunner::from_seed(&disconnected, 2.0, 0),
+            Err(ChainError::NotConnected)
+        ));
+    }
+
+    #[test]
+    fn invariants_hold_along_execution() {
+        let mut r = runner(10, 4.0, 3);
+        for _ in 0..5_000 {
+            r.step();
+            if r.activations().is_multiple_of(500) {
+                r.assert_invariants();
+                assert!(r.tail_system().is_connected(), "tails disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_advance_and_time_is_monotone() {
+        let mut r = runner(8, 2.0, 5);
+        let mut last_time = 0.0;
+        for _ in 0..2_000 {
+            r.step();
+            assert!(r.time() >= last_time);
+            last_time = r.time();
+        }
+        assert!(r.rounds() > 0, "rounds must complete");
+        // With Poisson(1) clocks, a round takes Θ(log n) expected time; over
+        // 2000 activations of 8 particles we expect roughly 250 rounds.
+        let per_round = 2000.0 / r.rounds() as f64;
+        assert!(per_round >= 8.0, "a round needs ≥ n activations");
+    }
+
+    #[test]
+    fn compression_happens_via_local_algorithm() {
+        let mut r = runner(15, 5.0, 7);
+        r.run_rounds(3_000);
+        let tails = r.tail_system();
+        assert!(tails.is_connected());
+        let p = tails.perimeter();
+        assert!(
+            p < metrics::pmax(15) * 2 / 3,
+            "local algorithm should compress: p = {p}"
+        );
+        assert!(r.moves_completed() > 0);
+    }
+
+    #[test]
+    fn crashed_particles_freeze() {
+        let mut r = runner(6, 3.0, 11);
+        let frozen = r.tail_system().position(0);
+        r.crash(0);
+        r.run_activations(5_000);
+        assert_eq!(r.tail_system().position(0), frozen);
+        // The rest of the system still progresses.
+        assert!(r.activations() > 0);
+        assert!(r.rounds() > 0, "rounds still complete among live particles");
+    }
+
+    #[test]
+    fn all_crashed_stops_event_stream() {
+        let mut r = runner(3, 2.0, 13);
+        for id in 0..3 {
+            r.crash(id);
+        }
+        // Draining the queue yields only Crashed events, then None.
+        let mut crashed_events = 0;
+        while let Some(a) = r.step() {
+            assert!(matches!(a, Activation::Crashed { .. }));
+            crashed_events += 1;
+            assert!(crashed_events <= 3);
+        }
+        assert_eq!(r.activations(), 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = runner(9, 4.0, 21);
+        let mut b = runner(9, 4.0, 21);
+        a.run_activations(3_000);
+        b.run_activations(3_000);
+        assert_eq!(
+            a.tail_system().canonical_key(),
+            b.tail_system().canonical_key()
+        );
+        assert_eq!(a.moves_completed(), b.moves_completed());
+        assert!((a.time() - b.time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expanded_particles_block_neighbor_expansion() {
+        // Run a while and verify that no two adjacent particles are ever
+        // simultaneously expanded *with both flags set* — the serialization
+        // property the flag protocol guarantees (Section 3.2).
+        let mut r = runner(10, 3.0, 17);
+        for _ in 0..20_000 {
+            r.step();
+            let expanded: Vec<usize> = (0..r.len()).filter(|&i| r.is_expanded(i)).collect();
+            for &i in &expanded {
+                for &j in &expanded {
+                    if i >= j || !r.particles[i].flag || !r.particles[j].flag {
+                        continue;
+                    }
+                    // Flagged expanded particles must not be adjacent.
+                    let pi = [r.particles[i].tail, r.particles[i].head.unwrap()];
+                    let pj = [r.particles[j].tail, r.particles[j].head.unwrap()];
+                    for a in pi {
+                        for b in pj {
+                            assert!(
+                                !a.is_adjacent(b),
+                                "flagged expanded particles {i} and {j} adjacent"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the Markov chain and the local algorithm.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops_core::chain::{CompressionChain, StepOutcome};
+use sops_core::local::LocalRunner;
+use sops_system::{metrics, shapes, ParticleSystem};
+
+fn arb_start() -> impl Strategy<Value = ParticleSystem> {
+    (3usize..25, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ParticleSystem::connected(shapes::random_connected(n, &mut rng)).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever happens, the chain's bookkeeping stays coherent: edge count
+    /// matches a recount, outcome totals match the step count, positions and
+    /// occupancy agree.
+    #[test]
+    fn chain_bookkeeping_is_coherent(start in arb_start(), lambda_pct in 30u32..700, seed in any::<u64>()) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let mut chain = CompressionChain::from_seed(start, lambda, seed).unwrap();
+        chain.run(2_000);
+        prop_assert_eq!(chain.counts().total(), chain.steps());
+        chain.system().assert_invariants();
+    }
+
+    /// Accepted moves always had a structurally valid shape: replaying the
+    /// inverse move right after must also be structurally valid (Lemma 3.9
+    /// on hole-free states).
+    #[test]
+    fn accepted_moves_are_reversible(start in arb_start(), seed in any::<u64>()) {
+        prop_assume!(start.hole_count() == 0);
+        let mut chain = CompressionChain::from_seed(start, 2.0, seed).unwrap();
+        for _ in 0..500 {
+            if let StepOutcome::Moved { id, dir, .. } = chain.step() {
+                let back = chain
+                    .system()
+                    .check_move(chain.system().position(id), dir.opposite());
+                prop_assert!(back.is_structurally_valid());
+            }
+        }
+    }
+
+    /// λ = 1 accepts every structurally valid move (the Metropolis filter
+    /// never rejects), so no step outcome is MetropolisRejected.
+    #[test]
+    fn lambda_one_never_metropolis_rejects(start in arb_start(), seed in any::<u64>()) {
+        let mut chain = CompressionChain::from_seed(start, 1.0, seed).unwrap();
+        chain.run(2_000);
+        prop_assert_eq!(chain.counts().metropolis, 0);
+    }
+
+    /// Large λ rejects at least as often via Metropolis as small λ on
+    /// the same trajectory length from a line (biased chains resist
+    /// perimeter-increasing moves).
+    #[test]
+    fn perimeter_never_below_pmin(start in arb_start(), seed in any::<u64>()) {
+        let n = start.len();
+        let mut chain = CompressionChain::from_seed(start, 5.0, seed).unwrap();
+        chain.run(5_000);
+        let p = chain.perimeter();
+        prop_assert!(p >= metrics::pmin(n));
+        if chain.is_hole_free() {
+            prop_assert!(p <= metrics::pmax(n));
+        }
+    }
+
+    /// The local runner's tail configuration always stays connected and its
+    /// slot bookkeeping coherent, from any start and bias.
+    #[test]
+    fn local_runner_invariants(start in arb_start(), lambda_pct in 50u32..600, seed in any::<u64>()) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let mut runner = LocalRunner::from_seed(&start, lambda, seed).unwrap();
+        runner.run_activations(3_000);
+        runner.assert_invariants();
+        prop_assert!(runner.tail_system().is_connected());
+        // The number of expanded particles is bounded by n.
+        let expanded = (0..runner.len()).filter(|&i| runner.is_expanded(i)).count();
+        prop_assert!(expanded <= runner.len());
+    }
+
+    /// Chain and local runner both conserve the particle count and anonymous
+    /// multiset semantics: n never changes.
+    #[test]
+    fn particle_count_is_conserved(start in arb_start(), seed in any::<u64>()) {
+        let n = start.len();
+        let mut chain = CompressionChain::from_seed(start.clone(), 3.0, seed).unwrap();
+        chain.run(1_000);
+        prop_assert_eq!(chain.system().len(), n);
+        let mut runner = LocalRunner::from_seed(&start, 3.0, seed).unwrap();
+        runner.run_activations(1_000);
+        prop_assert_eq!(runner.tail_system().len(), n);
+    }
+}

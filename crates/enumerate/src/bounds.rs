@@ -1,0 +1,185 @@
+//! The paper's named constants and threshold functions.
+//!
+//! * `N₅₀` — Jensen's exact count of 50-cell benzenoid hydrocarbons
+//!   (Lemma 5.5), which the paper uses to push the expansion regime to
+//!   `λ < (2·N₅₀)^{1/100} ≈ 2.17` (Lemma 5.6, Theorem 5.7).
+//! * `α(λ)` — the compression guarantee of Corollary 4.6: for
+//!   `λ > 2 + √2`, α-compression holds at stationarity for every
+//!   `α > log_{2+√2}(λ) / (log_{2+√2}(λ) − 1)`.
+//! * `β(λ)` — the expansion guarantee of Corollaries 5.3 and 5.8.
+
+/// Jensen's count of benzenoid hydrocarbons with 50 cells:
+/// `N₅₀ = 2,430,068,453,031,180,290,203,185,942,420,933` (Lemma 5.5).
+pub const N50: u128 = 2_430_068_453_031_180_290_203_185_942_420_933;
+
+/// `2 + √2 ≈ 3.4142`: compression for all `λ` above this (Theorem 4.5).
+#[must_use]
+pub fn lambda_compression_threshold() -> f64 {
+    2.0 + 2.0_f64.sqrt()
+}
+
+/// `√2 ≈ 1.4142`: the expansion threshold of the first, unconditional
+/// bound (Corollary 5.3, valid for all `λ > 0`).
+#[must_use]
+pub fn lambda_expansion_threshold_simple() -> f64 {
+    2.0_f64.sqrt()
+}
+
+/// `(2·N₅₀)^{1/100} ≈ 2.1720`: the improved expansion threshold
+/// (Lemma 5.6, Theorem 5.7; the paper rounds it to 2.17).
+#[must_use]
+pub fn lambda_expansion_threshold() -> f64 {
+    // Compute in log-space: u128 → f64 is exact enough (f64 has 53 bits,
+    // N50 needs 112), so split: N50 = hi·2^64 + lo.
+    let hi = (N50 >> 64) as u64 as f64;
+    let lo = (N50 & u128::from(u64::MAX)) as u64 as f64;
+    let n50 = hi * (u64::MAX as f64 + 1.0) + lo;
+    ((2.0 * n50).ln() / 100.0).exp()
+}
+
+/// The best α for which Corollary 4.6 guarantees α-compression at bias `λ`,
+/// i.e. `log_{2+√2}(λ) / (log_{2+√2}(λ) − 1)`.
+///
+/// Returns `None` when `λ ≤ 2 + √2` (no compression guarantee).
+#[must_use]
+pub fn min_alpha(lambda: f64) -> Option<f64> {
+    if lambda <= lambda_compression_threshold() {
+        return None;
+    }
+    let log_l = lambda.ln() / lambda_compression_threshold().ln();
+    Some(log_l / (log_l - 1.0))
+}
+
+/// Inverse of [`min_alpha`]: the smallest bias `λ* = (2+√2)^{α/(α−1)}`
+/// for which Theorem 4.5 guarantees α-compression.
+///
+/// # Panics
+///
+/// Panics unless `alpha > 1`.
+#[must_use]
+pub fn min_lambda_for_alpha(alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "α must exceed 1");
+    lambda_compression_threshold().powf(alpha / (alpha - 1.0))
+}
+
+/// The best β for which the paper guarantees β-expansion at bias `λ`
+/// (Corollary 5.3 for `λ < √2`, Theorem 5.7 with `x = (2·N₅₀)^{1/100}` for
+/// `1 ≤ λ < 2.17`).
+///
+/// Returns `None` when `λ ≥ (2·N₅₀)^{1/100}` (no expansion guarantee).
+#[must_use]
+pub fn max_beta(lambda: f64) -> Option<f64> {
+    if lambda <= 0.0 || !lambda.is_finite() {
+        return None;
+    }
+    let denom_base = lambda_compression_threshold();
+    if lambda < 1.0 {
+        // Corollary 5.3: β < (ln √2 − ln λ) / (ln(2+√2) − ln λ).
+        let x = lambda_expansion_threshold_simple();
+        Some((x.ln() - lambda.ln()) / (denom_base.ln() - lambda.ln()))
+    } else if lambda < lambda_expansion_threshold() {
+        // Theorem 5.7: β < (ln x − ln λ) / (ln(2+√2) − ln λ).
+        let x = lambda_expansion_threshold();
+        Some((x.ln() - lambda.ln()) / (denom_base.ln() - lambda.ln()))
+    } else {
+        None
+    }
+}
+
+/// The counting lower bound of Lemma 5.4 in log form: there are at least
+/// `22^⌊(n−1)/3⌋` connected hole-free configurations of `n` particles, i.e.
+/// this function returns `ln` of that bound.
+#[must_use]
+pub fn lemma_5_4_ln_lower_bound(n: usize) -> f64 {
+    ((n.saturating_sub(1)) / 3) as f64 * 22.0_f64.ln()
+}
+
+/// The per-perimeter-unit growth constant `1.67 < 22^{1/6}` from Lemma 5.4.
+#[must_use]
+pub fn lemma_5_4_growth() -> f64 {
+    22.0_f64.powf(1.0 / 6.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_have_expected_values() {
+        assert!((lambda_compression_threshold() - (2.0 + core::f64::consts::SQRT_2)).abs() < 1e-12);
+        assert!((lambda_expansion_threshold_simple() - core::f64::consts::SQRT_2).abs() < 1e-12);
+        let x = lambda_expansion_threshold();
+        assert!((x - 2.172_033_328_925).abs() < 1e-9, "{x}");
+        // The paper's claim: the open window is 2.17 ≤ λc ≤ 2 + √2.
+        assert!(x < lambda_compression_threshold());
+    }
+
+    #[test]
+    fn n50_digit_count_matches_lemma_5_5() {
+        assert_eq!(N50.to_string().len(), 34);
+        assert_eq!(N50.to_string(), "2430068453031180290203185942420933");
+    }
+
+    #[test]
+    fn min_alpha_decreases_with_lambda() {
+        assert_eq!(min_alpha(3.0), None);
+        assert_eq!(min_alpha(lambda_compression_threshold()), None);
+        let a4 = min_alpha(4.0).unwrap();
+        let a6 = min_alpha(6.0).unwrap();
+        let a10 = min_alpha(10.0).unwrap();
+        assert!(a4 > a6 && a6 > a10, "{a4} > {a6} > {a10}");
+        assert!(a10 > 1.0, "α is always above 1");
+    }
+
+    #[test]
+    fn alpha_lambda_are_inverse() {
+        for alpha in [1.5, 2.0, 4.0, 10.0] {
+            let lambda = min_lambda_for_alpha(alpha);
+            let back = min_alpha(lambda * (1.0 + 1e-12)).unwrap();
+            assert!((back - alpha).abs() < 1e-6, "α = {alpha} vs {back}");
+        }
+    }
+
+    #[test]
+    fn max_beta_behaves() {
+        // Within each regime, smaller λ gives a stronger (larger β)
+        // expansion guarantee. Across the λ = 1 boundary the improved
+        // Lemma 5.6 bound takes over and the guarantee jumps *up*, so
+        // monotonicity is only within regimes.
+        let b_02 = max_beta(0.2).unwrap();
+        let b_09 = max_beta(0.9).unwrap();
+        let b_15 = max_beta(1.5).unwrap();
+        let b_21 = max_beta(2.1).unwrap();
+        assert!(b_02 > b_09, "Corollary 5.3 regime");
+        assert!(b_15 > b_21, "Theorem 5.7 regime");
+        assert!(b_15 > b_09, "improved bound is stronger at the boundary");
+        for b in [b_02, b_09, b_15, b_21] {
+            assert!(b > 0.0 && b < 1.0, "β = {b}");
+        }
+        assert_eq!(max_beta(2.2), None);
+        assert_eq!(max_beta(3.5), None);
+        assert_eq!(max_beta(-1.0), None);
+    }
+
+    #[test]
+    fn lemma_5_4_constants() {
+        // 22^(1/6) ≈ 1.674 > 1.67 as the paper uses.
+        let g = lemma_5_4_growth();
+        assert!(g > 1.67 && g < 1.68, "{g}");
+        // ln bound at n = 4: one block of three added to a seed particle.
+        assert!((lemma_5_4_ln_lower_bound(4) - 22.0_f64.ln()).abs() < 1e-12);
+        assert_eq!(lemma_5_4_ln_lower_bound(1), 0.0);
+    }
+
+    #[test]
+    fn lemma_5_4_bound_is_consistent_with_enumeration() {
+        // The lower bound must hold against exact hole-free counts.
+        for n in 1..=8 {
+            let exact = crate::polyhex::count_hole_free(n) as f64;
+            assert!(
+                exact.ln() >= lemma_5_4_ln_lower_bound(n) - 1e-12,
+                "n = {n}"
+            );
+        }
+    }
+}

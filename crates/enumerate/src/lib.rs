@@ -1,0 +1,40 @@
+//! Exact combinatorics for the compression paper.
+//!
+//! Three exact tools back the paper's counting arguments and let us verify
+//! the Markov chain `M` against ground truth on small systems:
+//!
+//! * [`polyhex`] — enumeration of connected particle configurations up to
+//!   translation (equivalently, fixed polyhexes / benzenoid hydrocarbons via
+//!   the hexagonal dual — the objects counted by Jensen and quoted in
+//!   Lemma 5.5). Uses Redelmeier's algorithm, cross-validated by a naive
+//!   grow-and-canonicalize reference.
+//! * [`saw`] — self-avoiding walk counts on the hexagonal lattice, whose
+//!   growth rate is the connective constant `√(2+√2)` (Theorem 4.2, quoted
+//!   from Duminil-Copin & Smirnov).
+//! * [`exact`] — the full transition matrix of `M` on the enumerated state
+//!   space for small `n`: detailed balance, stationarity of the Boltzmann
+//!   distribution `λ^{e(σ)}/Z` (Lemma 3.13), ergodicity on the hole-free
+//!   class (Corollary 3.11), and transience of hole states (Lemma 3.8).
+//! * [`bounds`] — the paper's named constants and threshold functions:
+//!   `N₅₀`, `2+√2`, `(2·N₅₀)^{1/100}`, `α(λ)` from Corollary 4.6 and `β(λ)`
+//!   from Corollaries 5.3/5.8.
+//!
+//! # Example
+//!
+//! ```
+//! use sops_enumerate::polyhex;
+//!
+//! // Figure 11 of the paper: exactly 11 connected hole-free 3-particle
+//! // configurations.
+//! assert_eq!(polyhex::count_hole_free(3), 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod exact;
+pub mod polyhex;
+pub mod saw;
+
+pub use exact::{StateSpace, TransitionMatrix};

@@ -1,0 +1,127 @@
+//! Self-avoiding walks on the hexagonal lattice (Theorem 4.2).
+//!
+//! The number `N_l` of self-avoiding walks of length `l` from a fixed origin
+//! grows as `f(l) · μ^l` where `μ = √(2+√2) ≈ 1.8478` is the connective
+//! constant of the honeycomb lattice — the only lattice where it is known
+//! exactly (Duminil-Copin & Smirnov, quoted as Theorem 4.2 and the
+//! engine of the paper's Peierls argument via Lemma 4.3).
+
+use sops_lattice::{HexNode, TriSet};
+
+/// The connective constant of the hexagonal lattice, `√(2 + √2)`.
+#[must_use]
+pub fn connective_constant() -> f64 {
+    (2.0 + 2.0_f64.sqrt()).sqrt()
+}
+
+/// Counts self-avoiding walks from a fixed origin for every length up to
+/// `max_len`. Returns `counts` with `counts[l] = N_l` (`counts[0] = 1`, the
+/// empty walk).
+///
+/// Complexity is `Θ(Σ N_l)`; on the honeycomb lattice `N_24 ≈ 3 × 10⁶`,
+/// so lengths up to the high twenties are cheap.
+#[must_use]
+pub fn count_walks_up_to(max_len: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; max_len + 1];
+    counts[0] = 1;
+    if max_len == 0 {
+        return counts;
+    }
+    let origin = HexNode::new(0, 0);
+    let mut visited: TriSet<HexNode> = TriSet::default();
+    visited.insert(origin);
+    dfs(origin, 0, max_len, &mut visited, &mut counts);
+    counts
+}
+
+fn dfs(
+    node: HexNode,
+    depth: usize,
+    max_len: usize,
+    visited: &mut TriSet<HexNode>,
+    counts: &mut [u64],
+) {
+    for next in node.neighbors() {
+        if visited.contains(&next) {
+            continue;
+        }
+        counts[depth + 1] += 1;
+        if depth + 1 < max_len {
+            visited.insert(next);
+            dfs(next, depth + 1, max_len, visited, counts);
+            visited.remove(&next);
+        }
+    }
+}
+
+/// Estimates the connective constant from walk counts as `N_l^{1/l}` for
+/// the largest available `l`.
+///
+/// The estimate converges to `μ` from above since `N_l ≥ μ^l`.
+///
+/// # Panics
+///
+/// Panics if `counts` has no entry with `l ≥ 1`.
+#[must_use]
+pub fn estimate_mu(counts: &[u64]) -> f64 {
+    assert!(counts.len() >= 2, "need at least N_1");
+    let l = counts.len() - 1;
+    (counts[l] as f64).powf(1.0 / l as f64)
+}
+
+/// Ratio estimator `N_l / N_{l−1}`, an alternative estimate of `μ` that
+/// typically converges faster than the root estimator.
+///
+/// # Panics
+///
+/// Panics if `counts` has fewer than two entries.
+#[must_use]
+pub fn estimate_mu_ratio(counts: &[u64]) -> f64 {
+    assert!(counts.len() >= 2, "need at least N_1");
+    let l = counts.len() - 1;
+    counts[l] as f64 / counts[l - 1] as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_walk_counts_are_exact() {
+        // Degree 3, girth 6: N_l = 3·2^(l−1) until length 6, where the 6
+        // closed hexagon walks (3 incident faces × 2 orientations) drop out.
+        let counts = count_walks_up_to(6);
+        assert_eq!(&counts[..], &[1, 3, 6, 12, 24, 48, 90]);
+    }
+
+    #[test]
+    fn growth_rate_approaches_connective_constant() {
+        let counts = count_walks_up_to(18);
+        let mu = connective_constant();
+        let root = estimate_mu(&counts);
+        // Root estimator converges from above.
+        assert!(root > mu, "N_l^(1/l) = {root} should exceed μ = {mu}");
+        assert!(root < mu * 1.15, "estimate {root} too far from {mu}");
+        // Monotone improvement with l.
+        let shorter = estimate_mu(&counts[..13]);
+        assert!(root < shorter, "estimate should improve with length");
+    }
+
+    #[test]
+    fn ratio_estimator_brackets_mu() {
+        let counts = count_walks_up_to(18);
+        let ratio = estimate_mu_ratio(&counts);
+        let mu = connective_constant();
+        assert!((ratio - mu).abs() < 0.05, "ratio {ratio} vs μ {mu}");
+    }
+
+    #[test]
+    fn connective_constant_value() {
+        assert!((connective_constant() - 1.847_759_065_022_573_5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_walks() {
+        assert_eq!(count_walks_up_to(0), vec![1]);
+    }
+}

@@ -1,0 +1,91 @@
+//! Exhaustive cross-validation of the geometry layer against enumeration.
+//!
+//! For every connected configuration up to a size bound, the closed-form
+//! perimeter `p = 3n − e − 3 + 3H` must agree with the independent
+//! hexagonal-dual boundary tracer, and the move-validity tables must agree
+//! with the first-principles BFS reference. This pins the whole geometry
+//! stack to the definitions with no sampling gaps.
+
+use sops_enumerate::polyhex;
+use sops_lattice::{Direction, TriPoint};
+use sops_system::{boundary, metrics, moves, ParticleSystem};
+
+const MAX_N: usize = 7; // 3,652 configurations at n = 7
+
+#[test]
+fn tracer_matches_closed_form_on_every_configuration() {
+    for n in 1..=MAX_N {
+        let mut visit = |cells: &[TriPoint]| {
+            if cells.len() != n {
+                return;
+            }
+            let sys = ParticleSystem::new(cells.iter().copied()).expect("distinct");
+            let trace = boundary::trace(&sys);
+            assert_eq!(
+                trace.perimeter(),
+                sys.perimeter(),
+                "perimeter mismatch on {cells:?}"
+            );
+            assert_eq!(
+                trace.hole_count(),
+                sys.hole_count(),
+                "hole mismatch on {cells:?}"
+            );
+        };
+        polyhex::visit_connected(n, &mut visit);
+    }
+}
+
+#[test]
+fn move_tables_match_reference_on_every_configuration() {
+    // The full cross-product at n = 6 (814 configs × 6n moves) suffices to
+    // exercise every local pattern; larger n adds no new 8-ring masks.
+    for n in 2..=6 {
+        let mut visit = |cells: &[TriPoint]| {
+            if cells.len() != n {
+                return;
+            }
+            let sys = ParticleSystem::new(cells.iter().copied()).expect("distinct");
+            let occupied = |p: TriPoint| sys.is_occupied(p);
+            for id in 0..sys.len() {
+                let from = sys.position(id);
+                for dir in Direction::ALL {
+                    let v = sys.check_move(from, dir);
+                    assert_eq!(
+                        v.property1,
+                        moves::reference::property1(&occupied, from, dir),
+                        "P1 mismatch at {from} {dir} in {cells:?}"
+                    );
+                    assert_eq!(
+                        v.property2,
+                        moves::reference::property2(&occupied, from, dir),
+                        "P2 mismatch at {from} {dir} in {cells:?}"
+                    );
+                }
+            }
+        };
+        polyhex::visit_connected(n, &mut visit);
+    }
+}
+
+#[test]
+fn extremal_formulas_match_enumeration() {
+    for n in 1..=MAX_N {
+        let mut min_p = u64::MAX;
+        let mut max_p_hole_free = 0;
+        let mut visit = |cells: &[TriPoint]| {
+            if cells.len() != n {
+                return;
+            }
+            let sys = ParticleSystem::new(cells.iter().copied()).expect("distinct");
+            let p = sys.perimeter();
+            min_p = min_p.min(p);
+            if sys.hole_count() == 0 {
+                max_p_hole_free = max_p_hole_free.max(p);
+            }
+        };
+        polyhex::visit_connected(n, &mut visit);
+        assert_eq!(min_p, metrics::pmin(n), "pmin at n = {n}");
+        assert_eq!(max_p_hole_free, metrics::pmax(n), "pmax at n = {n}");
+    }
+}

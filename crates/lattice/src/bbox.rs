@@ -1,0 +1,163 @@
+//! Axis-aligned bounding boxes in axial coordinates.
+
+use crate::TriPoint;
+
+/// An inclusive axis-aligned bounding box over axial coordinates.
+///
+/// Used by the flood-fill hole detector and the renderers to bound the
+/// region of interest around a configuration.
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::{BoundingBox, TriPoint};
+///
+/// let bbox = BoundingBox::of([TriPoint::new(0, 0), TriPoint::new(3, -2)]).unwrap();
+/// assert!(bbox.contains(TriPoint::new(1, -1)));
+/// assert!(!bbox.contains(TriPoint::new(4, 0)));
+/// assert_eq!(bbox.width(), 4);
+/// assert_eq!(bbox.height(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct BoundingBox {
+    /// Minimum axial x (inclusive).
+    pub min_x: i32,
+    /// Maximum axial x (inclusive).
+    pub max_x: i32,
+    /// Minimum axial y (inclusive).
+    pub min_y: i32,
+    /// Maximum axial y (inclusive).
+    pub max_y: i32,
+}
+
+impl BoundingBox {
+    /// The bounding box of a single point.
+    #[must_use]
+    pub const fn point(p: TriPoint) -> BoundingBox {
+        BoundingBox {
+            min_x: p.x,
+            max_x: p.x,
+            min_y: p.y,
+            max_y: p.y,
+        }
+    }
+
+    /// The smallest box containing all given points, or `None` if empty.
+    #[must_use]
+    pub fn of(points: impl IntoIterator<Item = TriPoint>) -> Option<BoundingBox> {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut bbox = BoundingBox::point(first);
+        for p in iter {
+            bbox.include(p);
+        }
+        Some(bbox)
+    }
+
+    /// Grows the box (if needed) to contain `p`.
+    pub fn include(&mut self, p: TriPoint) {
+        self.min_x = self.min_x.min(p.x);
+        self.max_x = self.max_x.max(p.x);
+        self.min_y = self.min_y.min(p.y);
+        self.max_y = self.max_y.max(p.y);
+    }
+
+    /// Returns a box expanded by `margin` on all four sides.
+    #[must_use]
+    pub const fn expanded(self, margin: i32) -> BoundingBox {
+        BoundingBox {
+            min_x: self.min_x - margin,
+            max_x: self.max_x + margin,
+            min_y: self.min_y - margin,
+            max_y: self.max_y + margin,
+        }
+    }
+
+    /// Returns `true` if `p` lies inside the box (inclusive).
+    #[inline]
+    #[must_use]
+    pub const fn contains(&self, p: TriPoint) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// Returns `true` if `p` lies on the boundary frame of the box.
+    #[inline]
+    #[must_use]
+    pub const fn on_frame(&self, p: TriPoint) -> bool {
+        self.contains(p)
+            && (p.x == self.min_x || p.x == self.max_x || p.y == self.min_y || p.y == self.max_y)
+    }
+
+    /// Number of lattice columns spanned (inclusive).
+    #[must_use]
+    pub const fn width(&self) -> i64 {
+        (self.max_x as i64) - (self.min_x as i64) + 1
+    }
+
+    /// Number of lattice rows spanned (inclusive).
+    #[must_use]
+    pub const fn height(&self) -> i64 {
+        (self.max_y as i64) - (self.min_y as i64) + 1
+    }
+
+    /// Total number of lattice points inside the box.
+    #[must_use]
+    pub const fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Iterates over every lattice point in the box, row-major.
+    pub fn iter(&self) -> impl Iterator<Item = TriPoint> + '_ {
+        let (min_x, max_x) = (self.min_x, self.max_x);
+        (self.min_y..=self.max_y)
+            .flat_map(move |y| (min_x..=max_x).map(move |x| TriPoint::new(x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_empty_is_none() {
+        assert_eq!(BoundingBox::of(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn include_grows_monotonically() {
+        let mut bbox = BoundingBox::point(TriPoint::ORIGIN);
+        bbox.include(TriPoint::new(5, -3));
+        bbox.include(TriPoint::new(-2, 1));
+        assert_eq!(bbox.min_x, -2);
+        assert_eq!(bbox.max_x, 5);
+        assert_eq!(bbox.min_y, -3);
+        assert_eq!(bbox.max_y, 1);
+        assert_eq!(bbox.area(), 8 * 5);
+    }
+
+    #[test]
+    fn expanded_frame_detection() {
+        let bbox = BoundingBox::point(TriPoint::ORIGIN).expanded(2);
+        assert!(bbox.on_frame(TriPoint::new(-2, 0)));
+        assert!(bbox.on_frame(TriPoint::new(2, 2)));
+        assert!(!bbox.on_frame(TriPoint::new(0, 0)));
+        assert!(!bbox.on_frame(TriPoint::new(3, 0)), "outside is not frame");
+    }
+
+    #[test]
+    fn iter_covers_area_exactly_once() {
+        let bbox = BoundingBox {
+            min_x: -1,
+            max_x: 1,
+            min_y: 0,
+            max_y: 2,
+        };
+        let pts: Vec<_> = bbox.iter().collect();
+        assert_eq!(pts.len() as i64, bbox.area());
+        let unique: std::collections::HashSet<_> = pts.iter().copied().collect();
+        assert_eq!(unique.len(), pts.len());
+        for p in pts {
+            assert!(bbox.contains(p));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Axial coordinates for vertices of the triangular lattice.
+
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::ops::{Add, AddAssign, Sub, SubAssign};
+
+use crate::Direction;
+
+/// A vertex of the infinite triangular lattice `G∆`, in axial coordinates.
+///
+/// The lattice is the set of integer pairs `(x, y)` with six neighbors each,
+/// obtained by adding the offsets of the six [`Direction`]s. Under the
+/// Cartesian embedding `(x + y/2, y·√3/2)` every edge has unit length and
+/// every face is an equilateral triangle, matching Figure 1a of the paper.
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::{Direction, TriPoint};
+///
+/// let p = TriPoint::new(2, -1);
+/// assert_eq!(p + Direction::NE, TriPoint::new(2, 0));
+/// assert_eq!(p.distance(TriPoint::new(2, -1)), 0);
+/// assert_eq!(p.distance(p + Direction::W + Direction::W), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct TriPoint {
+    /// Axial x-coordinate.
+    pub x: i32,
+    /// Axial y-coordinate.
+    pub y: i32,
+}
+
+impl TriPoint {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: TriPoint = TriPoint { x: 0, y: 0 };
+
+    /// Creates the lattice point with the given axial coordinates.
+    #[inline]
+    #[must_use]
+    pub const fn new(x: i32, y: i32) -> TriPoint {
+        TriPoint { x, y }
+    }
+
+    /// The neighbor of this point in direction `dir`.
+    #[inline]
+    #[must_use]
+    pub const fn neighbor(self, dir: Direction) -> TriPoint {
+        let (dx, dy) = dir.offset();
+        TriPoint {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+
+    /// Iterates over the six neighbors, in counterclockwise order from east.
+    #[inline]
+    pub fn neighbors(self) -> impl Iterator<Item = TriPoint> {
+        Direction::ALL.into_iter().map(move |d| self.neighbor(d))
+    }
+
+    /// Returns `true` if `other` is one of this point's six neighbors.
+    #[inline]
+    #[must_use]
+    pub fn is_adjacent(self, other: TriPoint) -> bool {
+        self.direction_to(other).is_some()
+    }
+
+    /// The direction from `self` to `other`, if they are adjacent.
+    ///
+    /// ```
+    /// use sops_lattice::{Direction, TriPoint};
+    /// let p = TriPoint::ORIGIN;
+    /// assert_eq!(p.direction_to(TriPoint::new(0, 1)), Some(Direction::NE));
+    /// assert_eq!(p.direction_to(TriPoint::new(2, 0)), None);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub fn direction_to(self, other: TriPoint) -> Option<Direction> {
+        let d = (other.x - self.x, other.y - self.y);
+        Direction::ALL.into_iter().find(|dir| dir.offset() == d)
+    }
+
+    /// The two lattice points adjacent to both `self` and its neighbor `other`.
+    ///
+    /// This is the set `S = N(ℓ) ∩ N(ℓ′)` from Section 3.1 of the paper; for
+    /// an adjacent pair it always has exactly two elements, returned in
+    /// counterclockwise order (`[ℓ + d.rot60(1), ℓ + d.rot60(-1)]` where `d`
+    /// points from `self` to `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is not adjacent to `self`.
+    #[must_use]
+    pub fn shared_neighbors(self, other: TriPoint) -> [TriPoint; 2] {
+        let d = self
+            .direction_to(other)
+            .expect("shared_neighbors requires adjacent points");
+        [self.neighbor(d.rot60(1)), self.neighbor(d.rot60(-1))]
+    }
+
+    /// Graph distance (number of lattice edges) between two points.
+    ///
+    /// Uses the cube-coordinate formula for the triangular lattice:
+    /// `(|dx| + |dy| + |dx + dy|) / 2`.
+    #[inline]
+    #[must_use]
+    pub fn distance(self, other: TriPoint) -> u32 {
+        let dx = (other.x - self.x) as i64;
+        let dy = (other.y - self.y) as i64;
+        ((dx.abs() + dy.abs() + (dx + dy).abs()) / 2) as u32
+    }
+
+    /// Cartesian embedding of this vertex with unit edge length.
+    ///
+    /// Used for rendering; east is the positive x-axis.
+    #[must_use]
+    pub fn to_cartesian(self) -> (f64, f64) {
+        const SQRT3_2: f64 = 0.866_025_403_784_438_6;
+        (self.x as f64 + self.y as f64 / 2.0, self.y as f64 * SQRT3_2)
+    }
+
+    /// Translates the point by `(dx, dy)` in axial coordinates.
+    #[inline]
+    #[must_use]
+    pub const fn translated(self, dx: i32, dy: i32) -> TriPoint {
+        TriPoint {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+
+    /// Rotates this point counterclockwise by `k · 60°` about the origin.
+    ///
+    /// A 60° rotation maps axial `(x, y)` to `(-y, x + y)`.
+    ///
+    /// ```
+    /// use sops_lattice::TriPoint;
+    /// let p = TriPoint::new(1, 0);
+    /// assert_eq!(p.rotated60(1), TriPoint::new(0, 1));
+    /// assert_eq!(p.rotated60(6), p);
+    /// ```
+    #[must_use]
+    pub fn rotated60(self, k: i32) -> TriPoint {
+        let mut p = self;
+        let k = k.rem_euclid(6);
+        for _ in 0..k {
+            p = TriPoint::new(-p.y, p.x + p.y);
+        }
+        p
+    }
+
+    /// Packs the coordinates into a single `u64` (for hashing and canonical keys).
+    #[inline]
+    #[must_use]
+    pub const fn pack(self) -> u64 {
+        ((self.x as u32 as u64) << 32) | (self.y as u32 as u64)
+    }
+}
+
+impl Hash for TriPoint {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.pack());
+    }
+}
+
+impl Add<Direction> for TriPoint {
+    type Output = TriPoint;
+
+    #[inline]
+    fn add(self, dir: Direction) -> TriPoint {
+        self.neighbor(dir)
+    }
+}
+
+impl AddAssign<Direction> for TriPoint {
+    #[inline]
+    fn add_assign(&mut self, dir: Direction) {
+        *self = self.neighbor(dir);
+    }
+}
+
+impl Sub<Direction> for TriPoint {
+    type Output = TriPoint;
+
+    #[inline]
+    fn sub(self, dir: Direction) -> TriPoint {
+        self.neighbor(dir.opposite())
+    }
+}
+
+impl SubAssign<Direction> for TriPoint {
+    #[inline]
+    fn sub_assign(&mut self, dir: Direction) {
+        *self = self.neighbor(dir.opposite());
+    }
+}
+
+impl From<(i32, i32)> for TriPoint {
+    #[inline]
+    fn from((x, y): (i32, i32)) -> TriPoint {
+        TriPoint::new(x, y)
+    }
+}
+
+impl From<TriPoint> for (i32, i32) {
+    #[inline]
+    fn from(p: TriPoint) -> (i32, i32) {
+        (p.x, p.y)
+    }
+}
+
+impl fmt::Display for TriPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_are_adjacent_and_distinct() {
+        let p = TriPoint::new(3, -7);
+        let ns: Vec<_> = p.neighbors().collect();
+        assert_eq!(ns.len(), 6);
+        for n in &ns {
+            assert!(p.is_adjacent(*n));
+            assert!(n.is_adjacent(p));
+            assert_eq!(p.distance(*n), 1);
+        }
+        let unique: std::collections::HashSet<_> = ns.iter().copied().collect();
+        assert_eq!(unique.len(), 6);
+    }
+
+    #[test]
+    fn direction_to_round_trips() {
+        let p = TriPoint::new(-2, 5);
+        for d in Direction::ALL {
+            assert_eq!(p.direction_to(p + d), Some(d));
+        }
+        assert_eq!(p.direction_to(p), None);
+    }
+
+    #[test]
+    fn shared_neighbors_are_mutual() {
+        let p = TriPoint::new(0, 0);
+        for d in Direction::ALL {
+            let q = p + d;
+            let shared = p.shared_neighbors(q);
+            for s in shared {
+                assert!(s.is_adjacent(p));
+                assert!(s.is_adjacent(q));
+            }
+            // Symmetric regardless of orientation.
+            let mut a = shared;
+            let mut b = q.shared_neighbors(p);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn distance_matches_bfs_on_small_ball() {
+        // BFS from origin out to distance 4 and compare.
+        use std::collections::{HashMap, VecDeque};
+        let mut dist: HashMap<TriPoint, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(TriPoint::ORIGIN, 0);
+        queue.push_back(TriPoint::ORIGIN);
+        while let Some(p) = queue.pop_front() {
+            let d = dist[&p];
+            if d == 4 {
+                continue;
+            }
+            for n in p.neighbors() {
+                dist.entry(n).or_insert_with(|| {
+                    queue.push_back(n);
+                    d + 1
+                });
+            }
+        }
+        for (p, d) in dist {
+            assert_eq!(TriPoint::ORIGIN.distance(p), d, "at {p}");
+        }
+    }
+
+    #[test]
+    fn cartesian_edges_have_unit_length() {
+        let p = TriPoint::new(4, -2);
+        let (px, py) = p.to_cartesian();
+        for n in p.neighbors() {
+            let (nx, ny) = n.to_cartesian();
+            let len = ((nx - px).powi(2) + (ny - py).powi(2)).sqrt();
+            assert!((len - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_distance_from_origin() {
+        let p = TriPoint::new(3, 2);
+        for k in 0..6 {
+            assert_eq!(
+                TriPoint::ORIGIN.distance(p.rotated60(k)),
+                TriPoint::ORIGIN.distance(p)
+            );
+        }
+        assert_eq!(p.rotated60(6), p);
+        assert_eq!(p.rotated60(-1), p.rotated60(5));
+    }
+
+    #[test]
+    fn pack_is_injective_on_samples() {
+        let pts = [
+            TriPoint::new(0, 0),
+            TriPoint::new(1, 0),
+            TriPoint::new(0, 1),
+            TriPoint::new(-1, -1),
+            TriPoint::new(i32::MAX, i32::MIN),
+        ];
+        let packed: std::collections::HashSet<u64> = pts.iter().map(|p| p.pack()).collect();
+        assert_eq!(packed.len(), pts.len());
+    }
+}

@@ -1,0 +1,211 @@
+//! The six directions of the triangular lattice and their rotation group.
+
+use core::fmt;
+use core::ops::Neg;
+
+/// One of the six unit directions of the triangular lattice `G∆`.
+///
+/// Directions are ordered counterclockwise starting from east, so
+/// `Direction::from_index(i)` is `E` rotated by `i · 60°`. In axial
+/// coordinates the offsets are:
+///
+/// | direction | offset |
+/// |-----------|--------|
+/// | `E`       | `( 1,  0)` |
+/// | `NE`      | `( 0,  1)` |
+/// | `NW`      | `(-1,  1)` |
+/// | `W`       | `(-1,  0)` |
+/// | `SW`      | `( 0, -1)` |
+/// | `SE`      | `( 1, -1)` |
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::Direction;
+///
+/// assert_eq!(Direction::E.rot60(1), Direction::NE);
+/// assert_eq!(Direction::E.opposite(), Direction::W);
+/// assert_eq!(-Direction::NE, Direction::SW);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Direction {
+    /// East, axial offset `(1, 0)`.
+    E = 0,
+    /// Northeast, axial offset `(0, 1)`.
+    NE = 1,
+    /// Northwest, axial offset `(-1, 1)`.
+    NW = 2,
+    /// West, axial offset `(-1, 0)`.
+    W = 3,
+    /// Southwest, axial offset `(0, -1)`.
+    SW = 4,
+    /// Southeast, axial offset `(1, -1)`.
+    SE = 5,
+}
+
+impl Direction {
+    /// All six directions in counterclockwise order starting from [`Direction::E`].
+    pub const ALL: [Direction; 6] = [
+        Direction::E,
+        Direction::NE,
+        Direction::NW,
+        Direction::W,
+        Direction::SW,
+        Direction::SE,
+    ];
+
+    /// The number of lattice directions.
+    pub const COUNT: usize = 6;
+
+    /// Returns the direction with the given index (counterclockwise from east).
+    ///
+    /// The index is taken modulo 6, so any `usize` is valid.
+    ///
+    /// ```
+    /// use sops_lattice::Direction;
+    /// assert_eq!(Direction::from_index(0), Direction::E);
+    /// assert_eq!(Direction::from_index(7), Direction::NE);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn from_index(index: usize) -> Direction {
+        Direction::ALL[index % 6]
+    }
+
+    /// The index of this direction, in `0..6`, counterclockwise from east.
+    #[inline]
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The axial-coordinate offset `(dx, dy)` of this direction.
+    #[inline]
+    #[must_use]
+    pub const fn offset(self) -> (i32, i32) {
+        match self {
+            Direction::E => (1, 0),
+            Direction::NE => (0, 1),
+            Direction::NW => (-1, 1),
+            Direction::W => (-1, 0),
+            Direction::SW => (0, -1),
+            Direction::SE => (1, -1),
+        }
+    }
+
+    /// Rotates this direction counterclockwise by `k · 60°`.
+    ///
+    /// Negative `k` rotates clockwise.
+    ///
+    /// ```
+    /// use sops_lattice::Direction;
+    /// assert_eq!(Direction::E.rot60(2), Direction::NW);
+    /// assert_eq!(Direction::E.rot60(-1), Direction::SE);
+    /// assert_eq!(Direction::NE.rot60(6), Direction::NE);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn rot60(self, k: i32) -> Direction {
+        let idx = (self as i32 + k).rem_euclid(6) as usize;
+        Direction::ALL[idx]
+    }
+
+    /// The opposite direction (180° rotation).
+    #[inline]
+    #[must_use]
+    pub const fn opposite(self) -> Direction {
+        self.rot60(3)
+    }
+
+    /// The unit Cartesian vector of this direction (for rendering).
+    ///
+    /// East maps to `(1.0, 0.0)`; the lattice is embedded with 60° between
+    /// consecutive directions.
+    #[must_use]
+    pub fn to_cartesian(self) -> (f64, f64) {
+        let angle = core::f64::consts::FRAC_PI_3 * self.index() as f64;
+        (angle.cos(), angle.sin())
+    }
+}
+
+impl Neg for Direction {
+    type Output = Direction;
+
+    #[inline]
+    fn neg(self) -> Direction {
+        self.opposite()
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::E => "E",
+            Direction::NE => "NE",
+            Direction::NW => "NW",
+            Direction::W => "W",
+            Direction::SW => "SW",
+            Direction::SE => "SE",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, d) in Direction::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i);
+            assert_eq!(Direction::from_index(i), *d);
+        }
+    }
+
+    #[test]
+    fn rotation_is_cyclic() {
+        for d in Direction::ALL {
+            assert_eq!(d.rot60(6), d);
+            assert_eq!(d.rot60(0), d);
+            assert_eq!(d.rot60(-6), d);
+            assert_eq!(d.rot60(3).rot60(3), d);
+        }
+    }
+
+    #[test]
+    fn opposite_offsets_cancel() {
+        for d in Direction::ALL {
+            let (dx, dy) = d.offset();
+            let (ox, oy) = d.opposite().offset();
+            assert_eq!((dx + ox, dy + oy), (0, 0));
+            assert_eq!(-d, d.opposite());
+        }
+    }
+
+    #[test]
+    fn offsets_are_distinct_units() {
+        let mut seen = std::collections::HashSet::new();
+        for d in Direction::ALL {
+            assert!(seen.insert(d.offset()));
+        }
+        assert_eq!(seen.len(), 6);
+    }
+
+    #[test]
+    fn consecutive_directions_differ_by_sixty_degrees() {
+        for d in Direction::ALL {
+            let (ax, ay) = d.to_cartesian();
+            let (bx, by) = d.rot60(1).to_cartesian();
+            let dot = ax * bx + ay * by;
+            assert!((dot - 0.5).abs() < 1e-12, "cos 60° = 0.5, got {dot}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Direction::E.to_string(), "E");
+        assert_eq!(Direction::SW.to_string(), "SW");
+    }
+}

@@ -1,0 +1,133 @@
+//! Fast, deterministic hashing for lattice-keyed containers.
+//!
+//! The Markov chain of the paper performs tens of millions of occupancy
+//! lookups per simulated run, so the default SipHash of `std` is replaced
+//! with a multiply-xor hasher in the spirit of `fxhash`. Determinism also
+//! matters: experiments must be exactly reproducible from a seed, so the
+//! hasher must not randomize per process (as `RandomState` does) or the
+//! iteration-order-sensitive parts of diagnostics would drift.
+
+use core::hash::{BuildHasherDefault, Hasher};
+use std::collections::{HashMap, HashSet};
+
+/// A deterministic multiply-xor hasher, specialized for 64-bit keys.
+///
+/// [`crate::TriPoint`] hashes itself as a single packed `u64`, which this
+/// hasher diffuses with one rotation and one multiplication — the same
+/// construction used by `rustc`'s `FxHasher`. A byte-slice fallback is
+/// provided so arbitrary `Hash` impls still work.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+/// Multiplicative constant: `2^64 / φ`, the usual Fibonacci-hashing constant.
+const SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.mix(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.mix(v as u64);
+    }
+}
+
+/// A `BuildHasher` producing [`FastHasher`]s; deterministic across processes.
+pub type DeterministicState = BuildHasherDefault<FastHasher>;
+
+/// A hash map keyed by lattice points (or anything hashable) using [`FastHasher`].
+pub type TriMap<K, V> = HashMap<K, V, DeterministicState>;
+
+/// A hash set using [`FastHasher`].
+pub type TriSet<K> = HashSet<K, DeterministicState>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TriPoint;
+    use core::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: &T) -> u64 {
+        DeterministicState::default().hash_one(value)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        let p = TriPoint::new(17, -4);
+        assert_eq!(hash_of(&p), hash_of(&p));
+    }
+
+    #[test]
+    fn distinct_points_rarely_collide() {
+        let mut hashes = std::collections::HashSet::new();
+        let mut count = 0usize;
+        for x in -20..20 {
+            for y in -20..20 {
+                hashes.insert(hash_of(&TriPoint::new(x, y)));
+                count += 1;
+            }
+        }
+        assert_eq!(hashes.len(), count, "40x40 grid should be collision-free");
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut map: TriMap<TriPoint, u32> = TriMap::default();
+        map.insert(TriPoint::new(1, 2), 7);
+        assert_eq!(map.get(&TriPoint::new(1, 2)), Some(&7));
+        let mut set: TriSet<TriPoint> = TriSet::default();
+        assert!(set.insert(TriPoint::ORIGIN));
+        assert!(!set.insert(TriPoint::ORIGIN));
+    }
+
+    #[test]
+    fn byte_fallback_distinguishes_strings() {
+        assert_ne!(hash_of(&"abc"), hash_of(&"abd"));
+        assert_ne!(hash_of(&"abc"), hash_of(&"ab"));
+    }
+}

@@ -1,0 +1,146 @@
+//! The hexagonal (honeycomb) lattice, dual to `G∆`.
+//!
+//! Section 4.1 of the paper bounds the number of particle configurations via
+//! self-avoiding walks in the hexagonal lattice, whose connective constant is
+//! exactly `√(2+√2)` (Duminil-Copin & Smirnov, quoted as Theorem 4.2). This
+//! module provides the honeycomb graph in the standard "brick wall"
+//! coordinates used by `sops-enumerate` to count those walks.
+
+
+
+/// A vertex of the hexagonal lattice in brick-wall coordinates.
+///
+/// Vertices are integer pairs `(x, y)`; every vertex has the two horizontal
+/// neighbors `(x±1, y)`, plus one vertical neighbor: `(x, y+1)` when `x+y`
+/// is even and `(x, y−1)` when odd. This is the standard degree-3 embedding
+/// of the honeycomb lattice on a grid.
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::HexNode;
+///
+/// let v = HexNode::new(0, 0);
+/// let ns = v.neighbors();
+/// assert_eq!(ns.len(), 3);
+/// for n in ns {
+///     assert!(n.neighbors().contains(&v)); // adjacency is symmetric
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct HexNode {
+    /// Brick-wall x-coordinate.
+    pub x: i32,
+    /// Brick-wall y-coordinate.
+    pub y: i32,
+}
+
+impl HexNode {
+    /// Creates a honeycomb vertex from brick-wall coordinates.
+    #[inline]
+    #[must_use]
+    pub const fn new(x: i32, y: i32) -> HexNode {
+        HexNode { x, y }
+    }
+
+    /// The three neighbors of this vertex.
+    #[inline]
+    #[must_use]
+    pub const fn neighbors(self) -> [HexNode; 3] {
+        let vertical = if (self.x + self.y).rem_euclid(2) == 0 {
+            HexNode::new(self.x, self.y + 1)
+        } else {
+            HexNode::new(self.x, self.y - 1)
+        };
+        [
+            HexNode::new(self.x - 1, self.y),
+            HexNode::new(self.x + 1, self.y),
+            vertical,
+        ]
+    }
+
+    /// Returns `true` if `other` is adjacent to `self`.
+    #[must_use]
+    pub fn is_adjacent(self, other: HexNode) -> bool {
+        let ns = self.neighbors();
+        ns[0] == other || ns[1] == other || ns[2] == other
+    }
+
+    /// Packs the coordinates into a `u64` for hashing.
+    #[inline]
+    #[must_use]
+    pub const fn pack(self) -> u64 {
+        ((self.x as u32 as u64) << 32) | (self.y as u32 as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_vertex_has_degree_three() {
+        for x in -3..=3 {
+            for y in -3..=3 {
+                let v = HexNode::new(x, y);
+                let ns = v.neighbors();
+                let unique: std::collections::HashSet<_> = ns.iter().copied().collect();
+                assert_eq!(unique.len(), 3);
+                for n in ns {
+                    assert!(n.is_adjacent(v), "adjacency must be symmetric at {v:?}");
+                    assert!(v.is_adjacent(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_cycle_is_a_hexagon() {
+        // BFS from a vertex back to itself along distinct edges: the girth of
+        // the honeycomb lattice is 6.
+        use std::collections::{HashMap, VecDeque};
+        let start = HexNode::new(0, 0);
+        let mut dist: HashMap<HexNode, (u32, HexNode)> = HashMap::new();
+        dist.insert(start, (0, start));
+        let mut queue = VecDeque::from([start]);
+        let mut girth = u32::MAX;
+        while let Some(v) = queue.pop_front() {
+            let (d, parent) = dist[&v];
+            if d > 4 {
+                continue;
+            }
+            for n in v.neighbors() {
+                if n == parent {
+                    continue;
+                }
+                match dist.get(&n) {
+                    None => {
+                        dist.insert(n, (d + 1, v));
+                        queue.push_back(n);
+                    }
+                    Some(&(dn, _)) => {
+                        // A non-tree edge closing a cycle of length ≤ d + dn + 1.
+                        girth = girth.min(dn + d + 1);
+                    }
+                }
+            }
+        }
+        assert_eq!(girth, 6);
+    }
+
+    #[test]
+    fn walks_of_length_two_reach_six_vertices() {
+        // In a degree-3 triangle-free graph, there are 6 distinct
+        // non-backtracking endpoints at distance exactly 2.
+        let v = HexNode::new(1, 2);
+        let mut endpoints = std::collections::HashSet::new();
+        for a in v.neighbors() {
+            for b in a.neighbors() {
+                if b != v {
+                    endpoints.insert(b);
+                }
+            }
+        }
+        assert_eq!(endpoints.len(), 6);
+    }
+}

@@ -1,0 +1,52 @@
+//! Triangular-lattice geometry for self-organizing particle systems.
+//!
+//! This crate provides the discrete-geometry substrate used throughout the
+//! `sops` workspace, which reproduces the compression algorithm of Cannon,
+//! Daymude, Randall and Richa (PODC 2016):
+//!
+//! * [`TriPoint`] — a vertex of the infinite triangular lattice `G∆`, in
+//!   axial coordinates.
+//! * [`Direction`] — the six lattice directions, with the 60°-rotation group.
+//! * [`PairRing`] — the 8-site ring `N(ℓ ∪ ℓ′)` around an adjacent pair of
+//!   locations, which is the neighborhood examined by the paper's
+//!   Properties 1 and 2.
+//! * [`Triangle`] — a face of `G∆` (used for the triangle-count identity of
+//!   Lemma 2.4 and for hexagonal-dual boundary tracing).
+//! * [`HexNode`] — a vertex of the hexagonal (honeycomb) lattice, the dual of
+//!   `G∆`, used for self-avoiding-walk enumeration (Theorem 4.2).
+//! * [`TriMap`]/[`TriSet`] — hash containers keyed by lattice points with a
+//!   fast, deterministic hasher suitable for tens of millions of Markov-chain
+//!   steps per run.
+//!
+//! # Example
+//!
+//! ```
+//! use sops_lattice::{Direction, TriPoint};
+//!
+//! let origin = TriPoint::new(0, 0);
+//! let east = origin + Direction::E;
+//! assert!(origin.is_adjacent(east));
+//! assert_eq!(origin.neighbors().count(), 6);
+//! // The two common neighbors of an adjacent pair:
+//! let shared = origin.shared_neighbors(east);
+//! assert_eq!(shared, [TriPoint::new(0, 1), TriPoint::new(1, -1)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbox;
+mod coords;
+mod direction;
+mod hash;
+mod hex;
+mod ring;
+mod triangle;
+
+pub use bbox::BoundingBox;
+pub use coords::TriPoint;
+pub use direction::Direction;
+pub use hash::{DeterministicState, FastHasher, TriMap, TriSet};
+pub use hex::HexNode;
+pub use ring::PairRing;
+pub use triangle::{Orientation, Triangle};

@@ -1,0 +1,219 @@
+//! The 8-site ring around an adjacent pair of lattice locations.
+//!
+//! Section 3.1 of the paper defines the neighborhood `N(ℓ ∪ ℓ′)` of an
+//! adjacent pair `(ℓ, ℓ′)` — the eight lattice locations adjacent to `ℓ` or
+//! `ℓ′`, excluding the pair itself. These eight sites form an *induced
+//! 8-cycle* in `G∆`, which makes the connectivity conditions of the paper's
+//! Property 1 and Property 2 computable from an 8-bit occupancy mask (see
+//! `sops-system`).
+
+use crate::{Direction, TriPoint};
+
+/// The ring `N(ℓ ∪ ℓ′)` around an adjacent pair, in cyclic order.
+///
+/// With `d` the direction from `ℓ` to `ℓ′`, the sites are indexed
+/// counterclockwise starting from the shared neighbor on the
+/// counterclockwise side:
+///
+/// ```text
+///   index 0: ℓ + d.rot60(1)    (shared neighbor S₁ — adjacent to both)
+///   index 1: ℓ + d.rot60(2)
+///   index 2: ℓ + d.rot60(3)
+///   index 3: ℓ + d.rot60(4)
+///   index 4: ℓ + d.rot60(5)    (shared neighbor S₂ — adjacent to both)
+///   index 5: ℓ′ + d.rot60(5)
+///   index 6: ℓ′ + d
+///   index 7: ℓ′ + d.rot60(1)
+/// ```
+///
+/// Indices `0..=4` are exactly `N(ℓ) \ {ℓ′}` and indices `{4, 5, 6, 7, 0}`
+/// are exactly `N(ℓ′) \ {ℓ}`; indices 0 and 4 are the two common neighbors.
+/// Consecutive ring indices (mod 8) are adjacent in `G∆` and no other pairs
+/// are (the cycle is induced), a fact verified by this module's tests.
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::{Direction, PairRing, TriPoint};
+///
+/// let ring = PairRing::new(TriPoint::ORIGIN, Direction::E);
+/// assert_eq!(ring.site(0), TriPoint::new(0, 1));   // shared neighbor
+/// assert_eq!(ring.site(4), TriPoint::new(1, -1));  // shared neighbor
+/// assert_eq!(ring.site(6), TriPoint::new(2, 0));   // east of ℓ′
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairRing {
+    sites: [TriPoint; 8],
+}
+
+/// Ring indices of the two shared neighbors `S = N(ℓ) ∩ N(ℓ′)`.
+pub const SHARED_INDICES: [usize; 2] = [0, 4];
+
+impl PairRing {
+    /// Ring indices forming `N(ℓ) \ {ℓ′}` (five sites).
+    pub const FROM_SIDE: [usize; 5] = [0, 1, 2, 3, 4];
+
+    /// Ring indices forming `N(ℓ′) \ {ℓ}` (five sites).
+    pub const TO_SIDE: [usize; 5] = [4, 5, 6, 7, 0];
+
+    /// Ring indices of the two shared neighbors `S = N(ℓ) ∩ N(ℓ′)`.
+    pub const SHARED: [usize; 2] = SHARED_INDICES;
+
+    /// Builds the ring around the pair `(ℓ, ℓ′ = ℓ + d)`.
+    #[inline]
+    #[must_use]
+    pub fn new(from: TriPoint, dir: Direction) -> PairRing {
+        let to = from + dir;
+        PairRing {
+            sites: [
+                from + dir.rot60(1),
+                from + dir.rot60(2),
+                from + dir.rot60(3),
+                from + dir.rot60(4),
+                from + dir.rot60(5),
+                to + dir.rot60(5),
+                to + dir,
+                to + dir.rot60(1),
+            ],
+        }
+    }
+
+    /// The lattice location at ring index `i` (mod 8).
+    #[inline]
+    #[must_use]
+    pub fn site(&self, i: usize) -> TriPoint {
+        self.sites[i % 8]
+    }
+
+    /// All eight ring sites, in cyclic order.
+    #[inline]
+    #[must_use]
+    pub fn sites(&self) -> &[TriPoint; 8] {
+        &self.sites
+    }
+
+    /// Computes the 8-bit occupancy mask of the ring under `is_occupied`.
+    ///
+    /// Bit `i` is set iff `site(i)` is occupied. Properties 1 and 2 of the
+    /// paper are pure functions of this mask (see `sops-system::moves`).
+    #[inline]
+    #[must_use]
+    pub fn occupancy_mask(&self, mut is_occupied: impl FnMut(TriPoint) -> bool) -> u8 {
+        let mut mask = 0u8;
+        for (i, site) in self.sites.iter().enumerate() {
+            if is_occupied(*site) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_exactly_the_pair_neighborhood() {
+        for d in Direction::ALL {
+            let from = TriPoint::new(5, -3);
+            let to = from + d;
+            let ring = PairRing::new(from, d);
+            let mut expected: Vec<TriPoint> = from.neighbors().chain(to.neighbors()).collect();
+            expected.retain(|p| *p != from && *p != to);
+            expected.sort();
+            expected.dedup();
+            let mut actual: Vec<TriPoint> = ring.sites().to_vec();
+            actual.sort();
+            assert_eq!(actual, expected, "direction {d}");
+        }
+    }
+
+    #[test]
+    fn ring_is_an_induced_eight_cycle() {
+        for d in Direction::ALL {
+            let ring = PairRing::new(TriPoint::ORIGIN, d);
+            for i in 0..8 {
+                for j in 0..8 {
+                    let adjacent = ring.site(i).is_adjacent(ring.site(j));
+                    let consecutive = (i + 1) % 8 == j || (j + 1) % 8 == i;
+                    assert_eq!(
+                        adjacent, consecutive,
+                        "direction {d}: ring sites {i} and {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_indices_touch_both_endpoints() {
+        for d in Direction::ALL {
+            let from = TriPoint::new(-1, 9);
+            let to = from + d;
+            let ring = PairRing::new(from, d);
+            for i in PairRing::SHARED {
+                assert!(ring.site(i).is_adjacent(from));
+                assert!(ring.site(i).is_adjacent(to));
+            }
+            let mut shared = [ring.site(0), ring.site(4)];
+            shared.sort();
+            let mut expected = from.shared_neighbors(to);
+            expected.sort();
+            assert_eq!(shared, expected);
+        }
+    }
+
+    #[test]
+    fn side_index_sets_match_neighborhoods() {
+        for d in Direction::ALL {
+            let from = TriPoint::new(2, 2);
+            let to = from + d;
+            let ring = PairRing::new(from, d);
+            for i in PairRing::FROM_SIDE {
+                assert!(ring.site(i).is_adjacent(from), "index {i} dir {d}");
+            }
+            for i in PairRing::TO_SIDE {
+                assert!(ring.site(i).is_adjacent(to), "index {i} dir {d}");
+            }
+            // Non-shared "from" sites are not adjacent to `to` and vice versa.
+            for i in [1, 2, 3] {
+                assert!(!ring.site(i).is_adjacent(to));
+            }
+            for i in [5, 6, 7] {
+                assert!(!ring.site(i).is_adjacent(from));
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_mask_sets_expected_bits() {
+        let ring = PairRing::new(TriPoint::ORIGIN, Direction::E);
+        let occupied = [ring.site(0), ring.site(3), ring.site(7)];
+        let mask = ring.occupancy_mask(|p| occupied.contains(&p));
+        assert_eq!(mask, 0b1000_1001);
+    }
+
+    #[test]
+    fn ring_orientation_is_symmetric_under_reversal() {
+        // The ring of (ℓ′, -d) is the same site set as the ring of (ℓ, d),
+        // with the "from" and "to" sides exchanged.
+        for d in Direction::ALL {
+            let from = TriPoint::ORIGIN;
+            let to = from + d;
+            let forward = PairRing::new(from, d);
+            let backward = PairRing::new(to, d.opposite());
+            let mut a: Vec<_> = forward.sites().to_vec();
+            let mut b: Vec<_> = backward.sites().to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+            // Shared neighbors coincide as a set.
+            let mut sa = [forward.site(0), forward.site(4)];
+            let mut sb = [backward.site(0), backward.site(4)];
+            sa.sort();
+            sb.sort();
+            assert_eq!(sa, sb);
+        }
+    }
+}

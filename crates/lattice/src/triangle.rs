@@ -1,0 +1,238 @@
+//! Faces of the triangular lattice.
+//!
+//! A *triangle* of a configuration (Section 2.2 of the paper) is a face of
+//! `G∆` whose three corners are all occupied. Faces also serve as the
+//! vertices of the hexagonal dual lattice, which is how the boundary tracer
+//! in `sops-system` walks around a configuration.
+
+use crate::{Direction, TriPoint};
+
+/// Orientation of a triangular face of `G∆`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Orientation {
+    /// The face `{p, p+E, p+NE}` (apex above the base).
+    Up,
+    /// The face `{p, p+E, p+SE}` (apex below the base).
+    Down,
+}
+
+/// A face of the triangular lattice, keyed by its western base point.
+///
+/// Every face of `G∆` is either an *up* triangle `{p, p+E, p+NE}` or a
+/// *down* triangle `{p, p+E, p+SE}` for a unique base point `p`, giving each
+/// face a canonical key. Faces are exactly the vertices of the hexagonal
+/// dual lattice.
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::{Orientation, TriPoint, Triangle};
+///
+/// let t = Triangle::new(TriPoint::ORIGIN, Orientation::Up);
+/// let corners = t.corners();
+/// assert!(corners.contains(&TriPoint::new(1, 0)));
+/// assert!(corners.contains(&TriPoint::new(0, 1)));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triangle {
+    base: TriPoint,
+    orientation: Orientation,
+}
+
+impl Triangle {
+    /// Creates a face from its canonical base point and orientation.
+    #[inline]
+    #[must_use]
+    pub const fn new(base: TriPoint, orientation: Orientation) -> Triangle {
+        Triangle { base, orientation }
+    }
+
+    /// The canonical base point (western corner) of the face.
+    #[inline]
+    #[must_use]
+    pub const fn base(self) -> TriPoint {
+        self.base
+    }
+
+    /// The orientation of the face.
+    #[inline]
+    #[must_use]
+    pub const fn orientation(self) -> Orientation {
+        self.orientation
+    }
+
+    /// The three corners of the face.
+    #[inline]
+    #[must_use]
+    pub fn corners(self) -> [TriPoint; 3] {
+        match self.orientation {
+            Orientation::Up => [
+                self.base,
+                self.base + Direction::E,
+                self.base + Direction::NE,
+            ],
+            Orientation::Down => [
+                self.base,
+                self.base + Direction::E,
+                self.base + Direction::SE,
+            ],
+        }
+    }
+
+    /// The six faces incident to a lattice vertex, in counterclockwise order.
+    ///
+    /// The face between directions `d_i` and `d_{i+1}` around `p` appears at
+    /// index `i` (starting between `E` and `NE`).
+    #[must_use]
+    pub fn around_vertex(p: TriPoint) -> [Triangle; 6] {
+        [
+            Triangle::new(p, Orientation::Up),
+            Triangle::new(p + Direction::NW, Orientation::Down),
+            Triangle::new(p + Direction::W, Orientation::Up),
+            Triangle::new(p + Direction::W, Orientation::Down),
+            Triangle::new(p + Direction::SW, Orientation::Up),
+            Triangle::new(p, Orientation::Down),
+        ]
+    }
+
+    /// The two faces flanking the lattice edge `(p, p + d)`.
+    ///
+    /// These are the endpoints, in the hexagonal dual, of the dual edge
+    /// crossing `(p, p + d)`; the boundary tracer in `sops-system` walks
+    /// between them.
+    #[must_use]
+    pub fn flanking_edge(p: TriPoint, d: Direction) -> [Triangle; 2] {
+        let q = p + d;
+        let ccw = p + d.rot60(1);
+        let cw = p + d.rot60(-1);
+        [
+            Triangle::containing(p, q, ccw),
+            Triangle::containing(p, q, cw),
+        ]
+    }
+
+    /// The face whose corners are the three mutually adjacent points given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three points are not the corners of a lattice face.
+    #[must_use]
+    pub fn containing(a: TriPoint, b: TriPoint, c: TriPoint) -> Triangle {
+        let mut pts = [a, b, c];
+        pts.sort_by_key(|p| (p.y, p.x));
+        // After sorting by (y, x): for an up triangle {p, p+E, p+NE} the
+        // order is [p, p+E, p+NE]; for a down triangle {p, p+E, p+SE} it is
+        // [p+SE, p, p+E].
+        let [p0, p1, p2] = pts;
+        if p1 == p0 + Direction::E && p2 == p0 + Direction::NE {
+            Triangle::new(p0, Orientation::Up)
+        } else if p0 == p1 + Direction::SE && p2 == p1 + Direction::E {
+            Triangle::new(p1, Orientation::Down)
+        } else {
+            panic!("points {a}, {b}, {c} do not form a lattice face");
+        }
+    }
+
+    /// Cartesian centroid of the face (for rendering and geometric checks).
+    #[must_use]
+    pub fn centroid(self) -> (f64, f64) {
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for p in self.corners() {
+            let (x, y) = p.to_cartesian();
+            cx += x;
+            cy += y;
+        }
+        (cx / 3.0, cy / 3.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_are_mutually_adjacent() {
+        for orientation in [Orientation::Up, Orientation::Down] {
+            let t = Triangle::new(TriPoint::new(2, -5), orientation);
+            let c = t.corners();
+            for i in 0..3 {
+                for j in 0..3 {
+                    if i != j {
+                        assert!(c[i].is_adjacent(c[j]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn containing_round_trips() {
+        for orientation in [Orientation::Up, Orientation::Down] {
+            let t = Triangle::new(TriPoint::new(-3, 4), orientation);
+            let [a, b, c] = t.corners();
+            assert_eq!(Triangle::containing(a, b, c), t);
+            assert_eq!(Triangle::containing(c, a, b), t);
+            assert_eq!(Triangle::containing(b, c, a), t);
+        }
+    }
+
+    #[test]
+    fn around_vertex_gives_six_distinct_incident_faces() {
+        let p = TriPoint::new(1, 1);
+        let faces = Triangle::around_vertex(p);
+        let unique: std::collections::HashSet<_> = faces.iter().copied().collect();
+        assert_eq!(unique.len(), 6);
+        for f in faces {
+            assert!(f.corners().contains(&p), "{f:?} should contain {p}");
+        }
+    }
+
+    #[test]
+    fn flanking_edge_faces_contain_both_endpoints() {
+        let p = TriPoint::new(0, 0);
+        for d in Direction::ALL {
+            let q = p + d;
+            let [t1, t2] = Triangle::flanking_edge(p, d);
+            assert_ne!(t1, t2);
+            for t in [t1, t2] {
+                assert!(t.corners().contains(&p));
+                assert!(t.corners().contains(&q));
+            }
+            // Flanking faces are orientation-independent of edge direction.
+            let mut a = [t1, t2];
+            let mut b = Triangle::flanking_edge(q, d.opposite());
+            a.sort();
+            b.sort();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "do not form a lattice face")]
+    fn containing_rejects_non_faces() {
+        let _ = Triangle::containing(
+            TriPoint::new(0, 0),
+            TriPoint::new(2, 0),
+            TriPoint::new(1, 1),
+        );
+    }
+
+    #[test]
+    fn centroid_is_inside_corner_bbox() {
+        let t = Triangle::new(TriPoint::ORIGIN, Orientation::Down);
+        let (cx, cy) = t.centroid();
+        let xs: Vec<f64> = t.corners().iter().map(|p| p.to_cartesian().0).collect();
+        let ys: Vec<f64> = t.corners().iter().map(|p| p.to_cartesian().1).collect();
+        let (min_x, max_x) = (
+            xs.iter().cloned().fold(f64::MAX, f64::min),
+            xs.iter().cloned().fold(f64::MIN, f64::max),
+        );
+        let (min_y, max_y) = (
+            ys.iter().cloned().fold(f64::MAX, f64::min),
+            ys.iter().cloned().fold(f64::MIN, f64::max),
+        );
+        assert!(min_x < cx && cx < max_x);
+        assert!(min_y < cy && cy < max_y);
+    }
+}

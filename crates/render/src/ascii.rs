@@ -1,0 +1,96 @@
+//! Terminal rendering of configurations on the triangular lattice.
+//!
+//! Rows are lattice rows (constant `y`, top row first); each row is offset
+//! by half a cell per unit `y` to approximate the 60° lattice geometry, the
+//! same skewed view as the paper's figures.
+
+use sops_system::ParticleSystem;
+
+/// Renders occupied vertices as `●` on a staggered character grid.
+#[must_use]
+pub fn render(sys: &ParticleSystem) -> String {
+    render_with(sys, '●', '·')
+}
+
+/// Renders with custom glyphs for occupied and empty lattice vertices.
+#[must_use]
+pub fn render_with(sys: &ParticleSystem, occupied: char, empty: char) -> String {
+    let bbox = sys.bounding_box();
+    let mut out = String::new();
+    // Top row first (largest y). Indent each row so that equal Cartesian x
+    // aligns: column = 2x + y (each x step is 2 chars, each y step shifts 1).
+    let base = 2 * bbox.min_x + bbox.min_y;
+    for y in (bbox.min_y..=bbox.max_y).rev() {
+        let mut row = String::new();
+        let indent = (2 * bbox.min_x + y - base).max(0) as usize;
+        row.push_str(&" ".repeat(indent));
+        for x in bbox.min_x..=bbox.max_x {
+            let p = sops_lattice::TriPoint::new(x, y);
+            row.push(if sys.is_occupied(p) { occupied } else { empty });
+            row.push(' ');
+        }
+        out.push_str(row.trim_end());
+        out.push('\n');
+    }
+    out
+}
+
+/// A compact single-line summary: `n=…, e=…, p=…, holes=…`.
+#[must_use]
+pub fn summary(sys: &ParticleSystem) -> String {
+    format!(
+        "n={}, e={}, p={}, holes={}",
+        sys.len(),
+        sys.edge_count(),
+        sys.perimeter(),
+        sys.hole_count()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_system::shapes;
+
+    #[test]
+    fn renders_one_glyph_per_particle() {
+        let sys = ParticleSystem::connected(shapes::line(5)).unwrap();
+        let art = render(&sys);
+        assert_eq!(art.matches('●').count(), 5);
+        assert_eq!(art.lines().count(), 1);
+    }
+
+    #[test]
+    fn hexagon_renders_three_rows() {
+        let sys = ParticleSystem::connected(shapes::hexagon(1)).unwrap();
+        let art = render(&sys);
+        assert_eq!(art.lines().count(), 3);
+        assert_eq!(art.matches('●').count(), 7);
+    }
+
+    #[test]
+    fn staggering_shifts_upper_rows() {
+        let sys = ParticleSystem::connected(shapes::hexagon(1)).unwrap();
+        let art = render(&sys);
+        let lines: Vec<&str> = art.lines().collect();
+        // The top row (larger y) is indented further than the bottom row.
+        let indent = |s: &str| s.len() - s.trim_start().len();
+        assert!(indent(lines[0]) > indent(lines[2]));
+    }
+
+    #[test]
+    fn summary_mentions_all_quantities() {
+        let sys = ParticleSystem::connected(shapes::annulus(1)).unwrap();
+        let s = summary(&sys);
+        assert!(s.contains("n=6"));
+        assert!(s.contains("holes=1"));
+    }
+
+    #[test]
+    fn custom_glyphs() {
+        let sys = ParticleSystem::connected(shapes::line(2)).unwrap();
+        let art = render_with(&sys, '#', '.');
+        assert_eq!(art.matches('#').count(), 2);
+        assert!(!art.contains('●'));
+    }
+}

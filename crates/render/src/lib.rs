@@ -1,0 +1,21 @@
+//! ASCII and SVG rendering of particle-system configurations.
+//!
+//! Regenerates the visual artifacts of the paper's figures (2, 10): particle
+//! positions on the triangular lattice with configuration edges drawn.
+//!
+//! # Example
+//!
+//! ```
+//! use sops_render::ascii;
+//! use sops_system::{shapes, ParticleSystem};
+//!
+//! let sys = ParticleSystem::connected(shapes::spiral(7)).unwrap();
+//! let art = ascii::render(&sys);
+//! assert_eq!(art.matches('●').count(), 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod svg;

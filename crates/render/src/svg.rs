@@ -1,0 +1,168 @@
+//! SVG rendering of configurations, matching the style of Figures 2 and 10:
+//! particles as filled circles, configuration edges as line segments.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use sops_lattice::Direction;
+use sops_system::ParticleSystem;
+
+/// Rendering options for [`render`].
+#[derive(Clone, Debug)]
+pub struct SvgOptions {
+    /// Pixels per lattice unit.
+    pub scale: f64,
+    /// Particle circle radius in pixels.
+    pub radius: f64,
+    /// Whether to draw configuration edges between adjacent particles.
+    pub draw_edges: bool,
+    /// Fill color for particles.
+    pub particle_color: String,
+    /// Stroke color for edges.
+    pub edge_color: String,
+}
+
+impl Default for SvgOptions {
+    fn default() -> SvgOptions {
+        SvgOptions {
+            scale: 14.0,
+            radius: 4.0,
+            draw_edges: true,
+            particle_color: "#222222".to_string(),
+            edge_color: "#888888".to_string(),
+        }
+    }
+}
+
+/// Renders the configuration as a standalone SVG document.
+#[must_use]
+pub fn render(sys: &ParticleSystem, options: &SvgOptions) -> String {
+    let margin = options.radius + options.scale;
+    let mut min_x = f64::MAX;
+    let mut min_y = f64::MAX;
+    let mut max_x = f64::MIN;
+    let mut max_y = f64::MIN;
+    for p in sys.iter() {
+        let (x, y) = p.to_cartesian();
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    let sx = |x: f64| (x - min_x) * options.scale + margin;
+    // Flip y so the lattice's +y points up in the image.
+    let sy = |y: f64| (max_y - y) * options.scale + margin;
+    let width = sx(max_x) + margin;
+    let height = sy(min_y) + margin;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.1} {height:.1}">"#
+    );
+    if options.draw_edges {
+        let _ = writeln!(
+            out,
+            r#"  <g stroke="{}" stroke-width="1.5">"#,
+            options.edge_color
+        );
+        for p in sys.iter() {
+            // Draw each edge once: only toward E, NE, NW.
+            for dir in [Direction::E, Direction::NE, Direction::NW] {
+                let q = p + dir;
+                if sys.is_occupied(q) {
+                    let (x1, y1) = p.to_cartesian();
+                    let (x2, y2) = q.to_cartesian();
+                    let _ = writeln!(
+                        out,
+                        r#"    <line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}"/>"#,
+                        sx(x1),
+                        sy(y1),
+                        sx(x2),
+                        sy(y2)
+                    );
+                }
+            }
+        }
+        let _ = writeln!(out, "  </g>");
+    }
+    let _ = writeln!(out, r#"  <g fill="{}">"#, options.particle_color);
+    for p in sys.iter() {
+        let (x, y) = p.to_cartesian();
+        let _ = writeln!(
+            out,
+            r#"    <circle cx="{:.2}" cy="{:.2}" r="{:.1}"/>"#,
+            sx(x),
+            sy(y),
+            options.radius
+        );
+    }
+    let _ = writeln!(out, "  </g>");
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders with default options and writes to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn write_svg(sys: &ParticleSystem, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, render(sys, &SvgOptions::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_system::shapes;
+
+    #[test]
+    fn svg_contains_one_circle_per_particle() {
+        let sys = ParticleSystem::connected(shapes::spiral(9)).unwrap();
+        let svg = render(&sys, &SvgOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 9);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn edge_count_matches_configuration() {
+        let sys = ParticleSystem::connected(shapes::spiral(9)).unwrap();
+        let svg = render(&sys, &SvgOptions::default());
+        assert_eq!(svg.matches("<line").count() as u64, sys.edge_count());
+    }
+
+    #[test]
+    fn edges_can_be_disabled() {
+        let sys = ParticleSystem::connected(shapes::line(4)).unwrap();
+        let svg = render(
+            &sys,
+            &SvgOptions {
+                draw_edges: false,
+                ..SvgOptions::default()
+            },
+        );
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn write_svg_creates_file() {
+        let sys = ParticleSystem::connected(shapes::line(3)).unwrap();
+        let path = std::env::temp_dir().join("sops_render_test.svg");
+        write_svg(&sys, &path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("<svg"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn coordinates_are_non_negative() {
+        let sys = ParticleSystem::connected(shapes::hexagon(2)).unwrap();
+        let svg = render(&sys, &SvgOptions::default());
+        for cap in svg.split("cx=\"").skip(1) {
+            let value: f64 = cap.split('"').next().unwrap().parse().unwrap();
+            assert!(value >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # sops — Stochastic Self-Organizing Particle Systems
+//!
+//! A faithful, tested Rust implementation of **"A Markov Chain Algorithm for
+//! Compression in Self-Organizing Particle Systems"** (Sarah Cannon, Joshua
+//! J. Daymude, Dana Randall, Andréa W. Richa; PODC 2016 / journal version
+//! 2019), together with everything needed to reproduce the paper's figures
+//! and quantitative claims.
+//!
+//! The paper's setting is the *geometric amoebot model*: anonymous,
+//! constant-memory particles on the triangular lattice that move by
+//! expanding into an adjacent empty node and contracting. The compression
+//! algorithm biases each particle toward having more neighbors with a
+//! parameter `λ`; the resulting Markov chain provably compresses the system
+//! (`λ > 2 + √2`) or keeps it expanded (`λ < 2.17`) at stationarity.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`lattice`] | triangular lattice `G∆`, directions, hexagonal dual |
+//! | [`system`] | configurations, edges/perimeter/holes, Properties 1 & 2, shapes |
+//! | [`core`] | the Markov chain `M` and the asynchronous local algorithm `A` |
+//! | [`enumerate`] | exact enumeration, exact transition matrices, SAW counts |
+//! | [`analysis`] | statistics toolkit for the experiment harness |
+//! | [`render`] | ASCII/SVG rendering of configurations |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sops::prelude::*;
+//!
+//! // 50 particles in a line, biased toward neighbors with λ = 4.
+//! let start = ParticleSystem::connected(shapes::line(50)).unwrap();
+//! let mut chain = CompressionChain::from_seed(start, 4.0, 7).unwrap();
+//! chain.run(200_000);
+//!
+//! let final_perimeter = chain.perimeter();
+//! assert!(final_perimeter < 98); // well below the line's pmax = 98
+//! assert!(chain.system().is_connected());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sops_analysis as analysis;
+pub use sops_core as core;
+pub use sops_enumerate as enumerate;
+pub use sops_lattice as lattice;
+pub use sops_render as render;
+pub use sops_system as system;
+
+/// One-line imports for the common workflow.
+pub mod prelude {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+    pub use sops_core::chain::{ChainError, CompressionChain, StepOutcome, TrajectoryPoint};
+    pub use sops_core::local::LocalRunner;
+    pub use sops_core::{LAMBDA_COMPRESSION, LAMBDA_EXPANSION};
+    pub use sops_lattice::{Direction, TriPoint};
+    pub use sops_system::{metrics, shapes, ParticleSystem};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_supports_basic_workflow() {
+        let sys = ParticleSystem::connected(shapes::line(5)).unwrap();
+        let mut chain = CompressionChain::from_seed(sys, 2.0, 0).unwrap();
+        chain.run(100);
+        assert_eq!(chain.steps(), 100);
+    }
+}

@@ -1,0 +1,249 @@
+//! Boundary tracing through the hexagonal dual.
+//!
+//! Section 2.2 defines the perimeter `p(σ)` as the total length of all
+//! boundary walks of a configuration, and Lemma 4.3 relates a configuration
+//! to the self-avoiding polygon bounding the union `A_σ` of hexagonal-dual
+//! faces: the external boundary of walk length `k` corresponds to a dual
+//! polygon with `2k + 6` hexagon edges (and, by the same exterior-angle
+//! count with winding number −1, a hole boundary of walk length `k`
+//! corresponds to `2k − 6` dual edges).
+//!
+//! This module traces those dual polygons explicitly. It serves two
+//! purposes: an *independent* perimeter computation used to validate the
+//! O(1)-per-move closed form `p = 3n − e − 3 + 3H` maintained by
+//! [`crate::ParticleSystem`], and the data for renderers that outline
+//! configurations.
+
+use sops_lattice::{Direction, TriMap, TriPoint, Triangle};
+
+use crate::{holes, ParticleSystem};
+
+/// A dual boundary edge: the hexagon edge between occupied `site` and its
+/// unoccupied neighbor in direction `dir`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoundaryEdge {
+    /// The occupied lattice vertex whose dual hexagon contributes the edge.
+    pub site: TriPoint,
+    /// Direction from `site` to the unoccupied neighbor across the edge.
+    pub dir: Direction,
+}
+
+impl BoundaryEdge {
+    /// The unoccupied cell on the other side of the edge.
+    #[must_use]
+    pub fn outside(&self) -> TriPoint {
+        self.site + self.dir
+    }
+
+    /// The two hexagonal-lattice vertices (triangular faces) bounding this
+    /// dual edge.
+    #[must_use]
+    pub fn endpoints(&self) -> [Triangle; 2] {
+        Triangle::flanking_edge(self.site, self.dir)
+    }
+}
+
+/// One traced boundary component of a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundaryComponent {
+    /// The dual edges of the component, in traversal order around the cycle.
+    pub edges: Vec<BoundaryEdge>,
+    /// `true` if this component bounds a hole; `false` for the external
+    /// boundary.
+    pub is_hole: bool,
+}
+
+impl BoundaryComponent {
+    /// Number of hexagonal-dual edges in the component.
+    #[must_use]
+    pub fn hex_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Length of the corresponding boundary walk on configuration edges
+    /// (the quantity summed by the paper's perimeter).
+    ///
+    /// External boundary: `k = (h − 6) / 2`; hole boundary: `k = (h + 6) / 2`
+    /// where `h` is [`BoundaryComponent::hex_len`].
+    #[must_use]
+    pub fn walk_len(&self) -> u64 {
+        let h = self.hex_len() as u64;
+        if self.is_hole {
+            (h + 6) / 2
+        } else {
+            h.saturating_sub(6) / 2
+        }
+    }
+}
+
+/// All boundary components of a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundaryTrace {
+    /// The components; exactly one external component for a connected
+    /// configuration, plus one per hole.
+    pub components: Vec<BoundaryComponent>,
+}
+
+impl BoundaryTrace {
+    /// The perimeter `p(σ)` as the sum of boundary walk lengths.
+    #[must_use]
+    pub fn perimeter(&self) -> u64 {
+        self.components.iter().map(BoundaryComponent::walk_len).sum()
+    }
+
+    /// Number of hole components.
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        self.components.iter().filter(|c| c.is_hole).count()
+    }
+
+    /// The external boundary component (for connected configurations there
+    /// is exactly one).
+    #[must_use]
+    pub fn external(&self) -> Option<&BoundaryComponent> {
+        self.components.iter().find(|c| !c.is_hole)
+    }
+}
+
+/// Traces all boundary components of a connected configuration.
+///
+/// Every dual boundary edge is incident to exactly two triangular faces, and
+/// every face is incident to 0 or 2 boundary edges (a face with 1 or 3
+/// occupied corners has exactly two mixed corner-pairs), so boundary edges
+/// decompose into disjoint cycles which this function follows.
+#[must_use]
+pub fn trace(sys: &ParticleSystem) -> BoundaryTrace {
+    // Collect boundary edges and index them by their face endpoints.
+    let mut edges: Vec<BoundaryEdge> = Vec::new();
+    for &p in sys.positions() {
+        for dir in Direction::ALL {
+            if !sys.is_occupied(p + dir) {
+                edges.push(BoundaryEdge { site: p, dir });
+            }
+        }
+    }
+    edges.sort();
+
+    let mut by_face: TriMap<Triangle, Vec<usize>> = TriMap::default();
+    for (i, e) in edges.iter().enumerate() {
+        for t in e.endpoints() {
+            by_face.entry(t).or_default().push(i);
+        }
+    }
+    for (face, incident) in &by_face {
+        debug_assert_eq!(
+            incident.len() % 2,
+            0,
+            "face {face:?} has odd boundary degree"
+        );
+    }
+
+    // Identify which unoccupied cells are exterior.
+    let bbox = sys.bounding_box().expanded(1);
+    let exterior = holes::exterior_fill(sys, bbox);
+
+    let mut visited = vec![false; edges.len()];
+    let mut components = Vec::new();
+    for start in 0..edges.len() {
+        if visited[start] {
+            continue;
+        }
+        let mut cycle = Vec::new();
+        let mut current = start;
+        // Walk the cycle: from each edge, leave through its "second"
+        // endpoint, alternating so we never immediately backtrack.
+        let mut enter_face = edges[start].endpoints()[0];
+        loop {
+            visited[current] = true;
+            cycle.push(edges[current]);
+            let [a, b] = edges[current].endpoints();
+            let exit_face = if a == enter_face { b } else { a };
+            let incident = &by_face[&exit_face];
+            let next = incident
+                .iter()
+                .copied()
+                .find(|&j| !visited[j])
+                .or_else(|| incident.iter().copied().find(|&j| j == start));
+            match next {
+                Some(j) if j != start => {
+                    enter_face = exit_face;
+                    current = j;
+                }
+                _ => break,
+            }
+        }
+        let is_hole = !exterior.contains(&cycle[0].outside());
+        components.push(BoundaryComponent {
+            edges: cycle,
+            is_hole,
+        });
+    }
+
+    BoundaryTrace { components }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn single_particle_boundary() {
+        let sys = ParticleSystem::new([TriPoint::ORIGIN]).unwrap();
+        let trace = trace(&sys);
+        assert_eq!(trace.components.len(), 1);
+        assert_eq!(trace.components[0].hex_len(), 6);
+        assert_eq!(trace.perimeter(), 0);
+    }
+
+    #[test]
+    fn pair_boundary() {
+        let sys = ParticleSystem::connected(shapes::line(2)).unwrap();
+        let trace = trace(&sys);
+        assert_eq!(trace.components.len(), 1);
+        // Two hexagons glued: 10 boundary edges; walk length (10-6)/2 = 2.
+        assert_eq!(trace.components[0].hex_len(), 10);
+        assert_eq!(trace.perimeter(), 2);
+    }
+
+    #[test]
+    fn ring_has_external_and_hole_components() {
+        let ring: Vec<TriPoint> = TriPoint::ORIGIN.neighbors().collect();
+        let sys = ParticleSystem::connected(ring).unwrap();
+        let t = trace(&sys);
+        assert_eq!(t.components.len(), 2);
+        assert_eq!(t.hole_count(), 1);
+        let external = t.external().unwrap();
+        let hole = t.components.iter().find(|c| c.is_hole).unwrap();
+        // External walk of the hexagon ring: 6; hole boundary walk: 6.
+        assert_eq!(external.walk_len(), 6);
+        assert_eq!(hole.walk_len(), 6);
+        assert_eq!(t.perimeter(), 12);
+        // Matches the closed form 3n − e − 3 + 3H = 18 − 6 − 3 + 3.
+        assert_eq!(sys.perimeter(), 12);
+    }
+
+    #[test]
+    fn tracer_matches_closed_form_on_shapes() {
+        for sys in [
+            ParticleSystem::connected(shapes::line(7)).unwrap(),
+            ParticleSystem::connected(shapes::spiral(19)).unwrap(),
+            ParticleSystem::connected(shapes::annulus(2)).unwrap(),
+            ParticleSystem::connected(shapes::l_shape(4, 6)).unwrap(),
+        ] {
+            let t = trace(&sys);
+            assert_eq!(t.perimeter(), sys.perimeter(), "{:?}", sys.positions());
+            assert_eq!(t.hole_count(), sys.hole_count());
+        }
+    }
+
+    #[test]
+    fn cut_edges_counted_twice() {
+        // A path of three particles: the boundary walk traverses both edges
+        // twice, p = 4.
+        let sys = ParticleSystem::connected(shapes::line(3)).unwrap();
+        let t = trace(&sys);
+        assert_eq!(t.perimeter(), 4);
+        assert_eq!(t.components.len(), 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! Translation-canonical forms of configurations.
+//!
+//! Section 2.2 identifies particle *arrangements* up to translation to form
+//! *configurations*. This module provides a canonical representative (the
+//! arrangement shifted so its bounding box corner sits at the origin) and a
+//! compact hashable key, used for state-space enumeration and for detecting
+//! revisited states.
+
+use sops_lattice::TriPoint;
+
+/// A compact, hashable, translation-invariant identifier of a configuration.
+///
+/// Two point sets map to the same key iff one is a translation of the other.
+pub type CanonicalKey = Box<[u32]>;
+
+/// Returns the canonical representative of the configuration: every point
+/// translated so that `min x` and `min y` both become 0, sorted by `(y, x)`.
+///
+/// ```
+/// use sops_lattice::TriPoint;
+/// use sops_system::canonical_points;
+///
+/// let a = canonical_points([TriPoint::new(5, 5), TriPoint::new(6, 5)]);
+/// let b = canonical_points([TriPoint::new(-3, 2), TriPoint::new(-2, 2)]);
+/// assert_eq!(a, b);
+/// ```
+#[must_use]
+pub fn canonical_points(points: impl IntoIterator<Item = TriPoint>) -> Vec<TriPoint> {
+    let mut pts: Vec<TriPoint> = points.into_iter().collect();
+    if pts.is_empty() {
+        return pts;
+    }
+    let min_x = pts.iter().map(|p| p.x).min().expect("non-empty");
+    let min_y = pts.iter().map(|p| p.y).min().expect("non-empty");
+    for p in &mut pts {
+        *p = p.translated(-min_x, -min_y);
+    }
+    pts.sort_by_key(|p| (p.y, p.x));
+    pts
+}
+
+/// Packs canonical points into a compact key.
+///
+/// # Panics
+///
+/// Panics if any canonical coordinate exceeds `u16::MAX` (configurations
+/// spanning more than 65,535 lattice cells per axis).
+#[must_use]
+pub fn canonical_key(points: impl IntoIterator<Item = TriPoint>) -> CanonicalKey {
+    canonical_points(points)
+        .into_iter()
+        .map(|p| {
+            let x = u32::try_from(p.x).expect("canonical x must be non-negative");
+            let y = u32::try_from(p.y).expect("canonical y must be non-negative");
+            assert!(x <= u16::MAX as u32 && y <= u16::MAX as u32, "span too large");
+            (x << 16) | y
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn translation_invariance() {
+        let base = shapes::spiral(9);
+        let shifted: Vec<TriPoint> = base.iter().map(|p| p.translated(17, -4)).collect();
+        assert_eq!(canonical_key(base.clone()), canonical_key(shifted));
+    }
+
+    #[test]
+    fn different_shapes_have_different_keys() {
+        assert_ne!(
+            canonical_key(shapes::line(4)),
+            canonical_key(shapes::l_shape(2, 3))
+        );
+    }
+
+    #[test]
+    fn rotation_is_not_identified() {
+        // Configurations differing by rotation are distinct (Section 2.2).
+        let horizontal = [TriPoint::new(0, 0), TriPoint::new(1, 0)];
+        let diagonal = [TriPoint::new(0, 0), TriPoint::new(0, 1)];
+        assert_ne!(
+            canonical_key(horizontal.iter().copied()),
+            canonical_key(diagonal.iter().copied())
+        );
+    }
+
+    #[test]
+    fn canonicalization_is_idempotent() {
+        let pts = shapes::l_shape(3, 5);
+        let once = canonical_points(pts);
+        let twice = canonical_points(once.clone());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn empty_input_is_empty_key() {
+        assert!(canonical_key(std::iter::empty()).is_empty());
+    }
+}

@@ -1,0 +1,447 @@
+//! The [`ParticleSystem`] configuration type.
+
+use sops_lattice::{BoundingBox, Direction, PairRing, TriMap, TriPoint};
+
+use crate::canonical::{canonical_key, CanonicalKey};
+use crate::moves::MoveValidity;
+use crate::SystemError;
+
+/// Index of a particle within a [`ParticleSystem`] (`0..n`).
+pub type ParticleId = usize;
+
+/// A configuration of `n` particles occupying distinct vertices of `G∆`.
+///
+/// This is the state the paper's Markov chain `M` acts on: all particles are
+/// contracted, each occupying a single lattice vertex (Section 3.1; expanded
+/// intermediate states only exist inside the local algorithm `A` of
+/// `sops-core`). The structure maintains:
+///
+/// * a location → particle map for O(1) occupancy tests,
+/// * a particle → location vector for uniform random particle selection,
+/// * the configuration edge count `e(σ)`, updated incrementally in O(1) per
+///   move (the paper's Metropolis filter only ever needs the *change* in
+///   edge count, which is local).
+///
+/// # Example
+///
+/// ```
+/// use sops_lattice::{Direction, TriPoint};
+/// use sops_system::ParticleSystem;
+///
+/// // A triangle of three particles.
+/// let sys = ParticleSystem::connected([
+///     TriPoint::new(0, 0),
+///     TriPoint::new(1, 0),
+///     TriPoint::new(0, 1),
+/// ])
+/// .unwrap();
+/// assert_eq!(sys.edge_count(), 3);
+/// assert_eq!(sys.triangle_count(), 1);
+/// assert_eq!(sys.perimeter(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ParticleSystem {
+    occ: TriMap<TriPoint, ParticleId>,
+    pos: Vec<TriPoint>,
+    edges: u64,
+}
+
+impl ParticleSystem {
+    /// Builds a configuration from particle locations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::Empty`] for an empty iterator and
+    /// [`SystemError::DuplicateLocation`] if a location repeats.
+    pub fn new(points: impl IntoIterator<Item = TriPoint>) -> Result<ParticleSystem, SystemError> {
+        let pos: Vec<TriPoint> = points.into_iter().collect();
+        if pos.is_empty() {
+            return Err(SystemError::Empty);
+        }
+        let mut occ: TriMap<TriPoint, ParticleId> = TriMap::default();
+        occ.reserve(pos.len() * 2);
+        for (id, p) in pos.iter().enumerate() {
+            if occ.insert(*p, id).is_some() {
+                return Err(SystemError::DuplicateLocation(*p));
+            }
+        }
+        let mut sys = ParticleSystem { occ, pos, edges: 0 };
+        sys.edges = sys.recount_edges();
+        Ok(sys)
+    }
+
+    /// Builds a configuration and verifies it is connected.
+    ///
+    /// The compression chain requires a connected starting configuration
+    /// (Section 3.1); this constructor enforces that precondition.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ParticleSystem::new`] returns, plus
+    /// [`SystemError::NotConnected`].
+    pub fn connected(
+        points: impl IntoIterator<Item = TriPoint>,
+    ) -> Result<ParticleSystem, SystemError> {
+        let sys = ParticleSystem::new(points)?;
+        if !sys.is_connected() {
+            return Err(SystemError::NotConnected);
+        }
+        Ok(sys)
+    }
+
+    /// Number of particles `n`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Returns `true` if the system has no particles (never true for
+    /// instances built through the public constructors).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// The number of configuration edges `e(σ)` — lattice edges with both
+    /// endpoints occupied (Section 2.2).
+    #[inline]
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Returns `true` if `p` is occupied by a particle.
+    #[inline]
+    #[must_use]
+    pub fn is_occupied(&self, p: TriPoint) -> bool {
+        self.occ.contains_key(&p)
+    }
+
+    /// The particle occupying `p`, if any.
+    #[inline]
+    #[must_use]
+    pub fn particle_at(&self, p: TriPoint) -> Option<ParticleId> {
+        self.occ.get(&p).copied()
+    }
+
+    /// The location of particle `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n`.
+    #[inline]
+    #[must_use]
+    pub fn position(&self, id: ParticleId) -> TriPoint {
+        self.pos[id]
+    }
+
+    /// All particle locations, indexed by particle id.
+    #[inline]
+    #[must_use]
+    pub fn positions(&self) -> &[TriPoint] {
+        &self.pos
+    }
+
+    /// Iterates over the occupied lattice locations (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = TriPoint> + '_ {
+        self.pos.iter().copied()
+    }
+
+    /// The number of occupied neighbors of location `p`.
+    ///
+    /// `p` itself does not count, whether or not it is occupied.
+    #[inline]
+    #[must_use]
+    pub fn neighbor_count(&self, p: TriPoint) -> u8 {
+        let mut count = 0u8;
+        for d in Direction::ALL {
+            if self.is_occupied(p + d) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// The number of configuration triangles `t(σ)` — lattice faces with all
+    /// three corners occupied (Section 2.2, used by Lemma 2.4).
+    #[must_use]
+    pub fn triangle_count(&self) -> u64 {
+        let mut t = 0u64;
+        for &p in &self.pos {
+            let east = self.is_occupied(p + Direction::E);
+            if east && self.is_occupied(p + Direction::NE) {
+                t += 1;
+            }
+            if east && self.is_occupied(p + Direction::SE) {
+                t += 1;
+            }
+        }
+        t
+    }
+
+    /// Tests whether the configuration is connected (Section 2.2) via BFS.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.pos.is_empty() {
+            return true;
+        }
+        let mut visited = vec![false; self.pos.len()];
+        let mut stack = vec![0 as ParticleId];
+        visited[0] = true;
+        let mut seen = 1usize;
+        while let Some(id) = stack.pop() {
+            let p = self.pos[id];
+            for d in Direction::ALL {
+                if let Some(other) = self.particle_at(p + d) {
+                    if !visited[other] {
+                        visited[other] = true;
+                        seen += 1;
+                        stack.push(other);
+                    }
+                }
+            }
+        }
+        seen == self.pos.len()
+    }
+
+    /// The smallest bounding box containing all particles.
+    #[must_use]
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::of(self.iter()).expect("particle systems are non-empty")
+    }
+
+    /// Evaluates the paper's move conditions for moving the particle at
+    /// `from` one step in direction `dir` (Algorithm `M`, Step 6).
+    ///
+    /// The result reports target occupancy, the neighbor counts `e` and `e′`,
+    /// the five-neighbor hole guard (Condition 1) and Properties 1/2
+    /// (Condition 2). The Metropolis filter (Condition 3) is probabilistic
+    /// and belongs to the chain in `sops-core`.
+    #[must_use]
+    pub fn check_move(&self, from: TriPoint, dir: Direction) -> MoveValidity {
+        let to = from + dir;
+        let target_occupied = self.is_occupied(to);
+        let ring = PairRing::new(from, dir);
+        let mask = ring.occupancy_mask(|p| self.is_occupied(p));
+        MoveValidity::from_mask(mask, target_occupied)
+    }
+
+    /// Moves particle `id` one step in direction `dir`, updating the edge
+    /// count incrementally, without checking Properties 1/2.
+    ///
+    /// This is the raw mutation used by the chain after it has validated the
+    /// move; it enforces only the structural requirements (valid id,
+    /// unoccupied target).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError::NoSuchParticle`] or
+    /// [`SystemError::TargetOccupied`].
+    pub fn move_particle(&mut self, id: ParticleId, dir: Direction) -> Result<(), SystemError> {
+        let from = *self.pos.get(id).ok_or(SystemError::NoSuchParticle(id))?;
+        let to = from + dir;
+        if self.is_occupied(to) {
+            return Err(SystemError::TargetOccupied(to));
+        }
+        self.occ.remove(&from);
+        let e_from = self.neighbor_count(from) as u64;
+        let e_to = self.neighbor_count(to) as u64;
+        self.edges = self.edges - e_from + e_to;
+        self.occ.insert(to, id);
+        self.pos[id] = to;
+        Ok(())
+    }
+
+    /// The number of holes `H(σ)`: finite maximal connected unoccupied
+    /// regions (Section 2.2). Computed by exterior flood fill; see
+    /// [`crate::holes`].
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        crate::holes::analyze(self).hole_count
+    }
+
+    /// The perimeter `p(σ)`: total length of all boundary walks, counting
+    /// cut edges twice (Section 2.2).
+    ///
+    /// Computed through the closed form `p = 3n − e − 3 + 3H`, which
+    /// generalizes Lemma 2.3 (`e = 3n − p − 3` for hole-free configurations)
+    /// to configurations with `H` holes. Derivation: each boundary component
+    /// corresponds to a cycle of hexagonal-dual boundary edges; the external
+    /// cycle has hex-length `2k + 6` for walk length `k` and each hole cycle
+    /// has hex-length `2k − 6`, while the total number of boundary hex edges
+    /// is `6n − 2e`. The identity is verified exhaustively against the
+    /// independent boundary tracer of [`crate::boundary`] in this crate's
+    /// tests.
+    ///
+    /// Requires a connected configuration to be meaningful (as in the paper).
+    #[must_use]
+    pub fn perimeter(&self) -> u64 {
+        let holes = self.hole_count() as u64;
+        self.perimeter_with_holes(holes)
+    }
+
+    /// The perimeter given an externally known hole count.
+    ///
+    /// The chain of `sops-core` tracks hole-freeness (holes can never
+    /// reappear once eliminated — Lemma 3.2), so it can skip the flood fill
+    /// and call this with `holes = 0`.
+    #[inline]
+    #[must_use]
+    pub fn perimeter_with_holes(&self, holes: u64) -> u64 {
+        3 * self.len() as u64 - self.edges - 3 + 3 * holes
+    }
+
+    /// A translation-invariant canonical key identifying the configuration
+    /// (Section 2.2 identifies configurations up to translation).
+    #[must_use]
+    pub fn canonical_key(&self) -> CanonicalKey {
+        canonical_key(self.iter())
+    }
+
+    /// Recounts edges from scratch (used to validate the incremental count).
+    #[must_use]
+    pub fn recount_edges(&self) -> u64 {
+        let mut twice = 0u64;
+        for &p in &self.pos {
+            twice += self.neighbor_count(p) as u64;
+        }
+        twice / 2
+    }
+
+    /// Checks internal invariants (position/occupancy agreement, incremental
+    /// edge count). Intended for tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_invariants(&self) {
+        assert_eq!(self.occ.len(), self.pos.len(), "occupancy size mismatch");
+        for (id, &p) in self.pos.iter().enumerate() {
+            assert_eq!(self.occ.get(&p), Some(&id), "particle {id} at {p}");
+        }
+        assert_eq!(self.edges, self.recount_edges(), "edge count drifted");
+    }
+}
+
+impl PartialEq for ParticleSystem {
+    /// Configurations compare equal when they occupy the same locations
+    /// (particle ids are anonymous, as in the paper).
+    fn eq(&self, other: &Self) -> bool {
+        self.pos.len() == other.pos.len() && self.pos.iter().all(|p| other.is_occupied(*p))
+    }
+}
+
+impl Eq for ParticleSystem {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    fn triangle() -> ParticleSystem {
+        ParticleSystem::connected([
+            TriPoint::new(0, 0),
+            TriPoint::new(1, 0),
+            TriPoint::new(0, 1),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn new_rejects_duplicates_and_empty() {
+        assert_eq!(
+            ParticleSystem::new([TriPoint::ORIGIN, TriPoint::ORIGIN]),
+            Err(SystemError::DuplicateLocation(TriPoint::ORIGIN))
+        );
+        assert_eq!(
+            ParticleSystem::new(std::iter::empty()),
+            Err(SystemError::Empty)
+        );
+    }
+
+    #[test]
+    fn connected_rejects_disconnected() {
+        let res = ParticleSystem::connected([TriPoint::ORIGIN, TriPoint::new(5, 5)]);
+        assert_eq!(res, Err(SystemError::NotConnected));
+    }
+
+    #[test]
+    fn edge_and_triangle_counts() {
+        let sys = triangle();
+        assert_eq!(sys.edge_count(), 3);
+        assert_eq!(sys.triangle_count(), 1);
+        let line = ParticleSystem::connected(shapes::line(5)).unwrap();
+        assert_eq!(line.edge_count(), 4);
+        assert_eq!(line.triangle_count(), 0);
+    }
+
+    #[test]
+    fn move_particle_updates_edges_incrementally() {
+        let mut sys = ParticleSystem::connected(shapes::line(4)).unwrap();
+        // Move the last particle of the line 0..4 up-left so it forms a
+        // triangle with particles 2 and 3: (3,0) -> (2,1)? (2,1) neighbors
+        // (2,0) and (3,0)... but (3,0) is the mover itself, so e' counts (2,0) and (1,1)=empty.
+        let id = sys.particle_at(TriPoint::new(3, 0)).unwrap();
+        sys.move_particle(id, Direction::NW).unwrap();
+        assert_eq!(sys.position(id), TriPoint::new(2, 1));
+        sys.assert_invariants();
+        assert_eq!(sys.edge_count(), sys.recount_edges());
+    }
+
+    #[test]
+    fn move_particle_rejects_occupied_target() {
+        let mut sys = ParticleSystem::connected(shapes::line(3)).unwrap();
+        let id = sys.particle_at(TriPoint::new(0, 0)).unwrap();
+        assert_eq!(
+            sys.move_particle(id, Direction::E),
+            Err(SystemError::TargetOccupied(TriPoint::new(1, 0)))
+        );
+        assert_eq!(
+            sys.move_particle(99, Direction::E),
+            Err(SystemError::NoSuchParticle(99))
+        );
+    }
+
+    #[test]
+    fn perimeter_of_small_shapes() {
+        assert_eq!(
+            ParticleSystem::new([TriPoint::ORIGIN]).unwrap().perimeter(),
+            0
+        );
+        assert_eq!(
+            ParticleSystem::connected(shapes::line(2))
+                .unwrap()
+                .perimeter(),
+            2
+        );
+        assert_eq!(triangle().perimeter(), 3);
+        // A line of n particles is a tree: p = 2n − 2.
+        for n in 2..12 {
+            let line = ParticleSystem::connected(shapes::line(n)).unwrap();
+            assert_eq!(line.perimeter(), 2 * n as u64 - 2);
+        }
+    }
+
+    #[test]
+    fn equality_is_anonymous() {
+        let a = ParticleSystem::new([TriPoint::new(0, 0), TriPoint::new(1, 0)]).unwrap();
+        let b = ParticleSystem::new([TriPoint::new(1, 0), TriPoint::new(0, 0)]).unwrap();
+        assert_eq!(a, b);
+        let c = ParticleSystem::new([TriPoint::new(0, 0), TriPoint::new(0, 1)]).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn connectivity_detects_bridges() {
+        // A "V" of particles is connected; removing the apex disconnects it.
+        let sys = ParticleSystem::connected([
+            TriPoint::new(-1, 0),
+            TriPoint::new(0, 0),
+            TriPoint::new(1, 0),
+        ])
+        .unwrap();
+        assert!(sys.is_connected());
+    }
+}

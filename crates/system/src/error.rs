@@ -1,0 +1,68 @@
+//! Error types for configuration construction and mutation.
+
+use core::fmt;
+
+use sops_lattice::TriPoint;
+
+/// Errors produced when building or mutating a [`crate::ParticleSystem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SystemError {
+    /// The same lattice location was supplied twice.
+    DuplicateLocation(TriPoint),
+    /// A configuration must contain at least one particle.
+    Empty,
+    /// The configuration is not connected (required by the compression chain).
+    NotConnected,
+    /// A move targeted an occupied location.
+    TargetOccupied(TriPoint),
+    /// A move referenced a particle id outside `0..n`.
+    NoSuchParticle(usize),
+    /// A move targeted a location not adjacent to the particle.
+    NotAdjacent {
+        /// The particle's current location.
+        from: TriPoint,
+        /// The requested destination.
+        to: TriPoint,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::DuplicateLocation(p) => write!(f, "duplicate location {p}"),
+            SystemError::Empty => write!(f, "configuration must contain at least one particle"),
+            SystemError::NotConnected => write!(f, "configuration is not connected"),
+            SystemError::TargetOccupied(p) => write!(f, "target location {p} is occupied"),
+            SystemError::NoSuchParticle(id) => write!(f, "no particle with id {id}"),
+            SystemError::NotAdjacent { from, to } => {
+                write!(f, "locations {from} and {to} are not adjacent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = SystemError::DuplicateLocation(TriPoint::new(1, 2));
+        assert!(e.to_string().contains("(1, 2)"));
+        assert!(SystemError::Empty.to_string().contains("at least one"));
+        let e = SystemError::NotAdjacent {
+            from: TriPoint::ORIGIN,
+            to: TriPoint::new(3, 3),
+        };
+        assert!(e.to_string().contains("not adjacent"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SystemError>();
+    }
+}

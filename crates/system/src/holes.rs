@@ -1,0 +1,163 @@
+//! Hole detection via exterior flood fill.
+//!
+//! A *hole* (Section 2.2) is a finite maximal connected unoccupied subgraph
+//! of `G∆`. We detect holes by flood-filling the unoccupied region from
+//! outside the configuration's bounding box: unoccupied cells inside the box
+//! that the fill cannot reach belong to holes, and their connected
+//! components are the holes themselves.
+
+use sops_lattice::{BoundingBox, TriPoint, TriSet};
+
+use crate::ParticleSystem;
+
+/// The result of a hole analysis of a configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HoleAnalysis {
+    /// Number of holes (connected finite unoccupied regions).
+    pub hole_count: usize,
+    /// Total number of unoccupied lattice vertices inside holes.
+    pub hole_area: usize,
+    /// One representative cell per hole.
+    pub representatives: Vec<TriPoint>,
+}
+
+impl HoleAnalysis {
+    /// `true` when the configuration has no holes (is in `Ω*`).
+    #[must_use]
+    pub fn is_hole_free(&self) -> bool {
+        self.hole_count == 0
+    }
+}
+
+/// Analyzes the holes of a configuration.
+///
+/// Runs in `O(area)` of the bounding box. For the chain's hot loop this is
+/// only needed until the configuration first becomes hole-free; afterwards
+/// Lemma 3.2 guarantees hole-freeness forever.
+#[must_use]
+pub fn analyze(sys: &ParticleSystem) -> HoleAnalysis {
+    let bbox = sys.bounding_box().expanded(1);
+    let exterior = exterior_fill(sys, bbox);
+
+    // Any unoccupied, non-exterior cell inside the box is part of a hole.
+    let mut hole_cells: TriSet<TriPoint> = TriSet::default();
+    for p in bbox.iter() {
+        if !sys.is_occupied(p) && !exterior.contains(&p) {
+            hole_cells.insert(p);
+        }
+    }
+
+    let hole_area = hole_cells.len();
+    let mut representatives = Vec::new();
+    let mut visited: TriSet<TriPoint> = TriSet::default();
+    // Deterministic iteration: sort the cells before component-finding.
+    let mut cells: Vec<TriPoint> = hole_cells.iter().copied().collect();
+    cells.sort();
+    for &cell in &cells {
+        if visited.contains(&cell) {
+            continue;
+        }
+        representatives.push(cell);
+        let mut stack = vec![cell];
+        visited.insert(cell);
+        while let Some(p) = stack.pop() {
+            for q in p.neighbors() {
+                if hole_cells.contains(&q) && visited.insert(q) {
+                    stack.push(q);
+                }
+            }
+        }
+    }
+
+    HoleAnalysis {
+        hole_count: representatives.len(),
+        hole_area,
+        representatives,
+    }
+}
+
+/// Flood-fills the unoccupied exterior region within `bbox`, starting from
+/// the box frame. The frame must not intersect the configuration (use a
+/// bounding box expanded by at least 1).
+#[must_use]
+pub fn exterior_fill(sys: &ParticleSystem, bbox: BoundingBox) -> TriSet<TriPoint> {
+    let mut exterior: TriSet<TriPoint> = TriSet::default();
+    let mut stack: Vec<TriPoint> = Vec::new();
+    for p in bbox.iter() {
+        if bbox.on_frame(p) {
+            debug_assert!(!sys.is_occupied(p), "frame must be outside the system");
+            if exterior.insert(p) {
+                stack.push(p);
+            }
+        }
+    }
+    while let Some(p) = stack.pop() {
+        for q in p.neighbors() {
+            if bbox.contains(q) && !sys.is_occupied(q) && exterior.insert(q) {
+                stack.push(q);
+            }
+        }
+    }
+    exterior
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes;
+
+    #[test]
+    fn line_has_no_holes() {
+        let sys = ParticleSystem::connected(shapes::line(8)).unwrap();
+        let analysis = analyze(&sys);
+        assert!(analysis.is_hole_free());
+        assert_eq!(analysis.hole_area, 0);
+    }
+
+    #[test]
+    fn hexagon_ring_has_one_hole() {
+        // The six neighbors of the origin, without the origin: one hole of
+        // area 1.
+        let ring: Vec<TriPoint> = TriPoint::ORIGIN.neighbors().collect();
+        let sys = ParticleSystem::connected(ring).unwrap();
+        let analysis = analyze(&sys);
+        assert_eq!(analysis.hole_count, 1);
+        assert_eq!(analysis.hole_area, 1);
+        assert_eq!(analysis.representatives, vec![TriPoint::ORIGIN]);
+        assert_eq!(sys.hole_count(), 1);
+    }
+
+    #[test]
+    fn double_ring_has_bigger_hole() {
+        let sys = ParticleSystem::connected(shapes::annulus(2)).unwrap();
+        let analysis = analyze(&sys);
+        assert_eq!(analysis.hole_count, 1);
+        // Interior of a radius-2 ring: the origin plus its 6 neighbors.
+        assert_eq!(analysis.hole_area, 7);
+    }
+
+    #[test]
+    fn two_separate_holes_are_counted() {
+        // Two hexagon rings sharing one particle... simpler: build two rings
+        // connected by a path.
+        let mut pts: Vec<TriPoint> = TriPoint::ORIGIN.neighbors().collect();
+        let far = TriPoint::new(5, 0);
+        pts.extend(far.neighbors());
+        // Connect them with a straight segment along y = 0.
+        for x in 2..=3 {
+            pts.push(TriPoint::new(x, 0));
+        }
+        pts.sort();
+        pts.dedup();
+        let sys = ParticleSystem::connected(pts).unwrap();
+        let analysis = analyze(&sys);
+        assert_eq!(analysis.hole_count, 2);
+        assert_eq!(analysis.hole_area, 2);
+    }
+
+    #[test]
+    fn compact_shapes_are_hole_free() {
+        let sys = ParticleSystem::connected(shapes::spiral(30)).unwrap();
+        assert!(analyze(&sys).is_hole_free());
+    }
+}

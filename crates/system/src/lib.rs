@@ -1,0 +1,52 @@
+//! Particle-system configurations on the triangular lattice.
+//!
+//! This crate implements the *configuration layer* of the compression paper
+//! (Cannon, Daymude, Randall, Richa — PODC 2016): occupancy of lattice
+//! vertices by particles, the quantities the theory reasons about
+//! (edges `e(σ)`, triangles `t(σ)`, perimeter `p(σ)`, holes), and the local
+//! move-validity conditions (Properties 1 and 2 plus the five-neighbor rule)
+//! that the Markov chain `M` of `sops-core` applies.
+//!
+//! # Overview
+//!
+//! * [`ParticleSystem`] — a set of `n` particles occupying distinct lattice
+//!   vertices, with O(1) occupancy queries and an incrementally maintained
+//!   edge count.
+//! * [`moves`] — O(1) move validity from the 8-bit occupancy mask of the
+//!   [`sops_lattice::PairRing`], with first-principles reference
+//!   implementations used for cross-validation.
+//! * [`holes`] — exterior flood fill; hole detection and counting.
+//! * [`boundary`] — hexagonal-dual boundary tracer; an independent perimeter
+//!   computation used to verify the closed-form `p = 3n − e − 3 + 3H`.
+//! * [`metrics`] — `pmin`, `pmax`, compression/expansion ratios, and the
+//!   identities of Lemmas 2.1, 2.3 and 2.4.
+//! * [`shapes`] — initial configurations: lines, spirals, rings with holes,
+//!   random connected clusters.
+//!
+//! # Example
+//!
+//! ```
+//! use sops_system::{shapes, ParticleSystem};
+//!
+//! let sys = ParticleSystem::connected(shapes::line(10)).unwrap();
+//! assert_eq!(sys.len(), 10);
+//! assert_eq!(sys.edge_count(), 9);
+//! assert_eq!(sys.perimeter(), 18); // pmax = 2n − 2 for a tree
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundary;
+mod canonical;
+mod config;
+mod error;
+pub mod holes;
+pub mod metrics;
+pub mod moves;
+pub mod shapes;
+
+pub use canonical::{canonical_key, canonical_points, CanonicalKey};
+pub use config::{ParticleId, ParticleSystem};
+pub use error::SystemError;
+pub use moves::MoveValidity;

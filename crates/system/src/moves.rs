@@ -1,0 +1,376 @@
+//! Local move validity: the five-neighbor rule and Properties 1 & 2.
+//!
+//! Section 3.1 of the paper defines two structural properties of an adjacent
+//! location pair `(ℓ, ℓ′)` that make a particle move from `ℓ` to `ℓ′` safe:
+//!
+//! * **Property 1.** `|S| ∈ {1, 2}` — at least one of the two common
+//!   neighbors of `ℓ` and `ℓ′` is occupied — and every particle in
+//!   `N(ℓ ∪ ℓ′)` is connected to a particle of `S` by a path *through*
+//!   `N(ℓ ∪ ℓ′)`.
+//! * **Property 2.** `|S| = 0`, both `ℓ` and `ℓ′` have at least one
+//!   neighbor, all particles in `N(ℓ) \ {ℓ′}` are connected by paths within
+//!   that set, and likewise for `N(ℓ′) \ {ℓ}`.
+//!
+//! Together with Condition (1) of Algorithm `M` (`e ≠ 5`, preventing hole
+//! creation at the vacated site), these conditions preserve connectivity
+//! (Lemma 3.1) and hole-freeness (Lemma 3.2), and are symmetric in `ℓ`/`ℓ′`
+//! so every move is reversible (Lemma 3.9).
+//!
+//! Because `N(ℓ ∪ ℓ′)` is an induced 8-cycle ([`sops_lattice::PairRing`]),
+//! both properties are pure functions of an 8-bit occupancy mask, and are
+//! precomputed here as 256-entry lookup tables built at compile time. The
+//! [`mod@reference`] module implements the textual definitions directly on the
+//! lattice with BFS; the test suite (and a Criterion bench) checks that the
+//! table and the reference agree on every mask and on random configurations.
+
+use sops_lattice::{Direction, TriPoint};
+
+/// Bit positions of the two shared neighbors in the ring mask.
+const SHARED_MASK: u8 = 0b0001_0001;
+
+const fn prop1_of_mask(mask: u8) -> bool {
+    // S = occupied shared neighbors; Property 1 needs |S| >= 1.
+    let shared = mask & SHARED_MASK;
+    if shared == 0 {
+        return false;
+    }
+    // Flood occupied ring sites outward from S along the 8-cycle; Property 1
+    // holds iff every occupied site is reached.
+    let mut reach = shared;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < 8 {
+            let bit = 1u8 << i;
+            if mask & bit != 0 && reach & bit == 0 {
+                let prev = 1u8 << ((i + 7) % 8);
+                let next = 1u8 << ((i + 1) % 8);
+                if reach & prev != 0 || reach & next != 0 {
+                    reach |= bit;
+                    changed = true;
+                }
+            }
+            i += 1;
+        }
+    }
+    reach == mask
+}
+
+const fn arc_contiguous_nonempty(bits: u8) -> bool {
+    // `bits` holds three consecutive ring sites as a 3-bit value; they form a
+    // path graph, so the occupied subset is connected iff it is a contiguous
+    // run: anything except 000 and 101.
+    bits != 0b000 && bits != 0b101
+}
+
+const fn prop2_of_mask(mask: u8) -> bool {
+    if mask & SHARED_MASK != 0 {
+        return false;
+    }
+    // With both shared sites empty, N(ℓ)\{ℓ′} can only be occupied at ring
+    // indices 1..=3 and N(ℓ′)\{ℓ} at ring indices 5..=7.
+    let from_side = (mask >> 1) & 0b111;
+    let to_side = (mask >> 5) & 0b111;
+    arc_contiguous_nonempty(from_side) && arc_contiguous_nonempty(to_side)
+}
+
+/// Lookup table: `PROPERTY1[mask]` is Property 1 for that ring occupancy.
+pub static PROPERTY1: [bool; 256] = {
+    let mut table = [false; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        table[m] = prop1_of_mask(m as u8);
+        m += 1;
+    }
+    table
+};
+
+/// Lookup table: `PROPERTY2[mask]` is Property 2 for that ring occupancy.
+pub static PROPERTY2: [bool; 256] = {
+    let mut table = [false; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        table[m] = prop2_of_mask(m as u8);
+        m += 1;
+    }
+    table
+};
+
+/// The outcome of evaluating Algorithm `M`'s structural move conditions.
+///
+/// Produced by [`crate::ParticleSystem::check_move`]. The Metropolis filter
+/// (Condition 3 of Step 6) is applied by the chain itself; this type captures
+/// Conditions (1) and (2) plus the neighbor counts the filter needs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MoveValidity {
+    /// The ring occupancy mask around `(ℓ, ℓ′)`.
+    pub mask: u8,
+    /// Whether the destination `ℓ′` is already occupied (no move possible).
+    pub target_occupied: bool,
+    /// `e = |N(ℓ)|`: occupied neighbors of the origin (excluding `ℓ′`,
+    /// which must be empty for a move).
+    pub e_from: u8,
+    /// `e′ = |N(ℓ′)|`: neighbors the particle would have after moving
+    /// (excluding itself).
+    pub e_to: u8,
+    /// Property 1 of the pair.
+    pub property1: bool,
+    /// Property 2 of the pair.
+    pub property2: bool,
+}
+
+impl MoveValidity {
+    /// Evaluates the conditions from a ring occupancy mask.
+    #[inline]
+    #[must_use]
+    pub fn from_mask(mask: u8, target_occupied: bool) -> MoveValidity {
+        MoveValidity {
+            mask,
+            target_occupied,
+            e_from: (mask & 0b0001_1111).count_ones() as u8,
+            e_to: (mask & 0b1111_0001).count_ones() as u8,
+            property1: PROPERTY1[mask as usize],
+            property2: PROPERTY2[mask as usize],
+        }
+    }
+
+    /// Condition (1) of Step 6: moving is forbidden when `e = 5`, which
+    /// would leave a hole at the vacated location.
+    #[inline]
+    #[must_use]
+    pub fn five_neighbor_blocked(&self) -> bool {
+        self.e_from == 5
+    }
+
+    /// Whether the move satisfies all structural conditions of Algorithm `M`
+    /// (target empty, `e ≠ 5`, and Property 1 or Property 2).
+    ///
+    /// A structurally valid move still passes through the Metropolis filter
+    /// `q < λ^(e′ − e)` before being executed.
+    #[inline]
+    #[must_use]
+    pub fn is_structurally_valid(&self) -> bool {
+        !self.target_occupied
+            && !self.five_neighbor_blocked()
+            && (self.property1 || self.property2)
+    }
+
+    /// The edge-count change `e′ − e` the move would cause.
+    #[inline]
+    #[must_use]
+    pub fn edge_delta(&self) -> i32 {
+        self.e_to as i32 - self.e_from as i32
+    }
+}
+
+/// First-principles implementations of the paper's definitions, used to
+/// cross-validate the lookup tables.
+///
+/// These evaluate the textual definitions of Properties 1 and 2 directly on
+/// lattice points with BFS, with no reliance on the ring indexing or on the
+/// induced-8-cycle fact.
+pub mod reference {
+    use super::*;
+
+    /// All sites of `N(ℓ ∪ ℓ′)`, unordered.
+    fn pair_neighborhood(from: TriPoint, to: TriPoint) -> Vec<TriPoint> {
+        let mut sites: Vec<TriPoint> = from.neighbors().chain(to.neighbors()).collect();
+        sites.retain(|p| *p != from && *p != to);
+        sites.sort();
+        sites.dedup();
+        sites
+    }
+
+    /// Is the occupied subset of `sites` connected, and is every occupied
+    /// site reachable from some site of `seeds`, using lattice adjacency
+    /// restricted to occupied members of `sites`?
+    fn all_reachable_from(
+        occupied: &dyn Fn(TriPoint) -> bool,
+        sites: &[TriPoint],
+        seeds: &[TriPoint],
+    ) -> bool {
+        let occupied_sites: Vec<TriPoint> =
+            sites.iter().copied().filter(|p| occupied(*p)).collect();
+        let mut reached: Vec<TriPoint> = seeds.to_vec();
+        let mut frontier = reached.clone();
+        while let Some(p) = frontier.pop() {
+            for q in p.neighbors() {
+                if occupied_sites.contains(&q) && !reached.contains(&q) {
+                    reached.push(q);
+                    frontier.push(q);
+                }
+            }
+        }
+        occupied_sites.iter().all(|p| reached.contains(p))
+    }
+
+    /// Property 1, from the definition in Section 3.1.
+    pub fn property1(occupied: &dyn Fn(TriPoint) -> bool, from: TriPoint, dir: Direction) -> bool {
+        let to = from + dir;
+        let shared: Vec<TriPoint> = from
+            .shared_neighbors(to)
+            .into_iter()
+            .filter(|p| occupied(*p))
+            .collect();
+        if shared.is_empty() {
+            return false;
+        }
+        let sites = pair_neighborhood(from, to);
+        all_reachable_from(occupied, &sites, &shared)
+    }
+
+    /// Property 2, from the definition in Section 3.1.
+    pub fn property2(occupied: &dyn Fn(TriPoint) -> bool, from: TriPoint, dir: Direction) -> bool {
+        let to = from + dir;
+        let shared_occupied = from.shared_neighbors(to).into_iter().any(occupied);
+        if shared_occupied {
+            return false;
+        }
+        let side_ok = |center: TriPoint, exclude: TriPoint| {
+            let sites: Vec<TriPoint> = center.neighbors().filter(|p| *p != exclude).collect();
+            let occupied_sites: Vec<TriPoint> =
+                sites.iter().copied().filter(|p| occupied(*p)).collect();
+            match occupied_sites.first() {
+                None => false,
+                Some(&seed) => all_reachable_from(occupied, &sites, &[seed]),
+            }
+        };
+        side_ok(from, to) && side_ok(to, from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_lattice::PairRing;
+
+    /// Realizes a ring mask as a concrete occupancy predicate.
+    fn mask_world(mask: u8, from: TriPoint, dir: Direction) -> impl Fn(TriPoint) -> bool {
+        let ring = PairRing::new(from, dir);
+        let occupied: Vec<TriPoint> = (0..8)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| ring.site(i))
+            .collect();
+        move |p: TriPoint| occupied.contains(&p)
+    }
+
+    #[test]
+    fn tables_match_reference_for_all_masks_and_directions() {
+        for dir in Direction::ALL {
+            let from = TriPoint::ORIGIN;
+            for mask in 0u16..256 {
+                let mask = mask as u8;
+                let world = mask_world(mask, from, dir);
+                assert_eq!(
+                    PROPERTY1[mask as usize],
+                    reference::property1(&world, from, dir),
+                    "Property 1 mismatch at mask {mask:#010b}, dir {dir}"
+                );
+                assert_eq!(
+                    PROPERTY2[mask as usize],
+                    reference::property2(&world, from, dir),
+                    "Property 2 mismatch at mask {mask:#010b}, dir {dir}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn properties_are_mutually_exclusive() {
+        // Property 1 requires an occupied shared site; Property 2 requires
+        // both shared sites empty.
+        for mask in 0u16..256 {
+            assert!(
+                !(PROPERTY1[mask as usize] && PROPERTY2[mask as usize]),
+                "mask {mask:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn properties_are_symmetric_under_pair_reversal() {
+        // Reversing the move direction re-indexes the ring: site i of
+        // (ℓ, d) is site (i + 4) % 8 of (ℓ′, −d) — verified geometrically
+        // here — and both properties must be invariant (Lemma 3.9 requires
+        // symmetry).
+        let from = TriPoint::ORIGIN;
+        for dir in Direction::ALL {
+            let to = from + dir;
+            let forward = PairRing::new(from, dir);
+            let backward = PairRing::new(to, dir.opposite());
+            for i in 0..8 {
+                assert_eq!(forward.site(i), backward.site((i + 4) % 8));
+            }
+        }
+        for mask in 0u16..256 {
+            let mask = mask as u8;
+            let reversed = mask.rotate_left(4);
+            assert_eq!(
+                PROPERTY1[mask as usize], PROPERTY1[reversed as usize],
+                "P1 asymmetric at {mask:#010b}"
+            );
+            assert_eq!(
+                PROPERTY2[mask as usize], PROPERTY2[reversed as usize],
+                "P2 asymmetric at {mask:#010b}"
+            );
+        }
+    }
+
+    #[test]
+    fn known_property1_cases() {
+        // Only one shared neighbor occupied: the particle pivots around it.
+        assert!(PROPERTY1[0b0000_0001]);
+        assert!(PROPERTY1[0b0001_0000]);
+        // Both shared occupied, nothing else.
+        assert!(PROPERTY1[0b0001_0001]);
+        // A particle at ring index 2 disconnected from the shared site at 0
+        // (index 1 empty) violates Property 1.
+        assert!(!PROPERTY1[0b0000_0101]);
+        // ...but connecting through index 1 restores it.
+        assert!(PROPERTY1[0b0000_0111]);
+        // Empty ring: no shared particle.
+        assert!(!PROPERTY1[0b0000_0000]);
+        // Full ring is fine (everything connected).
+        assert!(PROPERTY1[0b1111_1111]);
+    }
+
+    #[test]
+    fn known_property2_cases() {
+        // One neighbor behind (index 2) and one ahead (index 6).
+        assert!(PROPERTY2[0b0100_0100]);
+        // Contiguous runs on both sides.
+        assert!(PROPERTY2[0b0110_0110]);
+        // Gap on the from side ({1,3} non-contiguous).
+        assert!(!PROPERTY2[0b0100_1010]);
+        // Missing a side entirely.
+        assert!(!PROPERTY2[0b0000_0100]);
+        // Any occupied shared site disqualifies Property 2.
+        assert!(!PROPERTY2[0b0100_0101]);
+    }
+
+    #[test]
+    fn move_validity_counts_and_deltas() {
+        // Ring sites 0..=4 are N(ℓ)\{ℓ′}; 4..=7 and 0 are N(ℓ′)\{ℓ}.
+        let v = MoveValidity::from_mask(0b0000_0111, false);
+        assert_eq!(v.e_from, 3);
+        assert_eq!(v.e_to, 1);
+        assert_eq!(v.edge_delta(), -2);
+        assert!(!v.five_neighbor_blocked());
+
+        let v = MoveValidity::from_mask(0b0001_1111, false);
+        assert_eq!(v.e_from, 5);
+        assert!(v.five_neighbor_blocked());
+        assert!(!v.is_structurally_valid());
+
+        let v = MoveValidity::from_mask(0b0000_0001, true);
+        assert!(!v.is_structurally_valid(), "occupied target blocks moves");
+    }
+
+    #[test]
+    fn structural_validity_requires_some_property() {
+        let v = MoveValidity::from_mask(0b0000_0000, false);
+        assert!(!v.property1 && !v.property2);
+        assert!(!v.is_structurally_valid());
+    }
+}

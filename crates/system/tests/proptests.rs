@@ -1,0 +1,147 @@
+//! Property-based tests for configurations, move validity and perimeter.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops_lattice::{Direction, TriPoint};
+use sops_system::{boundary, holes, metrics, moves, shapes, ParticleSystem};
+
+/// A random connected configuration from a seeded Eden growth.
+fn arb_connected() -> impl Strategy<Value = ParticleSystem> {
+    (1usize..40, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ParticleSystem::connected(shapes::random_connected(n, &mut rng)).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The closed-form perimeter (3n − e − 3 + 3H) always matches the
+    /// independent hexagonal-dual boundary tracer.
+    #[test]
+    fn perimeter_formula_matches_tracer(sys in arb_connected()) {
+        let trace = boundary::trace(&sys);
+        prop_assert_eq!(trace.perimeter(), sys.perimeter());
+        prop_assert_eq!(trace.hole_count(), sys.hole_count());
+        // Exactly one external component for a connected configuration.
+        let externals = trace.components.iter().filter(|c| !c.is_hole).count();
+        prop_assert_eq!(externals, 1);
+    }
+
+    /// Lemmas 2.3 and 2.4 on hole-free configurations; the generalized
+    /// identities otherwise.
+    #[test]
+    fn geometry_identities(sys in arb_connected()) {
+        let n = sys.len() as i64;
+        let e = sys.edge_count() as i64;
+        let h = sys.hole_count() as i64;
+        let p = sys.perimeter() as i64;
+        prop_assert_eq!(p, 3 * n - e - 3 + 3 * h);
+        if h == 0 {
+            prop_assert_eq!(sys.triangle_count() as i64, 2 * n - p - 2);
+        }
+    }
+
+    /// Perimeter bounds: Lemma 2.1 (p ≥ √n) and pmin ≤ p; hole-free
+    /// configurations also satisfy p ≤ pmax.
+    #[test]
+    fn perimeter_bounds(sys in arb_connected()) {
+        let n = sys.len();
+        let p = sys.perimeter();
+        if n >= 2 {
+            prop_assert!((p as f64) >= (n as f64).sqrt());
+        }
+        prop_assert!(p >= metrics::pmin(n));
+        if sys.hole_count() == 0 {
+            prop_assert!(p <= metrics::pmax(n));
+        }
+    }
+
+    /// The move-validity lookup tables agree with the first-principles
+    /// reference implementation on random configurations.
+    #[test]
+    fn move_tables_match_reference(sys in arb_connected(), id_raw in any::<usize>(), d_raw in 0usize..6) {
+        let id = id_raw % sys.len();
+        let dir = Direction::from_index(d_raw);
+        let from = sys.position(id);
+        let validity = sys.check_move(from, dir);
+        let occupied = |p: TriPoint| sys.is_occupied(p);
+        prop_assert_eq!(validity.property1, moves::reference::property1(&occupied, from, dir));
+        prop_assert_eq!(validity.property2, moves::reference::property2(&occupied, from, dir));
+        // Neighbor counts agree with direct counting.
+        let to = from + dir;
+        prop_assert_eq!(validity.target_occupied, sys.is_occupied(to));
+        let e_direct = from.neighbors().filter(|p| *p != to && sys.is_occupied(*p)).count() as u8;
+        let e_to_direct = to.neighbors().filter(|p| *p != from && sys.is_occupied(*p)).count() as u8;
+        prop_assert_eq!(validity.e_from, e_direct);
+        prop_assert_eq!(validity.e_to, e_to_direct);
+    }
+
+    /// Applying a structurally valid move preserves connectivity (Lemma 3.1)
+    /// and never increases the hole count beyond its prior value when the
+    /// configuration was hole-free (Lemma 3.2).
+    #[test]
+    fn valid_moves_preserve_invariants(sys in arb_connected(), seq in proptest::collection::vec((any::<usize>(), 0usize..6), 1..30)) {
+        let mut sys = sys;
+        let initially_hole_free = sys.hole_count() == 0;
+        for (id_raw, d_raw) in seq {
+            let id = id_raw % sys.len();
+            let dir = Direction::from_index(d_raw);
+            let from = sys.position(id);
+            let validity = sys.check_move(from, dir);
+            if validity.is_structurally_valid() {
+                let edges_before = sys.edge_count() as i64;
+                sys.move_particle(id, dir).unwrap();
+                prop_assert_eq!(
+                    sys.edge_count() as i64 - edges_before,
+                    i64::from(validity.edge_delta())
+                );
+                prop_assert!(sys.is_connected(), "connectivity lost");
+                if initially_hole_free {
+                    prop_assert_eq!(sys.hole_count(), 0, "hole created");
+                }
+            }
+        }
+        sys.assert_invariants();
+    }
+
+    /// Structurally valid moves are reversible (Lemma 3.9): after applying a
+    /// move, the inverse move is structurally valid too.
+    #[test]
+    fn valid_moves_are_reversible(sys in arb_connected(), id_raw in any::<usize>(), d_raw in 0usize..6) {
+        let mut sys = sys;
+        let id = id_raw % sys.len();
+        let dir = Direction::from_index(d_raw);
+        let from = sys.position(id);
+        let validity = sys.check_move(from, dir);
+        // Lemma 3.9 is about moves between hole-free configurations.
+        prop_assume!(sys.hole_count() == 0);
+        prop_assume!(validity.is_structurally_valid());
+        sys.move_particle(id, dir).unwrap();
+        let back = sys.check_move(sys.position(id), dir.opposite());
+        prop_assert!(back.is_structurally_valid(), "inverse move invalid");
+        prop_assert_eq!(back.e_from, validity.e_to);
+        prop_assert_eq!(back.e_to, validity.e_from);
+    }
+
+    /// Eden clusters occasionally have holes; the analysis is consistent:
+    /// hole area equals the number of cells flood-fill cannot reach.
+    #[test]
+    fn hole_analysis_is_consistent(sys in arb_connected()) {
+        let analysis = holes::analyze(&sys);
+        prop_assert_eq!(analysis.hole_count, analysis.representatives.len());
+        prop_assert!(analysis.hole_area >= analysis.hole_count);
+        if analysis.hole_count == 0 {
+            prop_assert_eq!(analysis.hole_area, 0);
+        }
+    }
+
+    /// Canonical keys are translation-invariant and shape-discriminating.
+    #[test]
+    fn canonical_keys_identify_translations(sys in arb_connected(), dx in -50i32..50, dy in -50i32..50) {
+        let translated: Vec<TriPoint> = sys.iter().map(|p| p.translated(dx, dy)).collect();
+        let moved = ParticleSystem::new(translated).unwrap();
+        prop_assert_eq!(sys.canonical_key(), moved.canonical_key());
+    }
+}

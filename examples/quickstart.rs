@@ -1,0 +1,42 @@
+//! Quickstart: compress a line of particles with the Markov chain `M`.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release -p sops --example quickstart
+//! ```
+
+use sops::prelude::*;
+use sops::render::ascii;
+
+fn main() {
+    // 64 particles in a line — the same kind of initial configuration as
+    // Figure 2 of the paper — with bias λ = 4 > 2 + √2.
+    let n = 64;
+    let lambda = 4.0;
+    let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
+
+    println!("initial configuration: {}", ascii::summary(&start));
+    println!(
+        "pmin = {}, pmax = {}\n",
+        metrics::pmin(n),
+        metrics::pmax(n)
+    );
+
+    let mut chain = CompressionChain::from_seed(start, lambda, 2024).expect("valid parameters");
+
+    println!("step        edges  perimeter  alpha");
+    for point in chain.trajectory(1_000_000, 200_000) {
+        println!(
+            "{:>9}  {:>6}  {:>9}  {:>5.2}",
+            point.step, point.edges, point.perimeter, point.alpha
+        );
+    }
+
+    println!("\nfinal configuration ({}):", ascii::summary(chain.system()));
+    println!("{}", ascii::render(chain.system()));
+    println!(
+        "acceptance rate: {:.3}",
+        chain.counts().acceptance_rate()
+    );
+}

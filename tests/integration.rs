@@ -1,0 +1,116 @@
+//! End-to-end integration tests spanning the whole workspace.
+
+use sops::analysis::timeseries::tail_mean;
+use sops::enumerate::{bounds, polyhex};
+use sops::prelude::*;
+use sops::render::{ascii, svg};
+
+/// A full pipeline: build a shape, run the chain, measure, render.
+#[test]
+fn compress_measure_render_pipeline() {
+    let start = ParticleSystem::connected(shapes::line(30)).unwrap();
+    let mut chain = CompressionChain::from_seed(start, 4.5, 1).unwrap();
+    let trajectory = chain.trajectory(150_000, 15_000);
+
+    // Perimeter decreases substantially from the line's pmax.
+    let perimeters: Vec<f64> = trajectory.iter().map(|p| p.perimeter as f64).collect();
+    let early = perimeters[0];
+    let late = tail_mean(&perimeters, 0.3);
+    assert!(late < early * 0.6, "{late} vs {early}");
+
+    // The final state renders consistently in both backends.
+    let art = ascii::render(chain.system());
+    assert_eq!(art.matches('●').count(), 30);
+    let image = svg::render(chain.system(), &Default::default());
+    assert_eq!(image.matches("<circle").count(), 30);
+    assert_eq!(
+        image.matches("<line").count() as u64,
+        chain.system().edge_count()
+    );
+}
+
+/// The chain's trajectory respects the geometry identities at every sample.
+#[test]
+fn trajectory_samples_respect_lemma_2_3() {
+    let start = ParticleSystem::connected(shapes::l_shape(10, 10)).unwrap();
+    let mut chain = CompressionChain::from_seed(start, 3.0, 2).unwrap();
+    for point in chain.trajectory(60_000, 6_000) {
+        if point.holes == 0 {
+            assert_eq!(point.edges, 3 * 19 - point.perimeter - 3);
+        }
+    }
+}
+
+/// Compression at λ = 4 beats expansion at λ = 2 on identical setups: the
+/// qualitative content of Figures 2 vs 10.
+#[test]
+fn figure_2_vs_figure_10_contrast() {
+    let run = |lambda: f64| {
+        let start = ParticleSystem::connected(shapes::line(40)).unwrap();
+        let mut chain = CompressionChain::from_seed(start, lambda, 3).unwrap();
+        chain.run(400_000);
+        chain.perimeter()
+    };
+    let compressed = run(4.0);
+    let expanded = run(2.0);
+    assert!(
+        compressed * 2 < expanded,
+        "λ=4 gave p={compressed}, λ=2 gave p={expanded}"
+    );
+}
+
+/// The theoretical guarantee bounds observed compression: at λ = 6 the
+/// observed α eventually satisfies Corollary 4.6's guaranteed α.
+#[test]
+fn corollary_4_6_alpha_bound_is_respected() {
+    let n = 30;
+    let alpha_guarantee = bounds::min_alpha(6.0).unwrap();
+    let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+    let mut chain = CompressionChain::from_seed(start, 6.0, 4).unwrap();
+    // The guarantee is asymptotic (n → ∞, at stationarity); at this small
+    // scale we check the weaker statement that the chain reaches a
+    // configuration within the guaranteed ratio at some point.
+    let hit = chain.run_until_compressed(alpha_guarantee, 3_000_000);
+    assert!(
+        hit.is_some(),
+        "never reached α = {alpha_guarantee:.2} at λ = 6"
+    );
+}
+
+/// Exact enumeration agrees with the structural facts the paper quotes.
+#[test]
+fn enumeration_matches_paper_quotes() {
+    // Figure 11: 11 three-particle configurations.
+    assert_eq!(polyhex::count_hole_free(3), 11);
+    // The proof of Lemma 5.4 quotes "42 configurations on 4 particles"; the
+    // true fixed-polyhex count is 44 (our enumeration, cross-validated two
+    // ways). Either way, ≥ 22 as the construction requires.
+    let c4 = polyhex::count_hole_free(4);
+    assert_eq!(c4, 44);
+    assert!(c4 >= 22);
+}
+
+/// Thresholds: our constants bracket the open window the paper describes.
+#[test]
+fn threshold_window_is_open() {
+    let (expansion, compression) = (LAMBDA_EXPANSION, LAMBDA_COMPRESSION);
+    assert!(expansion < compression);
+    assert!((bounds::lambda_compression_threshold() - LAMBDA_COMPRESSION).abs() < 1e-12);
+    assert!((bounds::lambda_expansion_threshold() - LAMBDA_EXPANSION).abs() < 1e-9);
+}
+
+/// Seeded runs are exactly reproducible across the whole stack.
+#[test]
+fn whole_stack_determinism() {
+    let run = || {
+        let start = ParticleSystem::connected(shapes::random_connected(
+            25,
+            &mut StdRng::seed_from_u64(5),
+        ))
+        .unwrap();
+        let mut chain = CompressionChain::from_seed(start, 3.5, 6).unwrap();
+        chain.run(50_000);
+        (chain.system().canonical_key(), chain.counts())
+    };
+    assert_eq!(run(), run());
+}

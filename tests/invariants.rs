@@ -1,0 +1,118 @@
+//! The paper's structural invariants (Lemmas 3.1, 3.2, 3.8) checked along
+//! real executions from adversarial starting configurations.
+
+use proptest::prelude::*;
+use sops::prelude::*;
+
+/// Connectivity is preserved from every kind of start (Lemma 3.1).
+#[test]
+fn connectivity_preserved_from_varied_starts() {
+    let starts: Vec<ParticleSystem> = vec![
+        ParticleSystem::connected(shapes::line(25)).unwrap(),
+        ParticleSystem::connected(shapes::annulus(3)).unwrap(),
+        ParticleSystem::connected(shapes::l_shape(8, 8)).unwrap(),
+        ParticleSystem::connected(shapes::spiral(25)).unwrap(),
+    ];
+    for (i, start) in starts.into_iter().enumerate() {
+        for lambda in [0.5, 2.0, 5.0] {
+            let mut chain = CompressionChain::from_seed(start.clone(), lambda, i as u64).unwrap();
+            chain.set_validation(true); // asserts connectivity per move
+            chain.run(30_000);
+            assert!(chain.system().is_connected());
+        }
+    }
+}
+
+/// Holes are eliminated and never return (Lemmas 3.2 and 3.8): track the
+/// hole count along a run from a double-ring start.
+#[test]
+fn holes_vanish_monotonically_in_the_hole_free_sense() {
+    let start = ParticleSystem::connected(shapes::annulus(2)).unwrap();
+    assert_eq!(start.hole_count(), 1);
+    let mut chain = CompressionChain::from_seed(start, 4.0, 5).unwrap();
+    let mut seen_hole_free = false;
+    for _ in 0..400 {
+        chain.run(500);
+        let holes = chain.system().hole_count();
+        if seen_hole_free {
+            assert_eq!(holes, 0, "hole reappeared after elimination");
+        }
+        if holes == 0 {
+            seen_hole_free = true;
+        }
+    }
+    assert!(seen_hole_free, "the annulus hole was never eliminated");
+}
+
+/// Crash faults: frozen particles never move, everyone else keeps the
+/// invariants (Section 3.3).
+#[test]
+fn crashes_do_not_break_invariants() {
+    let start = ParticleSystem::connected(shapes::line(20)).unwrap();
+    let mut chain = CompressionChain::from_seed(start, 4.0, 6).unwrap();
+    let frozen: Vec<_> = [0usize, 7, 13]
+        .iter()
+        .map(|&id| {
+            chain.crash(id);
+            (id, chain.system().position(id))
+        })
+        .collect();
+    chain.set_validation(true);
+    chain.run(100_000);
+    for (id, pos) in frozen {
+        assert_eq!(chain.system().position(id), pos, "crashed particle moved");
+    }
+    assert!(chain.system().is_connected());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random connected starts, random λ: every execution keeps
+    /// connectivity, and hole-free states are absorbing.
+    #[test]
+    fn random_runs_preserve_invariants(
+        n in 5usize..30,
+        lambda_percent in 20u32..600,
+        seed in any::<u64>(),
+    ) {
+        let lambda = lambda_percent as f64 / 100.0;
+        let start = ParticleSystem::connected(shapes::random_connected(
+            n,
+            &mut StdRng::seed_from_u64(seed),
+        ))
+        .unwrap();
+        let mut chain = CompressionChain::from_seed(start, lambda, seed ^ 0xabcd).unwrap();
+        let mut was_hole_free = false;
+        for _ in 0..40 {
+            chain.run(250);
+            let sys = chain.system();
+            prop_assert!(sys.is_connected());
+            sys.assert_invariants();
+            let hole_free = sys.hole_count() == 0;
+            if was_hole_free {
+                prop_assert!(hole_free, "hole reappeared");
+            }
+            was_hole_free = hole_free;
+        }
+    }
+
+    /// The local algorithm keeps tails connected from random starts too.
+    #[test]
+    fn local_runs_preserve_connectivity(
+        n in 5usize..20,
+        seed in any::<u64>(),
+    ) {
+        let start = ParticleSystem::connected(shapes::random_connected(
+            n,
+            &mut StdRng::seed_from_u64(seed),
+        ))
+        .unwrap();
+        let mut runner = LocalRunner::from_seed(&start, 3.0, seed ^ 0x1234).unwrap();
+        for _ in 0..20 {
+            runner.run_rounds(5);
+            prop_assert!(runner.tail_system().is_connected());
+        }
+        runner.assert_invariants();
+    }
+}

@@ -1,0 +1,103 @@
+//! Empirical stationarity (Lemma 3.13): long runs of `M` visit
+//! configurations with frequencies matching `π(σ) = λ^{e(σ)}/Z`.
+
+use std::collections::HashMap;
+
+use sops::analysis::{chi_square_p_value, chi_square_statistic, total_variation};
+use sops::enumerate::StateSpace;
+use sops::prelude::*;
+
+/// Runs the chain on `n` particles and histograms visited canonical states.
+fn empirical_distribution(
+    space: &StateSpace,
+    lambda: f64,
+    steps: u64,
+    burn_in: u64,
+    seed: u64,
+) -> Vec<f64> {
+    let n = space.particles();
+    let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+    let mut chain = CompressionChain::from_seed(start, lambda, seed).unwrap();
+    chain.run(burn_in);
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    let mut samples = 0u64;
+    // Sample every n steps to reduce correlation.
+    let thin = n as u64;
+    let mut done = 0u64;
+    while done < steps {
+        chain.run(thin);
+        done += thin;
+        let key = chain.system().canonical_key();
+        let idx = space.index_of(&key).expect("state must be enumerated");
+        *counts.entry(idx).or_insert(0) += 1;
+        samples += 1;
+    }
+    let mut dist = vec![0.0; space.len()];
+    for (idx, c) in counts {
+        dist[idx] = c as f64 / samples as f64;
+    }
+    dist
+}
+
+#[test]
+fn empirical_matches_boltzmann_n4_lambda2() {
+    let space = StateSpace::build(4);
+    let pi = space.boltzmann(2.0);
+    let empirical = empirical_distribution(&space, 2.0, 2_000_000, 50_000, 11);
+    let tv = total_variation(&pi, &empirical);
+    assert!(tv < 0.02, "TV distance {tv}");
+}
+
+#[test]
+fn empirical_matches_boltzmann_n4_lambda_half() {
+    // λ < 1 (disfavoring neighbors) must also match its Boltzmann law.
+    let space = StateSpace::build(4);
+    let pi = space.boltzmann(0.5);
+    let empirical = empirical_distribution(&space, 0.5, 2_000_000, 50_000, 13);
+    let tv = total_variation(&pi, &empirical);
+    assert!(tv < 0.02, "TV distance {tv}");
+}
+
+#[test]
+fn chi_square_does_not_reject_stationarity() {
+    let space = StateSpace::build(3);
+    let lambda = 3.0;
+    let pi = space.boltzmann(lambda);
+    let steps = 600_000u64;
+    let thin = 3u64;
+    let samples = steps / thin;
+    let empirical = empirical_distribution(&space, lambda, steps, 20_000, 17);
+    let observed: Vec<f64> = empirical.iter().map(|p| p * samples as f64).collect();
+    let expected: Vec<f64> = pi.iter().map(|p| p * samples as f64).collect();
+    let chi2 = chi_square_statistic(&observed, &expected);
+    // Correlated samples inflate χ², so only demand the p-value not vanish
+    // at an extreme significance level.
+    let p = chi_square_p_value(chi2, space.len() - 1);
+    assert!(
+        p > 1e-6,
+        "χ² = {chi2:.1} with {} categories, p = {p:.2e}",
+        space.len()
+    );
+}
+
+#[test]
+fn higher_lambda_concentrates_on_max_edge_states() {
+    // As λ grows the stationary mass of edge-maximal configurations grows.
+    let space = StateSpace::build(5);
+    let max_edges = (0..space.len())
+        .map(|i| space.edge_count(i))
+        .max()
+        .unwrap();
+    let mass_at = |lambda: f64| {
+        let pi = space.boltzmann(lambda);
+        (0..space.len())
+            .filter(|&i| space.edge_count(i) == max_edges)
+            .map(|i| pi[i])
+            .sum::<f64>()
+    };
+    let m2 = mass_at(2.0);
+    let m4 = mass_at(4.0);
+    let m8 = mass_at(8.0);
+    assert!(m2 < m4 && m4 < m8, "{m2} < {m4} < {m8}");
+    assert!(m8 > 0.5, "at λ = 8 the max-edge states dominate: {m8}");
+}

@@ -179,11 +179,7 @@ mod tests {
         let facts: [f64; 7] = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0];
         for (n, &f) in facts.iter().enumerate() {
             let lg = ln_gamma((n + 1) as f64);
-            assert!(
-                (lg - f.ln()).abs() < 1e-10,
-                "Γ({}) = {f}",
-                n + 1
-            );
+            assert!((lg - f.ln()).abs() < 1e-10, "Γ({}) = {f}", n + 1);
         }
         // Γ(1/2) = √π.
         assert!((ln_gamma(0.5) - core::f64::consts::PI.sqrt().ln()).abs() < 1e-10);

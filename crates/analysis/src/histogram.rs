@@ -32,7 +32,11 @@ impl Histogram {
     /// Returns `None` if the range is empty/invalid or `bins == 0`.
     #[must_use]
     pub fn new(min: f64, max: f64, bins: usize) -> Option<Histogram> {
-        if !(min < max) || bins == 0 || !min.is_finite() || !max.is_finite() {
+        if min.partial_cmp(&max) != Some(std::cmp::Ordering::Less)
+            || bins == 0
+            || !min.is_finite()
+            || !max.is_finite()
+        {
             return None;
         }
         Some(Histogram {
@@ -107,10 +111,7 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.bins.len()];
         }
-        self.bins
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect()
+        self.bins.iter().map(|&c| c as f64 / total as f64).collect()
     }
 }
 

@@ -10,8 +10,8 @@
 //! cargo run --release -p sops-bench --bin ablation
 //! ```
 
-use sops::prelude::*;
 use sops::analysis::table::Table;
+use sops::prelude::*;
 use sops_bench::ablation::{run, Guards};
 use sops_bench::{out, Args};
 
@@ -24,12 +24,17 @@ fn main() {
     let check_every = args.get_u64("check-every", 20);
 
     println!("# Ablation — removing Algorithm M's structural guards");
-    println!("n = {n}, λ = {lambda}, {steps} steps, invariants checked every {check_every} steps\n");
+    println!(
+        "n = {n}, λ = {lambda}, {steps} steps, invariants checked every {check_every} steps\n"
+    );
 
     let start = ParticleSystem::connected(shapes::line(n)).expect("line");
     let variants = [
         ("full algorithm", Guards::full()),
-        ("no five-neighbor rule", Guards::without_five_neighbor_rule()),
+        (
+            "no five-neighbor rule",
+            Guards::without_five_neighbor_rule(),
+        ),
         ("no Properties 1/2", Guards::without_properties()),
         (
             "no guards at all",

@@ -41,8 +41,7 @@ fn main() {
 
         // Irreducibility of Ω*: everything hole-free reachable from the line.
         let from_line = m.reachable_from(space.line_index());
-        let irreducible = (0..space.len())
-            .all(|i| from_line[i] == space.is_hole_free(i));
+        let irreducible = (0..space.len()).all(|i| from_line[i] == space.is_hole_free(i));
 
         // Transience: every hole state can reach Ω*.
         let mut transient = true;

@@ -64,7 +64,10 @@ fn main() {
     out::write_text("fig11_gallery.txt", &gallery).expect("write gallery");
 
     println!("paper cross-checks:");
-    println!("  Figure 11 claims 11 configurations at n = 3: measured {}", polyhex::count_hole_free(3));
+    println!(
+        "  Figure 11 claims 11 configurations at n = 3: measured {}",
+        polyhex::count_hole_free(3)
+    );
     println!(
         "  Lemma 5.4's proof says \"there are 42 configurations on 4 particles\": measured {} \
          (the count is 44; 42 appears to be a typo — the construction only needs ≥ 22, which holds)",

@@ -44,7 +44,10 @@ fn main() {
     let samples = args.get_u64("samples", 40);
 
     println!("# E12 / Section 3.2 — local algorithm A vs Markov chain M");
-    println!("n = {n}, {rounds} rounds ≈ {} chain iterations\n", rounds * n as u64);
+    println!(
+        "n = {n}, {rounds} rounds ≈ {} chain iterations\n",
+        rounds * n as u64
+    );
 
     let mut table = Table::new([
         "λ",

@@ -37,10 +37,7 @@ fn diagnose(n: usize, lambda: f64, sweeps: u64, seed: u64) -> Diagnostics {
     }
     let iat = integrated_autocorrelation_time(&series);
     let blocks = block_means(&series, 10);
-    let spread = blocks
-        .iter()
-        .cloned()
-        .fold(f64::MIN, f64::max)
+    let spread = blocks.iter().cloned().fold(f64::MIN, f64::max)
         - blocks.iter().cloned().fold(f64::MAX, f64::min);
     Diagnostics {
         lambda,

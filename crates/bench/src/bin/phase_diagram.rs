@@ -45,7 +45,9 @@ fn main() {
     let steps = args.get_u64("steps", if quick { 200_000 } else { 4_000_000 });
     let seed = args.get_u64("seed", 7);
 
-    let lambdas = [1.0, 1.5, 2.0, 2.17, 2.5, 2.8, 3.0, 3.2, 3.414, 4.0, 5.0, 6.0];
+    let lambdas = [
+        1.0, 1.5, 2.0, 2.17, 2.5, 2.8, 3.0, 3.2, 3.414, 4.0, 5.0, 6.0,
+    ];
 
     println!("# E6 — phase behavior across λ");
     println!("n = {n}, {steps} iterations per λ, tail-averaged over the final 25%");
@@ -59,11 +61,12 @@ fn main() {
         let handles: Vec<_> = lambdas
             .iter()
             .enumerate()
-            .map(|(i, &lambda)| {
-                scope.spawn(move || run_lambda(n, lambda, steps, seed + i as u64))
-            })
+            .map(|(i, &lambda)| scope.spawn(move || run_lambda(n, lambda, steps, seed + i as u64)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     let mut table = Table::new(["λ", "regime", "α = p/pmin", "β = p/pmax", "perimeter trend"]);
@@ -97,9 +100,7 @@ fn main() {
         .filter(|r| r.lambda >= 4.0)
         .map(|r| r.alpha)
         .fold(f64::MIN, f64::max);
-    println!(
-        "\nshape check: min β over λ ≤ 2 is {beta_low:.2} (paper: bounded away from 0);"
-    );
+    println!("\nshape check: min β over λ ≤ 2 is {beta_low:.2} (paper: bounded away from 0);");
     println!(
         "             max α over λ ≥ 4 is {alpha_high:.2} (paper: O(1), approaching 1 for large λ)"
     );

@@ -60,7 +60,10 @@ fn main() {
 
     println!("\n════════════════════════════════════════════════════════════");
     if failures.is_empty() {
-        println!("all {} experiments completed; artifacts in results/", EXPERIMENTS.len() + 1);
+        println!(
+            "all {} experiments completed; artifacts in results/",
+            EXPERIMENTS.len() + 1
+        );
     } else {
         println!("failed: {failures:?}");
         std::process::exit(1);

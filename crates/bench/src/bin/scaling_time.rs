@@ -52,7 +52,10 @@ fn main() {
                 scope.spawn(move || (n, first_hit(n, lambda, alpha, max_steps, 1000 + r)))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
     });
 
     let mut table = Table::new(["n", "median iterations", "mean", "min", "max", "×prev"]);
@@ -65,7 +68,14 @@ fn main() {
             .map(|(_, hit)| hit.expect("filtered") as f64)
             .collect();
         if times.is_empty() {
-            table.row([n.to_string(), "> max-steps".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            table.row([
+                n.to_string(),
+                "> max-steps".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         }
         let summary = Summary::of(&times);

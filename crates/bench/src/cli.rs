@@ -66,7 +66,10 @@ impl Args {
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -79,7 +82,10 @@ impl Args {
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer"))
+            })
             .unwrap_or(default)
     }
 
@@ -98,7 +104,10 @@ impl Args {
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.values
             .get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number"))
+            })
             .unwrap_or(default)
     }
 }
@@ -109,9 +118,8 @@ mod tests {
 
     #[test]
     fn parses_mixed_args() {
-        let args = Args::from_iter(
-            ["--steps", "1000", "--quick", "--lambda", "2.5"].map(String::from),
-        );
+        let args =
+            Args::from_iter(["--steps", "1000", "--quick", "--lambda", "2.5"].map(String::from));
         assert_eq!(args.get_u64("steps", 1), 1000);
         assert!((args.get_f64("lambda", 0.0) - 2.5).abs() < 1e-12);
         assert!(args.flag("quick"));

@@ -76,10 +76,7 @@ fn simulate(args: &Args) {
     }
     print!("{}", table.to_markdown());
     println!("\nfinal: {}", ascii::summary(chain.system()));
-    println!(
-        "acceptance rate {:.3}",
-        chain.counts().acceptance_rate()
-    );
+    println!("acceptance rate {:.3}", chain.counts().acceptance_rate());
     maybe_svg(args, chain.system());
 }
 

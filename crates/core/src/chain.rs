@@ -201,7 +201,11 @@ impl<R: Rng> CompressionChain<R> {
     ///
     /// [`ChainError::InvalidLambda`] for non-finite or non-positive `λ`,
     /// [`ChainError::NotConnected`] for a disconnected start.
-    pub fn new(sys: ParticleSystem, lambda: f64, rng: R) -> Result<CompressionChain<R>, ChainError> {
+    pub fn new(
+        sys: ParticleSystem,
+        lambda: f64,
+        rng: R,
+    ) -> Result<CompressionChain<R>, ChainError> {
         if !lambda.is_finite() || lambda <= 0.0 {
             return Err(ChainError::InvalidLambda(lambda));
         }

@@ -168,7 +168,11 @@ impl<R: Rng> LocalRunner<R> {
     /// # Errors
     ///
     /// [`ChainError::InvalidLambda`] or [`ChainError::NotConnected`].
-    pub fn new(start: &ParticleSystem, lambda: f64, mut rng: R) -> Result<LocalRunner<R>, ChainError> {
+    pub fn new(
+        start: &ParticleSystem,
+        lambda: f64,
+        mut rng: R,
+    ) -> Result<LocalRunner<R>, ChainError> {
         if !lambda.is_finite() || lambda <= 0.0 {
             return Err(ChainError::InvalidLambda(lambda));
         }

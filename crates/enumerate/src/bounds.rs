@@ -176,10 +176,7 @@ mod tests {
         // The lower bound must hold against exact hole-free counts.
         for n in 1..=8 {
             let exact = crate::polyhex::count_hole_free(n) as f64;
-            assert!(
-                exact.ln() >= lemma_5_4_ln_lower_bound(n) - 1e-12,
-                "n = {n}"
-            );
+            assert!(exact.ln() >= lemma_5_4_ln_lower_bound(n) - 1e-12, "n = {n}");
         }
     }
 }

@@ -432,7 +432,7 @@ mod tests {
     }
 
     #[test]
-    fn support_is_symmetric_on_hole_free_states(){
+    fn support_is_symmetric_on_hole_free_states() {
         // Lemma 3.9: within Ω*, M(σ,τ) > 0 iff M(τ,σ) > 0.
         let space = StateSpace::build(5);
         let m = space.transition_matrix(1.5);

@@ -6,8 +6,6 @@
 //! module provides the honeycomb graph in the standard "brick wall"
 //! coordinates used by `sops-enumerate` to count those walks.
 
-
-
 /// A vertex of the hexagonal lattice in brick-wall coordinates.
 ///
 /// Vertices are integer pairs `(x, y)`; every vertex has the two horizontal

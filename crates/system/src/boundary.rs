@@ -88,7 +88,10 @@ impl BoundaryTrace {
     /// The perimeter `p(σ)` as the sum of boundary walk lengths.
     #[must_use]
     pub fn perimeter(&self) -> u64 {
-        self.components.iter().map(BoundaryComponent::walk_len).sum()
+        self.components
+            .iter()
+            .map(BoundaryComponent::walk_len)
+            .sum()
     }
 
     /// Number of hole components.

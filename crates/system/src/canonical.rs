@@ -52,7 +52,10 @@ pub fn canonical_key(points: impl IntoIterator<Item = TriPoint>) -> CanonicalKey
         .map(|p| {
             let x = u32::try_from(p.x).expect("canonical x must be non-negative");
             let y = u32::try_from(p.y).expect("canonical y must be non-negative");
-            assert!(x <= u16::MAX as u32 && y <= u16::MAX as u32, "span too large");
+            assert!(
+                x <= u16::MAX as u32 && y <= u16::MAX as u32,
+                "span too large"
+            );
             (x << 16) | y
         })
         .collect()

@@ -151,9 +151,7 @@ impl MoveValidity {
     #[inline]
     #[must_use]
     pub fn is_structurally_valid(&self) -> bool {
-        !self.target_occupied
-            && !self.five_neighbor_blocked()
-            && (self.property1 || self.property2)
+        !self.target_occupied && !self.five_neighbor_blocked() && (self.property1 || self.property2)
     }
 
     /// The edge-count change `e′ − e` the move would cause.

@@ -19,8 +19,7 @@ fn main() {
     let mut table = Table::new(["crashed %", "crashed", "perimeter", "alpha", "connected"]);
     for crashed_percent in [0usize, 5, 10, 20] {
         let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
-        let mut chain =
-            CompressionChain::from_seed(start, lambda, 99).expect("valid parameters");
+        let mut chain = CompressionChain::from_seed(start, lambda, 99).expect("valid parameters");
         let crash_count = n * crashed_percent / 100;
         // Crash evenly spaced particles along the line.
         for k in 0..crash_count {
@@ -40,6 +39,8 @@ fn main() {
     println!("n = {n}, λ = {lambda}, {steps} steps, crashes at step 0\n");
     print!("{}", table.to_markdown());
     println!("\nEven with crashed particles acting as obstacles, the healthy");
-    println!("particles compress around them (perimeter stays near pmin = {}).",
-        metrics::pmin(n));
+    println!(
+        "particles compress around them (perimeter stays near pmin = {}).",
+        metrics::pmin(n)
+    );
 }

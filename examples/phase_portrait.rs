@@ -46,9 +46,7 @@ fn main() {
         ]);
     }
 
-    println!(
-        "n = {n}, {steps} steps per λ, tail-averaged over the last 25% of samples\n"
-    );
+    println!("n = {n}, {steps} steps per λ, tail-averaged over the last 25% of samples\n");
     print!("{}", table.to_markdown());
     println!("\nCompare: the paper proves compression for λ > 3.414 and");
     println!("expansion for λ < 2.17; between them it conjectures a phase");

@@ -17,11 +17,7 @@ fn main() {
     let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
 
     println!("initial configuration: {}", ascii::summary(&start));
-    println!(
-        "pmin = {}, pmax = {}\n",
-        metrics::pmin(n),
-        metrics::pmax(n)
-    );
+    println!("pmin = {}, pmax = {}\n", metrics::pmin(n), metrics::pmax(n));
 
     let mut chain = CompressionChain::from_seed(start, lambda, 2024).expect("valid parameters");
 
@@ -33,10 +29,10 @@ fn main() {
         );
     }
 
-    println!("\nfinal configuration ({}):", ascii::summary(chain.system()));
-    println!("{}", ascii::render(chain.system()));
     println!(
-        "acceptance rate: {:.3}",
-        chain.counts().acceptance_rate()
+        "\nfinal configuration ({}):",
+        ascii::summary(chain.system())
     );
+    println!("{}", ascii::render(chain.system()));
+    println!("acceptance rate: {:.3}", chain.counts().acceptance_rate());
 }

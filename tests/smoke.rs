@@ -1,0 +1,29 @@
+//! Workspace smoke test guarding the core Metropolis step: with
+//! `λ > 2 + √2`, the compression chain must strictly decrease the perimeter
+//! of an initial line configuration over a seeded run.
+
+use sops::prelude::*;
+
+#[test]
+fn compression_strictly_decreases_line_perimeter() {
+    let n = 20;
+    let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+    let initial_perimeter = start.perimeter();
+
+    let lambda = 4.0;
+    assert!(
+        lambda > LAMBDA_COMPRESSION,
+        "smoke test must bias compression"
+    );
+
+    let mut chain = CompressionChain::from_seed(start, lambda, 0xC0FFEE).unwrap();
+    chain.run(50_000);
+
+    assert!(
+        chain.perimeter() < initial_perimeter,
+        "perimeter did not decrease: started at {initial_perimeter}, ended at {}",
+        chain.perimeter()
+    );
+    assert!(chain.system().is_connected());
+    assert_eq!(chain.system().hole_count(), 0);
+}

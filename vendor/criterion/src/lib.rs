@@ -1,0 +1,293 @@
+//! Offline vendored shim of `criterion` 0.5.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! subset of the Criterion API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`] with `throughput`/`sample_size`/`bench_function`/
+//! `bench_with_input`/`finish`, [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a short warm-up, then a fixed batch of
+//! timed iterations whose mean wall-clock time is printed per benchmark. It
+//! is enough to compare orders of magnitude and to keep the bench targets
+//! compiling and runnable in CI; it makes no statistical claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How work per iteration is reported.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            id: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    warm_up: Duration,
+    sample_size: u64,
+    /// Mean time per iteration of the last `iter` call.
+    mean: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            warm_iters += 1;
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Scale the measured batch to roughly the sample budget.
+        let per_iter = start.elapsed().as_nanos().max(1) / warm_iters.max(1) as u128;
+        let budget = Duration::from_millis(5 * self.sample_size).as_nanos();
+        let iters = (budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        let timed = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = timed.elapsed();
+        self.mean = total / iters.max(1) as u32;
+        self.iters = iters;
+    }
+}
+
+fn run_benchmark(
+    group: &str,
+    id: &str,
+    warm_up: Duration,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        warm_up,
+        sample_size,
+        mean: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let name = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let per_iter = bencher.mean;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  ({per_sec:.0} elem/s)")
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let per_sec = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  ({per_sec:.1} MiB/s)")
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<50} {:>12.3?}/iter over {} iters{rate}",
+        per_iter, bencher.iters
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used to report rates for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of samples (scales this shim's measurement budget).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Runs a benchmark with no input parameter.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_benchmark(
+            &self.name,
+            &id.into().id,
+            self.criterion.warm_up,
+            self.sample_size,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(
+            &self.name,
+            &id.into().id,
+            self.criterion.warm_up,
+            self.sample_size,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(50),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (warm_up, sample_size) = (self.warm_up, self.sample_size);
+        run_benchmark("", &id.into().id, warm_up, sample_size, None, &mut f);
+        self
+    }
+}
+
+/// Collects benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_to(n: u64) -> u64 {
+        (0..n).fold(0, |a, b| a.wrapping_add(b))
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100)).sample_size(2);
+        group.bench_function("sum", |b| b.iter(|| sum_to(black_box(100))));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| sum_to(black_box(n)))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn bencher_records_positive_mean() {
+        let mut b = Bencher {
+            warm_up: Duration::from_millis(1),
+            sample_size: 1,
+            mean: Duration::ZERO,
+            iters: 0,
+        };
+        b.iter(|| sum_to(black_box(1000)));
+        assert!(b.mean > Duration::ZERO);
+        assert!(b.iters >= 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline vendored shim of `rand_chacha` 0.3.
+//!
+//! Implements the ChaCha stream cipher (Bernstein 2008) as a deterministic
+//! random number generator, with 8-, 12- and 20-round variants. The keystream
+//! is a faithful ChaCha implementation; only the `rand_core` plumbing is
+//! reduced to the subset this workspace needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand_core::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even; writes 16 output words.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // Nonce words left zero: each generator instance owns its stream.
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial.iter()) {
+        *word = word.wrapping_add(*init);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let word = self.buffer[self.index];
+                self.index += 1;
+                word
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                lo | (hi << 32)
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                }
+                let mut rng = Self {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds.");
+chacha_rng!(
+    ChaCha12Rng,
+    12,
+    "ChaCha with 12 rounds (the `StdRng` backend)."
+);
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc7539_block_test_vector() {
+        // RFC 7539 §2.3.2 uses a nonzero nonce, which this zero-nonce
+        // generator doesn't model; instead check the all-zero-key block
+        // against the well-known ChaCha20 keystream head.
+        let block = chacha_block(&[0u32; 8], 0, 20);
+        assert_eq!(block[0], 0xade0_b876);
+        assert_eq!(block[1], 0x903d_f1a0);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_round_dependent() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut c = ChaCha20Rng::seed_from_u64(7);
+        let x = a.next_u64();
+        assert_eq!(x, b.next_u64());
+        assert_ne!(x, c.next_u64());
+    }
+
+    #[test]
+    fn buffer_refills_across_block_boundary() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u64> = (0..20).map(|_| rng.next_u64()).collect();
+        let mut again = ChaCha8Rng::seed_from_u64(1);
+        let second: Vec<u64> = (0..20).map(|_| again.next_u64()).collect();
+        assert_eq!(first, second);
+    }
+}

@@ -141,6 +141,19 @@ impl OnlineStats {
         self.variance().sqrt()
     }
 
+    /// Reconstructs an accumulator from its raw parts (`count`, `mean`,
+    /// sum of squared deviations `m2`), e.g. from a checkpoint.
+    #[must_use]
+    pub fn from_parts(count: u64, mean: f64, m2: f64) -> OnlineStats {
+        OnlineStats { count, mean, m2 }
+    }
+
+    /// The raw accumulator state, the inverse of [`OnlineStats::from_parts`].
+    #[must_use]
+    pub fn into_parts(self) -> (u64, f64, f64) {
+        (self.count, self.mean, self.m2)
+    }
+
     /// Merges another accumulator into this one (parallel reduction).
     pub fn merge(&mut self, other: &OnlineStats) {
         if other.count == 0 {
@@ -159,9 +172,34 @@ impl OnlineStats {
     }
 }
 
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> OnlineStats {
+        let mut acc = OnlineStats::new();
+        acc.extend(iter);
+        acc
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn collect_and_parts_round_trip() {
+        let acc: OnlineStats = (0..20).map(|i| f64::from(i) * 1.5).collect();
+        assert_eq!(acc.count(), 20);
+        let (count, mean, m2) = acc.into_parts();
+        let back = OnlineStats::from_parts(count, mean, m2);
+        assert_eq!(back, acc);
+    }
 
     #[test]
     fn summary_of_known_sample() {

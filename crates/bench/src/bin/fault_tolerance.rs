@@ -11,79 +11,20 @@
 //!   to compress" around them (Section 3.3) and the compression ratio is
 //!   essentially unaffected.
 //!
+//! Every (scenario × algorithm) cell is one engine job: half the budget as
+//! burn-in (crashes injected before or after it), then 50 perimeter
+//! samples over the second half.
+//!
 //! ```sh
-//! cargo run --release -p sops-bench --bin fault_tolerance
+//! cargo run --release -p sops-bench --bin fault_tolerance -- --threads 8
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::tail_mean;
 use sops::prelude::*;
 use sops_bench::{out, Args};
-
-struct Scenario {
-    crash_percent: usize,
-    crash_at_start: bool,
-}
-
-/// Tail-averaged α under chain `M` for a crash scenario.
-fn chain_alpha(n: usize, lambda: f64, sc: &Scenario, steps: u64, seed: u64) -> f64 {
-    let start = ParticleSystem::connected(shapes::line(n)).expect("line");
-    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("params");
-    let crash_count = n * sc.crash_percent / 100;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a5);
-    let mut crash_now = |chain: &mut CompressionChain| {
-        let mut crashed = 0;
-        while crashed < crash_count {
-            let id = rng.gen_range(0..n);
-            if !chain.crash(id) {
-                crashed += 1;
-            }
-        }
-    };
-    if sc.crash_at_start {
-        crash_now(&mut chain);
-        chain.run(steps / 2);
-    } else {
-        chain.run(steps / 2);
-        crash_now(&mut chain);
-    }
-    // Measure over the second half.
-    let mut perimeters = Vec::new();
-    for _ in 0..50 {
-        chain.run(steps / 100);
-        perimeters.push(chain.perimeter() as f64);
-    }
-    assert!(chain.system().is_connected(), "must stay connected");
-    tail_mean(&perimeters, 0.5) / metrics::pmin(n) as f64
-}
-
-/// Tail-averaged α under the local algorithm `A` for a crash scenario.
-fn local_alpha(n: usize, lambda: f64, sc: &Scenario, rounds: u64, seed: u64) -> f64 {
-    let start = ParticleSystem::connected(shapes::line(n)).expect("line");
-    let mut runner = LocalRunner::from_seed(&start, lambda, seed).expect("params");
-    let crash_count = n * sc.crash_percent / 100;
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x10ca1);
-    if sc.crash_at_start {
-        for _ in 0..crash_count {
-            runner.crash(rng.gen_range(0..n));
-        }
-        runner.run_rounds(rounds / 2);
-    } else {
-        runner.run_rounds(rounds / 2);
-        for _ in 0..crash_count {
-            runner.crash(rng.gen_range(0..n));
-        }
-    }
-    let mut perimeters = Vec::new();
-    for _ in 0..50 {
-        runner.run_rounds(rounds / 100);
-        perimeters.push(runner.tail_system().perimeter() as f64);
-    }
-    assert!(runner.tail_system().is_connected(), "must stay connected");
-    tail_mean(&perimeters, 0.5) / metrics::pmin(n) as f64
-}
+use sops_engine::grid::assign_ids_and_seeds;
+use sops_engine::{run_sweep, Algorithm, CrashSpec, EngineConfig, JobSpec, Shape};
 
 fn main() {
     let args = Args::from_env();
@@ -98,52 +39,70 @@ fn main() {
     println!("α is the tail-averaged compression ratio p/pmin\n");
 
     let percents = [0usize, 5, 10, 20];
-    let scenarios: Vec<(String, Scenario)> = percents
+    let scenarios: Vec<(String, CrashSpec)> = percents
         .iter()
         .flat_map(|&pct| {
             [
                 (
                     format!("{pct}% at start (line anchored)"),
-                    Scenario {
-                        crash_percent: pct,
-                        crash_at_start: true,
+                    CrashSpec {
+                        percent: pct,
+                        after_burnin: false,
                     },
                 ),
                 (
                     format!("{pct}% mid-run (paper's scenario)"),
-                    Scenario {
-                        crash_percent: pct,
-                        crash_at_start: false,
+                    CrashSpec {
+                        percent: pct,
+                        after_burnin: true,
                     },
                 ),
             ]
         })
         .collect();
 
-    let results: Vec<(String, f64, f64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .enumerate()
-            .map(|(i, (name, sc))| {
-                let name = name.clone();
-                scope.spawn(move || {
-                    (
-                        name,
-                        chain_alpha(n, lambda, sc, steps, 50 + i as u64),
-                        local_alpha(n, lambda, sc, rounds, 90 + i as u64),
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
+    // One job per (scenario × algorithm); chain budgets are in steps, local
+    // budgets in rounds, so the specs are built by hand rather than as a
+    // grid cross product.
+    let mut specs = Vec::new();
+    for (_, crash) in &scenarios {
+        for algorithm in [Algorithm::Chain, Algorithm::Local] {
+            let budget = match algorithm {
+                Algorithm::Chain => steps,
+                _ => rounds,
+            };
+            let mut spec = JobSpec::new(algorithm, Shape::Line, n, lambda, budget / 2);
+            spec.burnin = budget / 2;
+            spec.samples = 50;
+            spec.crash = Some(*crash);
+            specs.push(spec);
+        }
+    }
+    assign_ids_and_seeds(&mut specs, args.get_u64("seed", 50));
+
+    let report = run_sweep(
+        specs,
+        &EngineConfig {
+            threads: args.threads(),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("sweep");
+
+    // α over the stable tail (last 50% of the sampled window).
+    let alpha_of = |id: usize| {
+        let result = report.result_for(id).expect("complete sweep");
+        assert!(result.final_connected, "must stay connected (job {id})");
+        tail_mean(&result.samples, 0.5) / metrics::pmin(n) as f64
+    };
 
     let mut table = Table::new(["scenario", "α under chain M", "α under local A"]);
-    for (name, chain_a, local_a) in &results {
-        table.row([name.clone(), fmt_f64(*chain_a, 2), fmt_f64(*local_a, 2)]);
+    for (i, (name, _)) in scenarios.iter().enumerate() {
+        table.row([
+            name.clone(),
+            fmt_f64(alpha_of(2 * i), 2),
+            fmt_f64(alpha_of(2 * i + 1), 2),
+        ]);
     }
     out::emit("fault_tolerance", &table).expect("write results");
 

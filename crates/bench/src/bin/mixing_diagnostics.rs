@@ -5,48 +5,19 @@
 //! compression itself arrives much earlier. This experiment measures the
 //! integrated autocorrelation time (IAT) of the perimeter observable at
 //! stationarity-ish for several biases, plus the effective sample rate —
-//! the practical analogue of a mixing-time study.
+//! the practical analogue of a mixing-time study. The per-λ chains run as
+//! engine jobs: burn-in for a third of the budget, then one perimeter
+//! sample per sweep (n steps).
 //!
 //! ```sh
-//! cargo run --release -p sops-bench --bin mixing_diagnostics
+//! cargo run --release -p sops-bench --bin mixing_diagnostics -- --threads 4
 //! ```
 
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::{block_means, integrated_autocorrelation_time};
 use sops::prelude::*;
 use sops_bench::{out, Args};
-
-struct Diagnostics {
-    lambda: f64,
-    iat_sweeps: f64,
-    effective_samples: f64,
-    perimeter_mean: f64,
-    block_spread: f64,
-}
-
-fn diagnose(n: usize, lambda: f64, sweeps: u64, seed: u64) -> Diagnostics {
-    let start = ParticleSystem::connected(shapes::line(n)).expect("line");
-    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("params");
-    // Burn-in: a third of the budget.
-    chain.run(sweeps / 3 * n as u64);
-    // One sample per sweep (n steps).
-    let mut series = Vec::with_capacity(sweeps as usize);
-    for _ in 0..sweeps {
-        chain.run(n as u64);
-        series.push(chain.perimeter() as f64);
-    }
-    let iat = integrated_autocorrelation_time(&series);
-    let blocks = block_means(&series, 10);
-    let spread = blocks.iter().cloned().fold(f64::MIN, f64::max)
-        - blocks.iter().cloned().fold(f64::MAX, f64::min);
-    Diagnostics {
-        lambda,
-        iat_sweeps: iat,
-        effective_samples: series.len() as f64 / iat,
-        perimeter_mean: series.iter().sum::<f64>() / series.len() as f64,
-        block_spread: spread,
-    }
-}
+use sops_engine::{run_grid, EngineConfig, JobGrid};
 
 fn main() {
     let args = Args::from_env();
@@ -58,17 +29,20 @@ fn main() {
     println!("n = {n}, {sweeps} sweeps (1 sweep = n iterations), perimeter observable\n");
 
     let lambdas = [1.5, 2.0, 3.0, 4.0, 6.0];
-    let results: Vec<Diagnostics> = std::thread::scope(|scope| {
-        let handles: Vec<_> = lambdas
-            .iter()
-            .enumerate()
-            .map(|(i, &lambda)| scope.spawn(move || diagnose(n, lambda, sweeps, 77 + i as u64)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
+    let grid = JobGrid::new(77)
+        .ns([n])
+        .lambdas(lambdas)
+        .burnin(sweeps / 3 * n as u64)
+        .steps(sweeps * n as u64)
+        .samples(sweeps);
+    let report = run_grid(
+        &grid,
+        &EngineConfig {
+            threads: args.threads(),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("sweep");
 
     let mut table = Table::new([
         "λ",
@@ -77,25 +51,31 @@ fn main() {
         "effective samples",
         "block-mean spread",
     ]);
-    for d in &results {
+    let mut iats: Vec<(f64, f64)> = Vec::new();
+    for (spec, result) in report.iter() {
+        let series = &result.samples;
+        let iat = integrated_autocorrelation_time(series);
+        let blocks = block_means(series, 10);
+        let spread = blocks.iter().cloned().fold(f64::MIN, f64::max)
+            - blocks.iter().cloned().fold(f64::MAX, f64::min);
+        iats.push((spec.lambda, iat));
         table.row([
-            fmt_f64(d.lambda, 1),
-            fmt_f64(d.perimeter_mean, 1),
-            fmt_f64(d.iat_sweeps, 1),
-            fmt_f64(d.effective_samples, 0),
-            fmt_f64(d.block_spread, 1),
+            fmt_f64(spec.lambda, 1),
+            fmt_f64(result.stats().mean(), 1),
+            fmt_f64(iat, 1),
+            fmt_f64(series.len() as f64 / iat, 0),
+            fmt_f64(spread, 1),
         ]);
     }
     out::emit("mixing_diagnostics", &table).expect("write results");
 
-    // Where does the autocorrelation peak?
-    let peak = results
+    let peak = iats
         .iter()
-        .max_by(|a, b| a.iat_sweeps.total_cmp(&b.iat_sweeps))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .expect("non-empty");
     println!(
         "\nreading: the IAT peaks at λ = {} — inside the paper's conjectured",
-        peak.lambda
+        peak.0
     );
     println!(
         "phase-transition window [{:.2}, {:.2}] (Section 6). This critical",

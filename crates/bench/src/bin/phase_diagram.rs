@@ -2,13 +2,13 @@
 //!
 //! Theorem 4.5 proves compression for λ > 2+√2 ≈ 3.414; Theorem 5.7 proves
 //! expansion for λ < 2.17; Section 6 conjectures a sharp phase transition
-//! between. This binary sweeps λ across all three regimes (one thread per
-//! λ), tail-averages the perimeter of long runs, and reports α = p/pmin and
-//! β = p/pmax per λ.
+//! between. This binary sweeps λ across all three regimes on the
+//! `sops-engine` worker pool, tail-averages the perimeter of long runs, and
+//! reports α = p/pmin and β = p/pmax per λ.
 //!
 //! ```sh
 //! cargo run --release -p sops-bench --bin phase_diagram
-//! cargo run --release -p sops-bench --bin phase_diagram -- --quick
+//! cargo run --release -p sops-bench --bin phase_diagram -- --quick --threads 4
 //! ```
 
 use sops::analysis::plot::sparkline;
@@ -16,27 +16,7 @@ use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::tail_mean;
 use sops::prelude::*;
 use sops_bench::{out, Args};
-
-struct LambdaResult {
-    lambda: f64,
-    alpha: f64,
-    beta: f64,
-    trend: String,
-}
-
-fn run_lambda(n: usize, lambda: f64, steps: u64, seed: u64) -> LambdaResult {
-    let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
-    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("valid parameters");
-    let trajectory = chain.trajectory(steps, steps / 100);
-    let perimeters: Vec<f64> = trajectory.iter().map(|t| t.perimeter as f64).collect();
-    let tail = tail_mean(&perimeters, 0.25);
-    LambdaResult {
-        lambda,
-        alpha: tail / metrics::pmin(n) as f64,
-        beta: tail / metrics::pmax(n) as f64,
-        trend: sparkline(&perimeters),
-    }
-}
+use sops_engine::{run_grid, EngineConfig, JobGrid};
 
 fn main() {
     let args = Args::from_env();
@@ -56,50 +36,53 @@ fn main() {
         LAMBDA_EXPANSION, LAMBDA_COMPRESSION
     );
 
-    // One worker thread per λ (independent chains — embarrassingly parallel).
-    let results: Vec<LambdaResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = lambdas
-            .iter()
-            .enumerate()
-            .map(|(i, &lambda)| scope.spawn(move || run_lambda(n, lambda, steps, seed + i as u64)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
+    // Independent chains, one job per λ, on the shared engine pool.
+    let grid = JobGrid::new(seed)
+        .ns([n])
+        .lambdas(lambdas)
+        .steps(steps)
+        .samples(100);
+    let report = run_grid(
+        &grid,
+        &EngineConfig {
+            threads: args.threads(),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("sweep");
 
     let mut table = Table::new(["λ", "regime", "α = p/pmin", "β = p/pmax", "perimeter trend"]);
-    for r in &results {
-        let regime = if r.lambda < LAMBDA_EXPANSION {
+    for (spec, result) in report.iter() {
+        let tail = tail_mean(&result.samples, 0.25);
+        let regime = if spec.lambda < LAMBDA_EXPANSION {
             "expansion (proved)"
-        } else if r.lambda > LAMBDA_COMPRESSION {
+        } else if spec.lambda > LAMBDA_COMPRESSION {
             "compression (proved)"
         } else {
             "open window"
         };
         table.row([
-            fmt_f64(r.lambda, 3),
+            fmt_f64(spec.lambda, 3),
             regime.to_string(),
-            fmt_f64(r.alpha, 2),
-            fmt_f64(r.beta, 3),
-            r.trend.clone(),
+            fmt_f64(tail / metrics::pmin(n) as f64, 2),
+            fmt_f64(tail / metrics::pmax(n) as f64, 3),
+            sparkline(&result.samples),
         ]);
     }
     out::emit("phase_diagram", &table).expect("write results");
 
     // Shape check matching the paper: proven-expanded λ keep β large;
     // proven-compressed λ reach small α; the trend is monotone overall.
-    let beta_low = results
-        .iter()
-        .filter(|r| r.lambda <= 2.0)
-        .map(|r| r.beta)
-        .fold(f64::MAX, f64::min);
-    let alpha_high = results
-        .iter()
-        .filter(|r| r.lambda >= 4.0)
-        .map(|r| r.alpha)
-        .fold(f64::MIN, f64::max);
+    let tail_ratio =
+        |spec_filter: &dyn Fn(f64) -> bool, pdenom: f64, best: fn(f64, f64) -> f64, init: f64| {
+            report
+                .iter()
+                .filter(|(spec, _)| spec_filter(spec.lambda))
+                .map(|(_, r)| tail_mean(&r.samples, 0.25) / pdenom)
+                .fold(init, best)
+        };
+    let beta_low = tail_ratio(&|l| l <= 2.0, metrics::pmax(n) as f64, f64::min, f64::MAX);
+    let alpha_high = tail_ratio(&|l| l >= 4.0, metrics::pmin(n) as f64, f64::max, f64::MIN);
     println!("\nshape check: min β over λ ≤ 2 is {beta_low:.2} (paper: bounded away from 0);");
     println!(
         "             max α over λ ≥ 4 is {alpha_high:.2} (paper: O(1), approaching 1 for large λ)"

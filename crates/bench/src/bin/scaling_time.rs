@@ -4,25 +4,20 @@
 //! results in about a ten-fold increase in iterations until compression",
 //! and conjectures the iteration count is Ω(n³) and O(n⁴) (≈ n^3.3 for a
 //! ten-fold-per-doubling law). This binary measures first-hit times to
-//! α-compression for a doubling ladder of n, fits the power law, and
-//! reports the ratio between consecutive sizes.
+//! α-compression for a doubling ladder of n — engine jobs in first-hit
+//! mode, `reps` repetitions per size — fits the power law, and reports the
+//! ratio between consecutive sizes.
 //!
 //! ```sh
 //! cargo run --release -p sops-bench --bin scaling_time
-//! cargo run --release -p sops-bench --bin scaling_time -- --quick
+//! cargo run --release -p sops-bench --bin scaling_time -- --quick --threads 8
 //! ```
 
 use sops::analysis::stats::Summary;
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::LinearFit;
-use sops::prelude::*;
 use sops_bench::{out, Args};
-
-fn first_hit(n: usize, lambda: f64, alpha: f64, max_steps: u64, seed: u64) -> Option<u64> {
-    let start = ParticleSystem::connected(shapes::line(n)).expect("line is connected");
-    let mut chain = CompressionChain::from_seed(start, lambda, seed).expect("valid parameters");
-    chain.run_until_compressed(alpha, max_steps)
-}
+use sops_engine::{run_grid, EngineConfig, JobGrid};
 
 fn main() {
     let args = Args::from_env();
@@ -40,32 +35,30 @@ fn main() {
     println!("# E7 / Section 3.7 — iterations until α-compression");
     println!("λ = {lambda}, target α = {alpha}, {reps} repetitions per n\n");
 
-    // Parallel over (n, repetition) pairs.
-    let jobs: Vec<(usize, u64)> = sizes
-        .iter()
-        .flat_map(|&n| (0..reps).map(move |r| (n, r)))
-        .collect();
-    let hits: Vec<(usize, Option<u64>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = jobs
-            .iter()
-            .map(|&(n, r)| {
-                scope.spawn(move || (n, first_hit(n, lambda, alpha, max_steps, 1000 + r)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .collect()
-    });
+    // One engine job per (n, repetition), all racing on the shared pool.
+    let grid = JobGrid::new(args.get_u64("seed", 1000))
+        .ns(sizes.iter().copied())
+        .lambdas([lambda])
+        .reps(reps)
+        .steps(max_steps)
+        .until_alpha(alpha);
+    let report = run_grid(
+        &grid,
+        &EngineConfig {
+            threads: args.threads(),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("sweep");
 
     let mut table = Table::new(["n", "median iterations", "mean", "min", "max", "×prev"]);
     let mut medians: Vec<(f64, f64)> = Vec::new();
     let mut prev_median: Option<f64> = None;
     for &n in &sizes {
-        let times: Vec<f64> = hits
+        let times: Vec<f64> = report
             .iter()
-            .filter(|(hn, hit)| *hn == n && hit.is_some())
-            .map(|(_, hit)| hit.expect("filtered") as f64)
+            .filter(|(spec, result)| spec.n == n && result.first_hit.is_some())
+            .map(|(_, result)| result.first_hit.expect("filtered") as f64)
             .collect();
         if times.is_empty() {
             table.row([

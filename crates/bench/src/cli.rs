@@ -95,6 +95,21 @@ impl Args {
         self.values.get(name).cloned()
     }
 
+    /// The shared `--threads N` flag: worker-thread count for parallel
+    /// experiment binaries, defaulting to the machine's available
+    /// parallelism. Engine-backed sweeps produce identical results at any
+    /// value; only wall-clock time changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse or is zero.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        let threads = self.get_usize("threads", sops_engine::default_threads());
+        assert!(threads > 0, "--threads expects a positive integer");
+        threads
+    }
+
     /// An `f64` value with a default.
     ///
     /// # Panics
@@ -136,6 +151,21 @@ mod tests {
     fn trailing_flag_is_a_flag() {
         let args = Args::from_iter(["--quick"].map(String::from));
         assert!(args.flag("quick"));
+    }
+
+    #[test]
+    fn threads_defaults_to_available_parallelism() {
+        let args = Args::from_iter(std::iter::empty());
+        assert_eq!(args.threads(), sops_engine::default_threads());
+        let args = Args::from_iter(["--threads", "3"].map(String::from));
+        assert_eq!(args.threads(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn zero_threads_panics() {
+        let args = Args::from_iter(["--threads", "0"].map(String::from));
+        let _ = args.threads();
     }
 
     #[test]

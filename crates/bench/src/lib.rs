@@ -9,9 +9,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod ablation;
 pub mod cli;
 pub mod out;
+
+/// The ablation chain now lives in the execution engine (so it can be
+/// scheduled next to chain/local jobs); re-exported for the experiment
+/// binaries that predate the move.
+pub use sops_engine::ablation;
 
 /// Re-export so binaries only need `sops_bench` and `sops`.
 pub use cli::Args;

@@ -9,16 +9,15 @@ use sops::analysis::table::Table;
 /// working directory, overridable with the `SOPS_RESULTS_DIR` environment
 /// variable.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the directory cannot be created.
-#[must_use]
-pub fn results_dir() -> PathBuf {
+/// Propagates the I/O error when the directory cannot be created.
+pub fn results_dir() -> io::Result<PathBuf> {
     let dir = std::env::var_os("SOPS_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("results"));
-    std::fs::create_dir_all(&dir).expect("create results directory");
-    dir
+    std::fs::create_dir_all(&dir)?;
+    Ok(dir)
 }
 
 /// Prints a table to stdout (Markdown) and writes it as CSV under
@@ -29,7 +28,7 @@ pub fn results_dir() -> PathBuf {
 /// Propagates I/O errors from writing the CSV.
 pub fn emit(name: &str, table: &Table) -> io::Result<PathBuf> {
     print!("{}", table.to_markdown());
-    let path = results_dir().join(format!("{name}.csv"));
+    let path = results_dir()?.join(format!("{name}.csv"));
     table.write_csv(&path)?;
     println!("(csv: {})", path.display());
     Ok(path)
@@ -41,7 +40,7 @@ pub fn emit(name: &str, table: &Table) -> io::Result<PathBuf> {
 ///
 /// Propagates I/O errors.
 pub fn write_text(name: &str, content: &str) -> io::Result<PathBuf> {
-    let path = results_dir().join(name);
+    let path = results_dir()?.join(name);
     std::fs::write(&path, content)?;
     Ok(path)
 }
@@ -52,33 +51,58 @@ pub fn write_text(name: &str, content: &str) -> io::Result<PathBuf> {
 ///
 /// Propagates I/O errors.
 pub fn write_svg(name: &str, sys: &sops::system::ParticleSystem) -> io::Result<PathBuf> {
-    let path = results_dir().join(name);
+    let path = results_dir()?.join(name);
     sops::render::svg::write_svg(sys, &path)?;
     Ok(path)
 }
 
 /// Joins a path under the results dir (without creating the file).
-#[must_use]
-pub fn path(name: &str) -> PathBuf {
-    results_dir().join(name)
+///
+/// # Errors
+///
+/// Propagates the I/O error when the directory cannot be created.
+pub fn path(name: &str) -> io::Result<PathBuf> {
+    Ok(results_dir()?.join(name))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// `SOPS_RESULTS_DIR` is process-global and cargo runs tests on
+    /// parallel threads, so every test that sets it (or depends on it being
+    /// unset) must hold this lock — especially since one test points the
+    /// variable at a deliberately un-creatable path.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn results_dir_is_created() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let tmp = std::env::temp_dir().join("sops_results_test");
         std::env::set_var("SOPS_RESULTS_DIR", &tmp);
-        let dir = results_dir();
+        let dir = results_dir().unwrap();
         assert!(dir.exists());
         std::env::remove_var("SOPS_RESULTS_DIR");
         let _ = std::fs::remove_dir_all(&tmp);
     }
 
     #[test]
+    fn results_dir_propagates_creation_failure() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // A path below a regular file cannot be created as a directory.
+        let tmp = std::env::temp_dir().join("sops_results_blocker");
+        std::fs::write(&tmp, "not a directory").unwrap();
+        let inner = tmp.join("nested");
+        std::env::set_var("SOPS_RESULTS_DIR", &inner);
+        assert!(results_dir().is_err());
+        std::env::remove_var("SOPS_RESULTS_DIR");
+        let _ = std::fs::remove_file(&tmp);
+    }
+
+    #[test]
     fn emit_writes_csv() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let tmp = std::env::temp_dir().join("sops_results_emit");
         std::env::set_var("SOPS_RESULTS_DIR", &tmp);
         let mut t = Table::new(["a"]);
@@ -91,7 +115,8 @@ mod tests {
 
     #[test]
     fn path_does_not_create_file() {
-        let p = path("nonexistent_artifact.txt");
+        let _guard = ENV_LOCK.lock().unwrap();
+        let p = path("nonexistent_artifact.txt").unwrap();
         assert!(!p.exists() || p.is_file());
     }
 }

@@ -1,9 +1,10 @@
-//! Shared helpers for the CLI subcommands.
+//! Shared helpers for the CLI subcommands, plus the `sweep` command.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sops::prelude::*;
-use sops_bench::Args;
+use sops_bench::{out, Args};
+use sops_engine::{CheckpointConfig, EngineConfig, JobGrid};
 
 /// Builds the starting configuration from `--shape` (default: line).
 ///
@@ -44,6 +45,142 @@ pub fn build_shape(args: &Args, n: usize, seed: u64) -> ParticleSystem {
     }
 }
 
+/// Parses a comma-separated list with `FromStr` items, exiting with a
+/// usage error on malformed input.
+fn parse_list<T: core::str::FromStr>(flag: &str, raw: &str) -> Vec<T> {
+    raw.split(',')
+        .filter(|item| !item.is_empty())
+        .map(|item| {
+            item.parse().unwrap_or_else(|_| {
+                eprintln!("--{flag}: cannot parse {item:?}");
+                std::process::exit(2);
+            })
+        })
+        .collect()
+}
+
+/// `sops-cli sweep` — drive a (n × λ × shape × algorithm) grid on the
+/// execution engine, with optional checkpoint/resume.
+pub fn sweep(args: &Args) {
+    let ns: Vec<usize> = parse_list("n", &args.get_string("n").unwrap_or_else(|| "100".into()));
+    let lambdas: Vec<f64> = parse_list(
+        "lambda",
+        &args.get_string("lambda").unwrap_or_else(|| "4".into()),
+    );
+    let shapes: Vec<sops_engine::Shape> = parse_list(
+        "shape",
+        &args.get_string("shape").unwrap_or_else(|| "line".into()),
+    );
+    let algorithms: Vec<sops_engine::Algorithm> = parse_list(
+        "algo",
+        &args.get_string("algo").unwrap_or_else(|| "chain".into()),
+    );
+    let steps = args.get_u64("steps", 100_000);
+    let seed = args.get_u64("seed", 0);
+    let out_name = args.get_string("out").unwrap_or_else(|| "sweep".into());
+
+    let mut grid = JobGrid::new(seed)
+        .ns(ns)
+        .lambdas(lambdas)
+        .shapes(shapes)
+        .algorithms(algorithms.iter().copied())
+        .steps(steps)
+        .burnin(args.get_u64("burnin", 0))
+        .samples(args.get_u64("samples", 100))
+        .reps(args.get_u64("reps", 1));
+    if let Some(alpha) = args.get_string("until-alpha") {
+        // First-hit mode only exists for the chain; reject or warn rather
+        // than silently ignoring the flag.
+        let chains = algorithms
+            .iter()
+            .filter(|a| matches!(a, sops_engine::Algorithm::Chain))
+            .count();
+        if chains == 0 {
+            eprintln!("--until-alpha requires --algo chain (first-hit mode is chain-only)");
+            std::process::exit(2);
+        }
+        if chains < algorithms.len() {
+            eprintln!("note: --until-alpha only applies to the chain jobs in this sweep");
+        }
+        grid = grid.until_alpha(alpha.parse().unwrap_or_else(|_| {
+            eprintln!("--until-alpha expects a number");
+            std::process::exit(2);
+        }));
+    }
+
+    let events_path = match out::path(&format!("{out_name}.jsonl")) {
+        Ok(path) => path,
+        Err(err) => {
+            eprintln!("cannot prepare results directory: {err}");
+            std::process::exit(1);
+        }
+    };
+    let checkpoint = args.get_string("checkpoint").map(|dir| {
+        CheckpointConfig::new(dir, args.get_u64("checkpoint-every", (steps / 10).max(1)))
+    });
+    if checkpoint.is_none() {
+        // Both flags are meaningless without a checkpoint store; erroring
+        // beats silently running the sweep to completion.
+        for flag in ["stop-after", "checkpoint-every"] {
+            if args.get_string(flag).is_some() {
+                eprintln!("--{flag} requires --checkpoint DIR");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = EngineConfig {
+        threads: args.threads(),
+        checkpoint,
+        events_path: Some(events_path),
+        stop_after_checkpoints: args.get_string("stop-after").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--stop-after expects an integer");
+                std::process::exit(2);
+            })
+        }),
+    };
+
+    let jobs = grid.build();
+    println!(
+        "sweep: {} jobs on {} threads (seed {seed}){}",
+        jobs.len(),
+        cfg.threads,
+        cfg.checkpoint
+            .as_ref()
+            .map(|ck| format!(
+                ", checkpointing to {} every {} work units",
+                ck.dir.display(),
+                ck.every
+            ))
+            .unwrap_or_default()
+    );
+    let report = match sops_engine::run_sweep(jobs, &cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("sweep failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    if report.reused > 0 {
+        println!("resumed: {} job(s) reused from done-records", report.reused);
+    }
+    if report.interrupted {
+        println!(
+            "sweep interrupted with {}/{} jobs complete; run the same command again to resume",
+            report.results.len(),
+            report.specs.len()
+        );
+        return;
+    }
+    match out::emit(&out_name, &report.to_table()) {
+        Ok(_) => println!("sweep complete: {} jobs", report.results.len()),
+        Err(err) => {
+            eprintln!("failed to write results: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Prints the top-level usage text.
 pub fn print_usage() {
     println!(
@@ -55,6 +192,10 @@ USAGE:
 COMMANDS:
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
+  sweep      run a job grid on the engine
+             --n 50,100 --lambda 2,4 --shape line --algo chain,local --steps --burnin
+             --samples --reps --until-alpha --seed --threads
+             --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg
@@ -64,6 +205,8 @@ COMMANDS:
 EXAMPLES:
   sops-cli simulate --n 100 --lambda 4 --steps 5000000 --svg compressed.svg
   sops-cli local --n 64 --lambda 2 --rounds 20000
+  sops-cli sweep --n 50,100 --lambda 2,3,4 --steps 500000 --threads 8 \\
+                 --checkpoint results/sweep-ckpt
   sops-cli render --shape annulus --radius 4"
     );
 }

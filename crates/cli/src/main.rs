@@ -4,6 +4,8 @@
 //! sops-cli simulate --n 100 --lambda 4 --steps 1000000 [--shape line|spiral|annulus|random]
 //!                   [--seed S] [--svg out.svg] [--every K]
 //! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S]
+//! sops-cli sweep    --n 50,100 --lambda 2,4 --steps 100000 [--algo chain,local]
+//!                   [--threads T] [--checkpoint DIR [--checkpoint-every W]] [--out NAME]
 //! sops-cli enumerate --max-n 9
 //! sops-cli saw      --max-len 20
 //! sops-cli render   --shape spiral --n 50 [--svg out.svg]
@@ -30,6 +32,7 @@ fn main() {
     match command.as_str() {
         "simulate" => simulate(&args),
         "local" => local(&args),
+        "sweep" => commands::sweep(&args),
         "enumerate" => enumerate(&args),
         "saw" => saw_counts(&args),
         "render" => render(&args),

@@ -22,6 +22,8 @@ use rand::{Rng, SeedableRng};
 use sops_lattice::Direction;
 use sops_system::{metrics, ParticleSystem, SystemError};
 
+use crate::snapshot::{self, SnapshotError};
+
 /// Errors from constructing a [`CompressionChain`].
 #[derive(Clone, Debug, PartialEq)]
 #[non_exhaustive]
@@ -185,6 +187,92 @@ impl CompressionChain<StdRng> {
         seed: u64,
     ) -> Result<CompressionChain<StdRng>, ChainError> {
         CompressionChain::new(sys, lambda, StdRng::seed_from_u64(seed))
+    }
+
+    /// Serializes the full chain state — configuration, λ, counters, crash
+    /// set and exact RNG state — as a compact text snapshot.
+    ///
+    /// [`CompressionChain::restore`] rebuilds a chain whose continued
+    /// trajectory is bitwise identical to running this one uninterrupted;
+    /// see [`crate::snapshot`] for the format and guarantees.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        use core::fmt::Write as _;
+        let c = self.counts;
+        let crashed: Vec<String> = self
+            .crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, &dead)| dead)
+            .map(|(id, _)| id.to_string())
+            .collect();
+        let mut s = String::from("sops-chain-snapshot v1\n");
+        let _ = writeln!(s, "lambda={}", snapshot::f64_to_hex(self.lambda));
+        let _ = writeln!(s, "steps={}", self.steps);
+        let _ = writeln!(
+            s,
+            "counts={},{},{},{},{},{}",
+            c.moved, c.target_occupied, c.crashed, c.five_neighbor, c.property, c.metropolis
+        );
+        let _ = writeln!(s, "hole_free={}", u8::from(self.hole_free));
+        let _ = writeln!(s, "validate={}", u8::from(self.validate));
+        let _ = writeln!(s, "crashed={}", crashed.join(","));
+        let _ = writeln!(s, "rng={}", snapshot::rng_to_string(&self.rng));
+        let _ = writeln!(
+            s,
+            "positions={}",
+            snapshot::points_to_string(self.sys.positions().iter().copied())
+        );
+        s
+    }
+
+    /// Rebuilds a chain from a [`CompressionChain::snapshot`] text.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the text is malformed or describes an invalid
+    /// state (duplicate positions, disconnected configuration, out-of-range
+    /// crash ids, bad λ).
+    pub fn restore(text: &str) -> Result<CompressionChain<StdRng>, SnapshotError> {
+        let fields = snapshot::Fields::parse(text, "sops-chain-snapshot v1")?;
+        let positions = snapshot::points_from_string("positions", fields.get("positions")?)?;
+        let sys = ParticleSystem::connected(positions)
+            .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        let lambda = fields.parse_f64_bits("lambda")?;
+        let rng = snapshot::rng_from_string("rng", fields.get("rng")?)?;
+        let mut chain = CompressionChain::new(sys, lambda, rng)
+            .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        chain.steps = fields.parse_num("steps")?;
+        let counts: Vec<u64> = fields.parse_list("counts")?;
+        let [moved, target_occupied, crashed, five_neighbor, property, metropolis] = counts[..]
+        else {
+            return Err(SnapshotError::BadField {
+                field: "counts",
+                value: fields.get("counts")?.to_string(),
+            });
+        };
+        chain.counts = StepCounts {
+            moved,
+            target_occupied,
+            crashed,
+            five_neighbor,
+            property,
+            metropolis,
+        };
+        // The hole-free flag is lazily monotone; restoring the stored value
+        // (rather than recomputing) preserves the exact observable behavior.
+        chain.hole_free = fields.parse_num::<u8>("hole_free")? != 0;
+        chain.validate = fields.parse_num::<u8>("validate")? != 0;
+        for id in fields.parse_list::<usize>("crashed")? {
+            if id >= chain.crashed.len() {
+                return Err(SnapshotError::Invalid(format!(
+                    "crashed id {id} out of range for {} particles",
+                    chain.crashed.len()
+                )));
+            }
+            chain.crash(id);
+        }
+        Ok(chain)
     }
 }
 
@@ -560,6 +648,51 @@ mod tests {
             assert_eq!(pt.holes, 0);
             assert_eq!(pt.edges, 3 * 10 - pt.perimeter - 3);
         }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut a = line_chain(12, 4.0, 99);
+        a.run(3_333);
+        let snap = a.snapshot();
+        let mut b = CompressionChain::restore(&snap).unwrap();
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(a.counts(), b.counts());
+        a.run(5_000);
+        b.run(5_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.system().positions(), b.system().positions());
+    }
+
+    #[test]
+    fn snapshot_preserves_crash_set_and_flags() {
+        let mut a = line_chain(10, 3.0, 4);
+        a.crash(2);
+        a.crash(7);
+        a.set_validation(true);
+        a.run(1_000);
+        let b = CompressionChain::restore(&a.snapshot()).unwrap();
+        assert_eq!(b.crashed_count(), 2);
+        assert!((b.lambda() - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        use crate::snapshot::SnapshotError;
+        assert!(matches!(
+            CompressionChain::restore("not a snapshot").unwrap_err(),
+            SnapshotError::WrongHeader { .. }
+        ));
+        let valid = line_chain(5, 2.0, 1).snapshot();
+        let truncated: String = valid
+            .lines()
+            .filter(|l| !l.starts_with("rng="))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            CompressionChain::restore(&truncated).unwrap_err(),
+            SnapshotError::MissingField("rng")
+        ));
     }
 
     #[test]

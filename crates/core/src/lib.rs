@@ -40,9 +40,11 @@
 
 pub mod chain;
 pub mod local;
+pub mod snapshot;
 
 pub use chain::{ChainError, CompressionChain, StepCounts, StepOutcome, TrajectoryPoint};
 pub use local::LocalRunner;
+pub use snapshot::SnapshotError;
 
 /// The compression threshold `2 + √2 ≈ 3.414`: Theorem 4.5 proves
 /// α-compression at stationarity for every `λ` above this value.

@@ -33,6 +33,7 @@ use sops_lattice::{Direction, PairRing, TriMap, TriPoint};
 use sops_system::{moves::MoveValidity, ParticleSystem};
 
 use crate::chain::ChainError;
+use crate::snapshot::{self, SnapshotError};
 
 /// What happened during one particle activation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -158,6 +159,165 @@ impl LocalRunner<StdRng> {
         seed: u64,
     ) -> Result<LocalRunner<StdRng>, ChainError> {
         LocalRunner::new(start, lambda, StdRng::seed_from_u64(seed))
+    }
+
+    /// Serializes the full simulator state — particles (tails, heads,
+    /// flags), the future-event list, round bookkeeping, crash set and exact
+    /// RNG state — as a compact text snapshot.
+    ///
+    /// [`LocalRunner::restore`] rebuilds a runner whose continued execution
+    /// is bitwise identical to running this one uninterrupted; see
+    /// [`crate::snapshot`] for the format and guarantees.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        use core::fmt::Write as _;
+        let particles: Vec<String> = self
+            .particles
+            .iter()
+            .map(|p| match p.head {
+                Some(h) => format!(
+                    "{},{},{},{},{}",
+                    p.tail.x,
+                    p.tail.y,
+                    h.x,
+                    h.y,
+                    u8::from(p.flag)
+                ),
+                None => format!("{},{},{}", p.tail.x, p.tail.y, u8::from(p.flag)),
+            })
+            .collect();
+        let events: Vec<String> = self
+            .queue
+            .iter()
+            .map(|e| format!("{}:{}", snapshot::f64_to_hex(e.time), e.id))
+            .collect();
+        let mut s = String::from("sops-local-snapshot v1\n");
+        let _ = writeln!(s, "lambda={}", snapshot::f64_to_hex(self.lambda));
+        let _ = writeln!(s, "time={}", snapshot::f64_to_hex(self.time));
+        let _ = writeln!(s, "activations={}", self.activations);
+        let _ = writeln!(s, "moves={}", self.moves_completed);
+        let _ = writeln!(s, "rounds={}", self.rounds);
+        let _ = writeln!(s, "remaining={}", self.remaining_in_round);
+        let _ = writeln!(s, "crashed={}", snapshot::bools_to_string(&self.crashed));
+        let _ = writeln!(
+            s,
+            "activated={}",
+            snapshot::bools_to_string(&self.activated_in_round)
+        );
+        let _ = writeln!(s, "rng={}", snapshot::rng_to_string(&self.rng));
+        let _ = writeln!(s, "particles={}", particles.join(";"));
+        let _ = writeln!(s, "queue={}", events.join(";"));
+        s
+    }
+
+    /// Rebuilds a runner from a [`LocalRunner::snapshot`] text.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the text is malformed or describes an invalid
+    /// state (overlapping sites, a head not adjacent to its tail, an event
+    /// for an unknown particle, bad λ).
+    pub fn restore(text: &str) -> Result<LocalRunner<StdRng>, SnapshotError> {
+        let fields = snapshot::Fields::parse(text, "sops-local-snapshot v1")?;
+        let bad = |field: &'static str, value: &str| SnapshotError::BadField {
+            field,
+            value: value.to_string(),
+        };
+        let lambda = fields.parse_f64_bits("lambda")?;
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(SnapshotError::Invalid(format!("bad lambda {lambda}")));
+        }
+        let raw_particles = fields.get("particles")?;
+        let mut particles = Vec::new();
+        for item in raw_particles.split(';').filter(|i| !i.is_empty()) {
+            let nums: Vec<i32> = item
+                .split(',')
+                .map(|t| t.parse().map_err(|_| bad("particles", raw_particles)))
+                .collect::<Result<_, _>>()?;
+            let particle = match nums[..] {
+                [x, y, flag] => Particle {
+                    tail: TriPoint::new(x, y),
+                    head: None,
+                    flag: flag != 0,
+                },
+                [x, y, hx, hy, flag] => Particle {
+                    tail: TriPoint::new(x, y),
+                    head: Some(TriPoint::new(hx, hy)),
+                    flag: flag != 0,
+                },
+                _ => return Err(bad("particles", raw_particles)),
+            };
+            if let Some(h) = particle.head {
+                if !particle.tail.is_adjacent(h) {
+                    return Err(SnapshotError::Invalid(format!(
+                        "head {h} not adjacent to tail {}",
+                        particle.tail
+                    )));
+                }
+            }
+            particles.push(particle);
+        }
+        if particles.is_empty() {
+            return Err(SnapshotError::Invalid("no particles".into()));
+        }
+        let n = particles.len();
+        let mut occ: TriMap<TriPoint, Slot> = TriMap::default();
+        for (id, p) in particles.iter().enumerate() {
+            if occ.insert(p.tail, Slot { id, is_head: false }).is_some() {
+                return Err(SnapshotError::Invalid(format!(
+                    "site {} occupied twice",
+                    p.tail
+                )));
+            }
+            if let Some(h) = p.head {
+                if occ.insert(h, Slot { id, is_head: true }).is_some() {
+                    return Err(SnapshotError::Invalid(format!("site {h} occupied twice")));
+                }
+            }
+        }
+        let raw_queue = fields.get("queue")?;
+        let mut queue = BinaryHeap::with_capacity(n);
+        for item in raw_queue.split(';').filter(|i| !i.is_empty()) {
+            let (time_hex, id) = item
+                .split_once(':')
+                .ok_or_else(|| bad("queue", raw_queue))?;
+            let id: usize = id.parse().map_err(|_| bad("queue", raw_queue))?;
+            if id >= n {
+                return Err(SnapshotError::Invalid(format!(
+                    "event for unknown particle {id}"
+                )));
+            }
+            queue.push(Event {
+                time: snapshot::f64_from_hex("queue", time_hex)?,
+                id,
+            });
+        }
+        let crashed = snapshot::bools_from_string("crashed", fields.get("crashed")?, n)?;
+        let live = crashed.iter().filter(|&&dead| !dead).count();
+        let mut lambda_pow = [0.0; 11];
+        for (i, slot) in lambda_pow.iter_mut().enumerate() {
+            *slot = lambda.powi(i as i32 - 5);
+        }
+        Ok(LocalRunner {
+            particles,
+            occ,
+            queue,
+            time: fields.parse_f64_bits("time")?,
+            lambda_pow,
+            lambda,
+            rng: snapshot::rng_from_string("rng", fields.get("rng")?)?,
+            activations: fields.parse_num("activations")?,
+            moves_completed: fields.parse_num("moves")?,
+            rounds: fields.parse_num("rounds")?,
+            activated_in_round: snapshot::bools_from_string(
+                "activated",
+                fields.get("activated")?,
+                n,
+            )?,
+            remaining_in_round: fields.parse_num("remaining")?,
+            crashed,
+            live,
+        })
     }
 }
 
@@ -587,6 +747,66 @@ mod tests {
         );
         assert_eq!(a.moves_completed(), b.moves_completed());
         assert!((a.time() - b.time()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut a = runner(9, 4.0, 31);
+        a.run_activations(2_137); // stop mid-round, some particles expanded
+        let snap = a.snapshot();
+        let mut b = LocalRunner::restore(&snap).unwrap();
+        b.assert_invariants();
+        assert_eq!(a.activations(), b.activations());
+        assert_eq!(a.rounds(), b.rounds());
+        a.run_activations(4_000);
+        b.run_activations(4_000);
+        assert_eq!(a.moves_completed(), b.moves_completed());
+        assert!(
+            (a.time() - b.time()).abs() == 0.0,
+            "time must match exactly"
+        );
+        assert_eq!(
+            a.tail_system().canonical_key(),
+            b.tail_system().canonical_key()
+        );
+    }
+
+    #[test]
+    fn snapshot_preserves_crashes_and_expanded_heads() {
+        let mut a = runner(8, 3.0, 5);
+        a.crash(3);
+        a.run_activations(1_001);
+        let b = LocalRunner::restore(&a.snapshot()).unwrap();
+        for id in 0..a.len() {
+            assert_eq!(a.is_expanded(id), b.is_expanded(id), "particle {id}");
+        }
+        let mut b = b;
+        b.run_activations(2_000);
+        assert_eq!(b.tail_system().position(3), a.tail_system().position(3));
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_state() {
+        let a = runner(4, 2.0, 1);
+        let snap = a.snapshot();
+        let corrupt = snap.replace("sops-local-snapshot v1", "sops-chain-snapshot v1");
+        assert!(LocalRunner::restore(&corrupt).is_err());
+        // An event pointing at a particle that does not exist.
+        let bad_queue = snap
+            .lines()
+            .map(|l| {
+                if l.starts_with("queue=") {
+                    format!("{l};{}:99", crate::snapshot::f64_to_hex(1.0))
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            LocalRunner::restore(&bad_queue).unwrap_err(),
+            SnapshotError::Invalid(_)
+        ));
     }
 
     #[test]

@@ -96,4 +96,55 @@ proptest! {
         runner.run_activations(1_000);
         prop_assert_eq!(runner.tail_system().len(), n);
     }
+
+    /// Checkpointing is invisible: snapshotting the chain at an arbitrary
+    /// step, restoring, and continuing produces the identical trajectory
+    /// (outcome counts AND exact particle positions) to an uninterrupted
+    /// run from the same seed.
+    #[test]
+    fn chain_snapshot_restore_matches_uninterrupted_run(
+        start in arb_start(),
+        lambda_pct in 50u32..600,
+        seed in any::<u64>(),
+        split in 0u64..3000,
+    ) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let mut full = CompressionChain::from_seed(start.clone(), lambda, seed).unwrap();
+        let mut interrupted = CompressionChain::from_seed(start, lambda, seed).unwrap();
+        interrupted.run(split);
+        let mut resumed = CompressionChain::restore(&interrupted.snapshot()).unwrap();
+        full.run(split + 1_500);
+        resumed.run(1_500);
+        prop_assert_eq!(full.steps(), resumed.steps());
+        prop_assert_eq!(full.counts(), resumed.counts());
+        prop_assert_eq!(full.system().positions(), resumed.system().positions());
+    }
+
+    /// The same for the local runner: snapshot → restore → continue equals
+    /// an uninterrupted run, down to the simulated clock's exact bits and
+    /// the configuration's canonical form.
+    #[test]
+    fn local_snapshot_restore_matches_uninterrupted_run(
+        start in arb_start(),
+        lambda_pct in 50u32..600,
+        seed in any::<u64>(),
+        split in 0u64..2000,
+    ) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let mut full = LocalRunner::from_seed(&start, lambda, seed).unwrap();
+        let mut interrupted = LocalRunner::from_seed(&start, lambda, seed).unwrap();
+        interrupted.run_activations(split);
+        let mut resumed = LocalRunner::restore(&interrupted.snapshot()).unwrap();
+        resumed.assert_invariants();
+        full.run_activations(split + 1_000);
+        resumed.run_activations(1_000);
+        prop_assert_eq!(full.activations(), resumed.activations());
+        prop_assert_eq!(full.moves_completed(), resumed.moves_completed());
+        prop_assert_eq!(full.rounds(), resumed.rounds());
+        prop_assert!(full.time().to_bits() == resumed.time().to_bits());
+        prop_assert_eq!(
+            full.tail_system().canonical_key(),
+            resumed.tail_system().canonical_key()
+        );
+    }
 }

@@ -1,0 +1,195 @@
+//! Durable sweep state: done-records and mid-job checkpoints.
+//!
+//! Layout of a checkpoint directory:
+//!
+//! ```text
+//! <dir>/meta.txt          canonical description of every job in the sweep
+//! <dir>/done/job-<id>.txt one JobResult per completed job
+//! <dir>/ckpt/job-<id>.txt mid-flight engine state + simulator snapshot
+//! ```
+//!
+//! All writes go through a `.tmp` file followed by a rename, so a kill at
+//! any instant leaves either the old state or the new state, never a torn
+//! file. `meta.txt` guards against resuming a directory with a *different*
+//! sweep: any mismatch in the job list is an error, not silent reuse.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::grid::JobSpec;
+use crate::result::JobResult;
+
+/// Where and how often a sweep checkpoints.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// The checkpoint directory (created on demand; reused to resume).
+    pub dir: PathBuf,
+    /// Work units (steps/rounds) between mid-job checkpoints.
+    pub every: u64,
+}
+
+impl CheckpointConfig {
+    /// A config checkpointing under `dir` every `every` work units.
+    pub fn new(dir: impl Into<PathBuf>, every: u64) -> CheckpointConfig {
+        CheckpointConfig {
+            dir: dir.into(),
+            every: every.max(1),
+        }
+    }
+}
+
+/// Handle to an open (validated) checkpoint directory.
+#[derive(Debug)]
+pub(crate) struct Store {
+    dir: PathBuf,
+}
+
+fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, content)?;
+    fs::rename(&tmp, path)
+}
+
+impl Store {
+    /// Opens (or initializes) `dir` for the given sweep. Returns the store
+    /// and whether the directory already existed (i.e. this is a resume).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` when the directory belongs to a
+    /// different sweep.
+    pub(crate) fn open(dir: &Path, specs: &[JobSpec]) -> io::Result<(Store, bool)> {
+        fs::create_dir_all(dir.join("done"))?;
+        fs::create_dir_all(dir.join("ckpt"))?;
+        let meta: String = specs.iter().map(|s| s.describe() + "\n").collect();
+        let meta_path = dir.join("meta.txt");
+        let resuming = meta_path.exists();
+        if resuming {
+            let existing = fs::read_to_string(&meta_path)?;
+            if existing != meta {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "checkpoint directory {} holds a different sweep; \
+                         delete it or pick another directory",
+                        dir.display()
+                    ),
+                ));
+            }
+        } else {
+            write_atomic(&meta_path, &meta)?;
+        }
+        Ok((
+            Store {
+                dir: dir.to_path_buf(),
+            },
+            resuming,
+        ))
+    }
+
+    fn done_path(&self, id: usize) -> PathBuf {
+        self.dir.join("done").join(format!("job-{id}.txt"))
+    }
+
+    fn ckpt_path(&self, id: usize) -> PathBuf {
+        self.dir.join("ckpt").join(format!("job-{id}.txt"))
+    }
+
+    /// Loads every persisted done-record, sorted by job id.
+    pub(crate) fn load_done(&self) -> io::Result<Vec<JobResult>> {
+        let mut results = Vec::new();
+        for entry in fs::read_dir(self.dir.join("done"))? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "txt") {
+                let text = fs::read_to_string(&path)?;
+                let result = JobResult::from_text(&text).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt done-record {}: {e}", path.display()),
+                    )
+                })?;
+                results.push(result);
+            }
+        }
+        results.sort_by_key(|r| r.job);
+        Ok(results)
+    }
+
+    /// Persists a completed job and drops its mid-flight checkpoint.
+    pub(crate) fn write_done(&self, result: &JobResult) -> io::Result<()> {
+        write_atomic(&self.done_path(result.job), &result.to_text())?;
+        let ckpt = self.ckpt_path(result.job);
+        if ckpt.exists() {
+            fs::remove_file(ckpt)?;
+        }
+        Ok(())
+    }
+
+    /// The mid-flight checkpoint for a job, if one exists.
+    pub(crate) fn load_ckpt(&self, id: usize) -> io::Result<Option<String>> {
+        match fs::read_to_string(self.ckpt_path(id)) {
+            Ok(text) => Ok(Some(text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically replaces the mid-flight checkpoint for a job.
+    pub(crate) fn write_ckpt(&self, id: usize, text: &str) -> io::Result<()> {
+        write_atomic(&self.ckpt_path(id), text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{Algorithm, JobGrid};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sops_engine_store_{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn open_initializes_and_detects_foreign_sweeps() {
+        let dir = tmp("meta");
+        let specs = JobGrid::new(1).ns([5]).build();
+        let (_, resumed) = Store::open(&dir, &specs).unwrap();
+        assert!(!resumed);
+        let (_, resumed) = Store::open(&dir, &specs).unwrap();
+        assert!(resumed);
+        let other = JobGrid::new(2).ns([6]).lambdas([3.0]).build();
+        let err = Store::open(&dir, &other).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_records_round_trip_and_clear_ckpts() {
+        let dir = tmp("done");
+        let specs = JobGrid::new(1).algorithms([Algorithm::Chain]).build();
+        let (store, _) = Store::open(&dir, &specs).unwrap();
+        store.write_ckpt(0, "partial state").unwrap();
+        assert_eq!(
+            store.load_ckpt(0).unwrap().as_deref(),
+            Some("partial state")
+        );
+        let result = JobResult {
+            job: 0,
+            particles: 1,
+            samples: vec![3.5],
+            work_done: 10,
+            final_perimeter: 9,
+            final_edges: 4,
+            final_connected: true,
+            first_hit: None,
+            violations: 0,
+        };
+        store.write_done(&result).unwrap();
+        assert_eq!(store.load_ckpt(0).unwrap(), None, "done clears the ckpt");
+        assert_eq!(store.load_done().unwrap(), vec![result]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,454 @@
+//! The sweep description model: [`JobSpec`], [`JobGrid`] and their axes.
+//!
+//! A sweep is a list of independent [`JobSpec`]s. [`JobGrid`] builds the
+//! cross product of its axes (algorithm × shape × n × λ × crash × rep) in a
+//! fixed, documented order and assigns each job an id and a
+//! SplitMix-derived child seed (see [`crate::seed`]); hand-built spec lists
+//! get the same treatment through [`assign_ids_and_seeds`].
+
+use core::fmt;
+use core::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sops::system::{shapes, ParticleSystem, SystemError};
+
+use crate::ablation::Guards;
+use crate::seed::child_seed;
+
+/// Which simulator a job runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// The centralized Markov chain `M`; work units are chain steps.
+    Chain,
+    /// The asynchronous local algorithm `A`; work units are rounds.
+    Local,
+    /// The deliberately weakened chain (see [`crate::ablation`]); work
+    /// units are chain steps.
+    Ablation(Guards),
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm::Chain => write!(f, "chain"),
+            Algorithm::Local => write!(f, "local"),
+            Algorithm::Ablation(g) => match (g.five_neighbor_rule, g.properties) {
+                (true, true) => write!(f, "ablation-full"),
+                (false, true) => write!(f, "ablation-no-five"),
+                (true, false) => write!(f, "ablation-no-prop"),
+                (false, false) => write!(f, "ablation-none"),
+            },
+        }
+    }
+}
+
+impl FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Algorithm, String> {
+        match s {
+            "chain" => Ok(Algorithm::Chain),
+            "local" => Ok(Algorithm::Local),
+            "ablation-full" | "ablation" => Ok(Algorithm::Ablation(Guards::full())),
+            "ablation-no-five" => Ok(Algorithm::Ablation(Guards::without_five_neighbor_rule())),
+            "ablation-no-prop" => Ok(Algorithm::Ablation(Guards::without_properties())),
+            "ablation-none" => Ok(Algorithm::Ablation(Guards {
+                five_neighbor_rule: false,
+                properties: false,
+            })),
+            other => Err(format!(
+                "unknown algorithm {other:?} \
+                 (try chain|local|ablation-full|ablation-no-five|ablation-no-prop)"
+            )),
+        }
+    }
+}
+
+/// The starting configuration family of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// A straight line of `n` particles (the paper's canonical start).
+    Line,
+    /// A hexagonal spiral of `n` particles (near-maximally compressed).
+    Spiral,
+    /// An annulus of the given radius (starts with a hole; `n` is ignored).
+    Annulus(u32),
+    /// Seeded Eden-growth random connected configuration of `n` particles.
+    Random,
+}
+
+impl Shape {
+    /// Builds the starting configuration for a job of `n` particles.
+    ///
+    /// `Random` derives its growth RNG from `seed`, so the same job spec
+    /// always starts from the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemError`] (e.g. `n = 0`).
+    pub fn build(&self, n: usize, seed: u64) -> Result<ParticleSystem, SystemError> {
+        let points = match *self {
+            Shape::Line => shapes::line(n),
+            Shape::Spiral => shapes::spiral(n),
+            Shape::Annulus(r) => shapes::annulus(r),
+            Shape::Random => shapes::random_connected(n, &mut StdRng::seed_from_u64(seed ^ 0x5eed)),
+        };
+        ParticleSystem::connected(points)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Line => write!(f, "line"),
+            Shape::Spiral => write!(f, "spiral"),
+            Shape::Annulus(r) => write!(f, "annulus:{r}"),
+            Shape::Random => write!(f, "random"),
+        }
+    }
+}
+
+impl FromStr for Shape {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Shape, String> {
+        if let Some(radius) = s.strip_prefix("annulus:") {
+            return radius
+                .parse()
+                .map(Shape::Annulus)
+                .map_err(|_| format!("bad annulus radius in {s:?}"));
+        }
+        match s {
+            "line" => Ok(Shape::Line),
+            "spiral" => Ok(Shape::Spiral),
+            "annulus" => Ok(Shape::Annulus(3)),
+            "random" => Ok(Shape::Random),
+            other => Err(format!(
+                "unknown shape {other:?} (try line|spiral|annulus:<r>|random)"
+            )),
+        }
+    }
+}
+
+/// A crash-failure scenario applied to a job (Section 3.3 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Percentage of particles to crash (0–100).
+    pub percent: usize,
+    /// `false`: crash before any work (adversarial, anchors the start
+    /// shape). `true`: crash once burn-in completes (the paper's mid-run
+    /// scenario).
+    pub after_burnin: bool,
+}
+
+impl fmt::Display for CrashSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let when = if self.after_burnin { "mid" } else { "start" };
+        write!(f, "{}%@{}", self.percent, when)
+    }
+}
+
+/// One independent unit of sweep work.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Position in the sweep; assigned by [`assign_ids_and_seeds`].
+    pub id: usize,
+    /// Which simulator to run.
+    pub algorithm: Algorithm,
+    /// Starting configuration family.
+    pub shape: Shape,
+    /// Number of particles.
+    pub n: usize,
+    /// The bias parameter λ.
+    pub lambda: f64,
+    /// Work units (chain steps / local rounds) before sampling starts.
+    pub burnin: u64,
+    /// Work units over which perimeter samples are taken.
+    pub steps: u64,
+    /// Number of evenly spaced perimeter samples over `steps`.
+    pub samples: u64,
+    /// Chain-only: stop at the first step where `p ≤ α · pmin` (checked
+    /// every `n` steps) and record it; sampling is skipped in this mode.
+    pub until_alpha: Option<f64>,
+    /// Optional crash-failure scenario.
+    pub crash: Option<CrashSpec>,
+    /// Repetition index (distinguishes otherwise identical cells).
+    pub rep: u64,
+    /// Child RNG seed; assigned by [`assign_ids_and_seeds`].
+    pub seed: u64,
+}
+
+impl JobSpec {
+    /// A spec with the given simulation cell and neutral defaults
+    /// (no burn-in, 100 samples, no early stop, no crashes).
+    #[must_use]
+    pub fn new(algorithm: Algorithm, shape: Shape, n: usize, lambda: f64, steps: u64) -> JobSpec {
+        JobSpec {
+            id: 0,
+            algorithm,
+            shape,
+            n,
+            lambda,
+            burnin: 0,
+            steps,
+            samples: 100,
+            until_alpha: None,
+            crash: None,
+            rep: 0,
+            seed: 0,
+        }
+    }
+
+    /// Total work units the job executes (ignoring early stops).
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        self.burnin.saturating_add(self.steps)
+    }
+
+    /// A canonical one-line description, used to detect checkpoint
+    /// directories that belong to a *different* sweep.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        format!(
+            "job={} algo={} shape={:?} n={} lambda={} burnin={} steps={} samples={} \
+             until={:?} crash={:?} rep={} seed={}",
+            self.id,
+            self.algorithm,
+            self.shape,
+            self.n,
+            self.lambda,
+            self.burnin,
+            self.steps,
+            self.samples,
+            self.until_alpha.map(f64::to_bits),
+            self.crash,
+            self.rep,
+            self.seed
+        )
+    }
+}
+
+/// Assigns sequential ids and SplitMix-derived child seeds to a job list.
+///
+/// Seeds depend only on `(base_seed, position)`, making the sweep's results
+/// independent of worker count and scheduling.
+pub fn assign_ids_and_seeds(jobs: &mut [JobSpec], base_seed: u64) {
+    for (id, job) in jobs.iter_mut().enumerate() {
+        job.id = id;
+        job.seed = child_seed(base_seed, id as u64);
+    }
+}
+
+/// A cross-product sweep description.
+///
+/// # Example
+///
+/// ```
+/// use sops_engine::grid::{Algorithm, JobGrid, Shape};
+///
+/// let jobs = JobGrid::new(7)
+///     .ns([20, 40])
+///     .lambdas([2.0, 4.0])
+///     .steps(10_000)
+///     .samples(10)
+///     .build();
+/// assert_eq!(jobs.len(), 4);
+/// assert_eq!(jobs[3].id, 3);
+/// assert_eq!((jobs[3].n, jobs[3].lambda), (40, 4.0));
+/// assert_eq!(jobs[0].algorithm, Algorithm::Chain);
+/// assert_eq!(jobs[0].shape, Shape::Line);
+/// assert_ne!(jobs[0].seed, jobs[1].seed);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JobGrid {
+    ns: Vec<usize>,
+    lambdas: Vec<f64>,
+    shapes: Vec<Shape>,
+    algorithms: Vec<Algorithm>,
+    crashes: Vec<Option<CrashSpec>>,
+    reps: u64,
+    burnin: u64,
+    steps: u64,
+    samples: u64,
+    until_alpha: Option<f64>,
+    base_seed: u64,
+}
+
+impl JobGrid {
+    /// A grid with one axis value everywhere: chain algorithm, line shape,
+    /// n = 100, λ = 4, 100k steps, 100 samples, no crashes, one rep.
+    #[must_use]
+    pub fn new(base_seed: u64) -> JobGrid {
+        JobGrid {
+            ns: vec![100],
+            lambdas: vec![4.0],
+            shapes: vec![Shape::Line],
+            algorithms: vec![Algorithm::Chain],
+            crashes: vec![None],
+            reps: 1,
+            burnin: 0,
+            steps: 100_000,
+            samples: 100,
+            until_alpha: None,
+            base_seed,
+        }
+    }
+
+    /// Sets the particle-count axis.
+    #[must_use]
+    pub fn ns(mut self, ns: impl IntoIterator<Item = usize>) -> JobGrid {
+        self.ns = ns.into_iter().collect();
+        self
+    }
+
+    /// Sets the bias axis.
+    #[must_use]
+    pub fn lambdas(mut self, lambdas: impl IntoIterator<Item = f64>) -> JobGrid {
+        self.lambdas = lambdas.into_iter().collect();
+        self
+    }
+
+    /// Sets the shape axis.
+    #[must_use]
+    pub fn shapes(mut self, shapes: impl IntoIterator<Item = Shape>) -> JobGrid {
+        self.shapes = shapes.into_iter().collect();
+        self
+    }
+
+    /// Sets the algorithm axis.
+    #[must_use]
+    pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = Algorithm>) -> JobGrid {
+        self.algorithms = algorithms.into_iter().collect();
+        self
+    }
+
+    /// Sets the crash-scenario axis (`None` = no crashes).
+    #[must_use]
+    pub fn crashes(mut self, crashes: impl IntoIterator<Item = Option<CrashSpec>>) -> JobGrid {
+        self.crashes = crashes.into_iter().collect();
+        self
+    }
+
+    /// Sets the repetition count per cell.
+    #[must_use]
+    pub fn reps(mut self, reps: u64) -> JobGrid {
+        self.reps = reps;
+        self
+    }
+
+    /// Sets the burn-in work per job.
+    #[must_use]
+    pub fn burnin(mut self, burnin: u64) -> JobGrid {
+        self.burnin = burnin;
+        self
+    }
+
+    /// Sets the sampled work per job.
+    #[must_use]
+    pub fn steps(mut self, steps: u64) -> JobGrid {
+        self.steps = steps;
+        self
+    }
+
+    /// Sets the number of perimeter samples per job.
+    #[must_use]
+    pub fn samples(mut self, samples: u64) -> JobGrid {
+        self.samples = samples;
+        self
+    }
+
+    /// Enables first-hit mode: chain jobs stop at `p ≤ α·pmin`.
+    #[must_use]
+    pub fn until_alpha(mut self, alpha: f64) -> JobGrid {
+        self.until_alpha = Some(alpha);
+        self
+    }
+
+    /// Materializes the cross product in the canonical order
+    /// algorithm → shape → n → λ → crash → rep, with ids and child seeds
+    /// assigned.
+    #[must_use]
+    pub fn build(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        for &algorithm in &self.algorithms {
+            for &shape in &self.shapes {
+                for &n in &self.ns {
+                    for &lambda in &self.lambdas {
+                        for &crash in &self.crashes {
+                            for rep in 0..self.reps {
+                                jobs.push(JobSpec {
+                                    id: 0,
+                                    algorithm,
+                                    shape,
+                                    n,
+                                    lambda,
+                                    burnin: self.burnin,
+                                    steps: self.steps,
+                                    samples: self.samples,
+                                    until_alpha: self.until_alpha,
+                                    crash,
+                                    rep,
+                                    seed: 0,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assign_ids_and_seeds(&mut jobs, self.base_seed);
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_is_canonical_and_seeds_stable() {
+        let grid = JobGrid::new(1).ns([10, 20]).lambdas([2.0, 3.0]).reps(2);
+        let a = grid.build();
+        let b = grid.build();
+        assert_eq!(a.len(), 8);
+        assert_eq!(a, b, "building twice must be identical");
+        assert_eq!(a[0].rep, 0);
+        assert_eq!(a[1].rep, 1);
+        assert_eq!(a[2].lambda, 3.0);
+        assert_eq!(a[4].n, 20);
+    }
+
+    #[test]
+    fn shape_and_algorithm_parse_round_trip() {
+        for s in ["line", "spiral", "annulus:4", "random"] {
+            let shape: Shape = s.parse().unwrap();
+            let again: Shape = shape.to_string().parse().unwrap();
+            assert_eq!(shape, again);
+        }
+        for a in [
+            "chain",
+            "local",
+            "ablation-full",
+            "ablation-no-five",
+            "ablation-no-prop",
+        ] {
+            let algo: Algorithm = a.parse().unwrap();
+            assert_eq!(algo.to_string(), a);
+        }
+        assert!("triangle".parse::<Shape>().is_err());
+        assert!("bogus".parse::<Algorithm>().is_err());
+    }
+
+    #[test]
+    fn shapes_build_connected_systems() {
+        for shape in [Shape::Line, Shape::Spiral, Shape::Annulus(3), Shape::Random] {
+            let sys = shape.build(12, 9).unwrap();
+            assert!(sys.is_connected(), "{shape}");
+        }
+        // Random is a function of the seed.
+        let a = Shape::Random.build(15, 1).unwrap();
+        let b = Shape::Random.build(15, 1).unwrap();
+        assert_eq!(a.positions(), b.positions());
+    }
+}

@@ -1,0 +1,461 @@
+//! Executes a single [`JobSpec`] — fresh or resumed — in checkpointable
+//! segments.
+//!
+//! A job advances through a deterministic timeline: optional at-start
+//! crashes, burn-in, optional mid-run crashes, then either evenly spaced
+//! perimeter samples (fixed-budget mode) or perimeter checks every `n` work
+//! units (first-hit mode). Every milestone is a pure function of the spec,
+//! so an interrupted job resumed from its checkpoint replays the exact
+//! remaining trajectory of the uninterrupted run.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops::core::snapshot::{self, SnapshotError};
+use sops::core::{CompressionChain, LocalRunner};
+use sops::system::metrics;
+
+use crate::ablation::AblationChain;
+use crate::checkpoint::Store;
+use crate::grid::{Algorithm, JobSpec};
+use crate::result::JobResult;
+use crate::sink::{json_str, EventSink};
+
+/// How a job ended.
+pub(crate) enum JobOutcome {
+    /// The job ran to its end; the result is final.
+    Completed(JobResult),
+    /// The engine was asked to stop; partial state is checkpointed (when a
+    /// store is configured) and the job will continue on resume.
+    Interrupted,
+}
+
+/// Shared per-sweep context handed to every worker.
+pub(crate) struct JobContext<'a> {
+    pub(crate) store: Option<&'a Store>,
+    /// Work units between mid-job checkpoints (`u64::MAX` without a store).
+    pub(crate) every: u64,
+    pub(crate) sink: &'a EventSink,
+    pub(crate) stop: &'a AtomicBool,
+    pub(crate) checkpoints: &'a AtomicU64,
+    pub(crate) stop_after: Option<u64>,
+}
+
+/// One of the three simulators, dispatched per job.
+enum Sim {
+    Chain(Box<CompressionChain>),
+    Local(Box<LocalRunner>),
+    Ablation(Box<AblationChain>),
+}
+
+fn invalid(err: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidInput, err.to_string())
+}
+
+impl Sim {
+    fn fresh(spec: &JobSpec) -> io::Result<Sim> {
+        let start = spec.shape.build(spec.n, spec.seed).map_err(invalid)?;
+        Ok(match spec.algorithm {
+            Algorithm::Chain => Sim::Chain(Box::new(
+                CompressionChain::from_seed(start, spec.lambda, spec.seed).map_err(invalid)?,
+            )),
+            Algorithm::Local => Sim::Local(Box::new(
+                LocalRunner::from_seed(&start, spec.lambda, spec.seed).map_err(invalid)?,
+            )),
+            Algorithm::Ablation(guards) => Sim::Ablation(Box::new(
+                AblationChain::from_seed(
+                    &start,
+                    spec.lambda,
+                    guards,
+                    (spec.n as u64).max(1),
+                    spec.seed,
+                )
+                .map_err(invalid)?,
+            )),
+        })
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Sim::Chain(_) => "chain",
+            Sim::Local(_) => "local",
+            Sim::Ablation(_) => "ablation",
+        }
+    }
+
+    fn restore(kind: &str, text: &str) -> Result<Sim, SnapshotError> {
+        match kind {
+            "chain" => Ok(Sim::Chain(Box::new(CompressionChain::restore(text)?))),
+            "local" => Ok(Sim::Local(Box::new(LocalRunner::restore(text)?))),
+            "ablation" => Ok(Sim::Ablation(Box::new(AblationChain::restore(text)?))),
+            other => Err(SnapshotError::Invalid(format!(
+                "unknown sim kind {other:?}"
+            ))),
+        }
+    }
+
+    fn snapshot(&self) -> String {
+        match self {
+            Sim::Chain(c) => c.snapshot(),
+            Sim::Local(l) => l.snapshot(),
+            Sim::Ablation(a) => a.snapshot(),
+        }
+    }
+
+    /// Actual particle count (can differ from `spec.n`, e.g. for annuli).
+    fn len(&self) -> usize {
+        match self {
+            Sim::Chain(c) => c.system().len(),
+            Sim::Local(l) => l.len(),
+            Sim::Ablation(a) => a.system().len(),
+        }
+    }
+
+    /// Work units executed: chain/ablation steps or local rounds.
+    fn work(&self) -> u64 {
+        match self {
+            Sim::Chain(c) => c.steps(),
+            Sim::Local(l) => l.rounds(),
+            Sim::Ablation(a) => a.steps(),
+        }
+    }
+
+    /// Advances to `target` work units; may stop short when the simulator
+    /// can make no further progress (halted ablation, all-crashed local).
+    fn advance_to(&mut self, target: u64) {
+        let delta = target.saturating_sub(self.work());
+        if delta == 0 {
+            return;
+        }
+        match self {
+            Sim::Chain(c) => {
+                c.run(delta);
+            }
+            Sim::Local(l) => l.run_rounds(delta),
+            Sim::Ablation(a) => a.run(delta),
+        }
+    }
+
+    fn perimeter(&mut self) -> u64 {
+        match self {
+            Sim::Chain(c) => c.perimeter(),
+            Sim::Local(l) => l.tail_system().perimeter(),
+            Sim::Ablation(a) => a.system().perimeter(),
+        }
+    }
+
+    fn crash(&mut self, id: usize) {
+        match self {
+            Sim::Chain(c) => {
+                c.crash(id);
+            }
+            Sim::Local(l) => l.crash(id),
+            // Ablation studies invariant violations, not fault tolerance;
+            // crash scenarios do not apply to it.
+            Sim::Ablation(_) => {}
+        }
+    }
+
+    fn violations(&self) -> u64 {
+        match self {
+            Sim::Ablation(a) => a.report().violations(),
+            _ => 0,
+        }
+    }
+
+    /// `(perimeter, edges, connected)` of the final configuration.
+    fn final_state(&mut self) -> (u64, u64, bool) {
+        match self {
+            Sim::Chain(c) => {
+                let p = c.perimeter();
+                (p, c.system().edge_count(), c.system().is_connected())
+            }
+            Sim::Local(l) => {
+                let tails = l.tail_system();
+                (tails.perimeter(), tails.edge_count(), tails.is_connected())
+            }
+            Sim::Ablation(a) => {
+                let sys = a.system();
+                (sys.perimeter(), sys.edge_count(), sys.is_connected())
+            }
+        }
+    }
+}
+
+/// Mid-flight state of a job (everything a checkpoint needs to carry
+/// besides the simulator snapshot itself).
+struct JobState {
+    sim: Sim,
+    samples: Vec<f64>,
+    /// 1-based index of the next sample to take.
+    next_sample: u64,
+    crashed_applied: bool,
+    first_hit: Option<u64>,
+    last_ckpt_work: u64,
+}
+
+const SIM_SEPARATOR: &str = "\n--sim--\n";
+
+fn ckpt_text(state: &JobState, spec: &JobSpec) -> String {
+    use core::fmt::Write as _;
+    let mut s = String::from("sops-engine-ckpt v1\n");
+    let _ = writeln!(s, "job={}", spec.id);
+    let _ = writeln!(s, "next_sample={}", state.next_sample);
+    let _ = writeln!(s, "crashed_applied={}", u8::from(state.crashed_applied));
+    let _ = writeln!(
+        s,
+        "first_hit={}",
+        snapshot::opt_u64_to_string(state.first_hit)
+    );
+    let _ = writeln!(s, "samples={}", snapshot::f64s_to_string(&state.samples));
+    let _ = write!(s, "sim={}", state.sim.kind());
+    s.push_str(SIM_SEPARATOR);
+    s.push_str(&state.sim.snapshot());
+    s
+}
+
+fn parse_ckpt(spec: &JobSpec, text: &str) -> Result<JobState, SnapshotError> {
+    let (engine_part, sim_part) = text
+        .split_once(SIM_SEPARATOR)
+        .ok_or_else(|| SnapshotError::Invalid("missing simulator section".into()))?;
+    let fields = snapshot::Fields::parse(engine_part, "sops-engine-ckpt v1")?;
+    let job: usize = fields.parse_num("job")?;
+    if job != spec.id {
+        return Err(SnapshotError::Invalid(format!(
+            "checkpoint is for job {job}, expected {}",
+            spec.id
+        )));
+    }
+    let samples = snapshot::f64s_from_string("samples", fields.get("samples")?)?;
+    let first_hit = snapshot::opt_u64_from_string("first_hit", fields.get("first_hit")?)?;
+    let sim = Sim::restore(fields.get("sim")?, sim_part)?;
+    let last_ckpt_work = sim.work();
+    Ok(JobState {
+        sim,
+        samples,
+        next_sample: fields.parse_num("next_sample")?,
+        crashed_applied: fields.parse_num::<u8>("crashed_applied")? != 0,
+        first_hit,
+        last_ckpt_work,
+    })
+}
+
+/// Picks the crash victims: `⌊n · percent / 100⌋` *distinct* ids (percent
+/// clamped to 100) out of the simulator's **actual** particle count `n` —
+/// which for shapes like [`crate::grid::Shape::Annulus`] differs from
+/// `spec.n` — drawn from an RNG derived from the job seed (independent of
+/// the simulation stream, so the victim set is a pure function of the
+/// spec).
+fn crash_ids(n: usize, seed: u64, percent: usize) -> Vec<usize> {
+    let count = n * percent.min(100) / 100;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a5);
+    let mut chosen = vec![false; n];
+    let mut ids = Vec::with_capacity(count);
+    while ids.len() < count {
+        let id = rng.gen_range(0..n);
+        if !chosen[id] {
+            chosen[id] = true;
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+fn apply_crashes(state: &mut JobState, spec: &JobSpec) {
+    if state.crashed_applied {
+        return;
+    }
+    if let Some(crash) = spec.crash {
+        for id in crash_ids(state.sim.len(), spec.seed, crash.percent) {
+            state.sim.crash(id);
+        }
+    }
+    state.crashed_applied = true;
+}
+
+/// Writes a checkpoint when due (or `force`d), counts it, and trips the
+/// engine-wide stop flag once `stop_after` checkpoints have been written.
+fn maybe_checkpoint(
+    state: &mut JobState,
+    spec: &JobSpec,
+    ctx: &JobContext<'_>,
+    force: bool,
+) -> io::Result<()> {
+    let Some(store) = ctx.store else {
+        return Ok(());
+    };
+    let work = state.sim.work();
+    if work == state.last_ckpt_work || (!force && work < state.last_ckpt_work + ctx.every) {
+        return Ok(());
+    }
+    store.write_ckpt(spec.id, &ckpt_text(state, spec))?;
+    state.last_ckpt_work = work;
+    ctx.sink.emit(&format!(
+        "\"event\":\"checkpoint\",\"job\":{},\"work\":{work}",
+        spec.id
+    ));
+    let written = ctx.checkpoints.fetch_add(1, Ordering::SeqCst) + 1;
+    if ctx.stop_after.is_some_and(|limit| written >= limit) {
+        ctx.stop.store(true, Ordering::SeqCst);
+    }
+    Ok(())
+}
+
+/// Advances to `target` work units, checkpointing along the way. Returns
+/// `true` when the engine-wide stop flag fired (state is checkpointed).
+fn advance_checkpointed(
+    state: &mut JobState,
+    spec: &JobSpec,
+    ctx: &JobContext<'_>,
+    target: u64,
+) -> io::Result<bool> {
+    while state.sim.work() < target {
+        let mut next = state.last_ckpt_work.saturating_add(ctx.every).min(target);
+        if next <= state.sim.work() {
+            next = target;
+        }
+        let before = state.sim.work();
+        state.sim.advance_to(next);
+        if state.sim.work() == before {
+            break; // the simulator can make no further progress
+        }
+        maybe_checkpoint(state, spec, ctx, false)?;
+        if ctx.stop.load(Ordering::SeqCst) {
+            maybe_checkpoint(state, spec, ctx, true)?;
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Runs one job to completion or interruption.
+pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOutcome> {
+    let ckpt = match ctx.store {
+        Some(store) => store.load_ckpt(spec.id)?,
+        None => None,
+    };
+    let mut state = match ckpt {
+        Some(text) => {
+            let state = parse_ckpt(spec, &text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt checkpoint for job {}: {e}", spec.id),
+                )
+            })?;
+            ctx.sink.emit(&format!(
+                "\"event\":\"job_resumed\",\"job\":{},\"work\":{}",
+                spec.id,
+                state.sim.work()
+            ));
+            state
+        }
+        None => {
+            ctx.sink.emit(&format!(
+                "\"event\":\"job_start\",\"job\":{},\"algorithm\":{},\"shape\":{},\
+                 \"n\":{},\"lambda\":{},\"seed\":{}",
+                spec.id,
+                json_str(&spec.algorithm.to_string()),
+                json_str(&spec.shape.to_string()),
+                spec.n,
+                spec.lambda,
+                spec.seed
+            ));
+            JobState {
+                sim: Sim::fresh(spec)?,
+                samples: Vec::new(),
+                next_sample: 1,
+                crashed_applied: false,
+                first_hit: None,
+                last_ckpt_work: 0,
+            }
+        }
+    };
+
+    // Phase 1: at-start crashes (adversarial scenario).
+    if spec.crash.is_some_and(|c| !c.after_burnin) {
+        apply_crashes(&mut state, spec);
+    }
+    // Phase 2: burn-in.
+    if advance_checkpointed(&mut state, spec, ctx, spec.burnin)? {
+        return Ok(JobOutcome::Interrupted);
+    }
+    // Phase 3: mid-run crashes (the paper's Section 3.3 scenario).
+    apply_crashes(&mut state, spec);
+
+    // Phase 4: measurement.
+    let total = spec.total_work();
+    let first_hit_mode = spec.until_alpha.is_some() && matches!(spec.algorithm, Algorithm::Chain);
+    if first_hit_mode {
+        let n = state.sim.len();
+        let target_p = spec.until_alpha.expect("first-hit mode") * metrics::pmin(n) as f64;
+        let chunk = (n as u64).max(1);
+        // Probe the perimeter only at the canonical grid points
+        // burnin + k·chunk (matching `run_until_compressed`): a resume may
+        // land between grid points (checkpoints align to `every`, not
+        // `chunk`), and probing off-grid could record an earlier first hit
+        // than the uninterrupted run would.
+        loop {
+            let work = state.sim.work();
+            let on_grid = (work - spec.burnin) % chunk == 0;
+            if on_grid {
+                if state.sim.perimeter() as f64 <= target_p {
+                    state.first_hit = Some(work);
+                    break;
+                }
+                if work >= total {
+                    break;
+                }
+            }
+            let next = spec.burnin + ((work - spec.burnin) / chunk + 1) * chunk;
+            if advance_checkpointed(&mut state, spec, ctx, next)? {
+                return Ok(JobOutcome::Interrupted);
+            }
+            if state.sim.work() == work {
+                break; // no progress possible
+            }
+        }
+    } else {
+        while state.next_sample <= spec.samples {
+            let i = state.next_sample;
+            let offset =
+                (u128::from(spec.steps) * u128::from(i) / u128::from(spec.samples.max(1))) as u64;
+            if advance_checkpointed(&mut state, spec, ctx, spec.burnin + offset)? {
+                return Ok(JobOutcome::Interrupted);
+            }
+            let perimeter = state.sim.perimeter();
+            state.samples.push(perimeter as f64);
+            state.next_sample = i + 1;
+            ctx.sink.emit(&format!(
+                "\"event\":\"sample\",\"job\":{},\"work\":{},\"perimeter\":{perimeter}",
+                spec.id,
+                state.sim.work()
+            ));
+        }
+        if spec.samples == 0 && advance_checkpointed(&mut state, spec, ctx, total)? {
+            return Ok(JobOutcome::Interrupted);
+        }
+    }
+
+    let (final_perimeter, final_edges, final_connected) = state.sim.final_state();
+    let result = JobResult {
+        job: spec.id,
+        particles: state.sim.len(),
+        samples: state.samples,
+        work_done: state.sim.work(),
+        final_perimeter,
+        final_edges,
+        final_connected,
+        first_hit: state.first_hit,
+        violations: state.sim.violations(),
+    };
+    if let Some(store) = ctx.store {
+        store.write_done(&result)?;
+    }
+    ctx.sink.emit(&format!(
+        "\"event\":\"job_done\",\"job\":{},\"work\":{},\"final_perimeter\":{final_perimeter}",
+        spec.id, result.work_done
+    ));
+    Ok(JobOutcome::Completed(result))
+}

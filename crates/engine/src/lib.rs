@@ -1,0 +1,87 @@
+//! `sops-engine` — a deterministic, parallel, checkpointable
+//! experiment-execution subsystem.
+//!
+//! Every quantitative claim this repository reproduces is a Monte-Carlo
+//! estimate over many independent runs of Markov chain `M`, the local
+//! algorithm `A`, or an ablated variant. This crate is the single execution
+//! layer those experiments share, replacing the per-binary scoped-thread
+//! fan-out the harness used to hand-roll:
+//!
+//! * **Sweep model** ([`grid`]) — a sweep is a list of independent
+//!   [`grid::JobSpec`]s; [`grid::JobGrid`] builds cross products over
+//!   (algorithm × shape × n × λ × crash scenario × repetition).
+//! * **Worker pool** ([`pool`]) — a fixed-size `std::thread` pool draining
+//!   a shared queue. No external dependencies.
+//! * **Checkpoint/resume** ([`checkpoint`], plus the snapshot APIs in
+//!   `sops_core::snapshot`) — sweeps periodically persist each in-flight
+//!   job (simulator snapshot + sampling state) and reuse completed-job
+//!   records, so an interrupted sweep resumes instead of restarting.
+//! * **Streaming sinks** ([`sink`], [`result`]) — JSONL events while the
+//!   sweep runs, durable per-job done-records, and a final CSV-able table
+//!   with online mean/variance aggregation from `sops_analysis`.
+//!
+//! # Determinism: the seeding design
+//!
+//! Reproducibility at any thread count falls out of two rules:
+//!
+//! 1. **Jobs own their randomness.** Job `i` of a sweep with base seed `B`
+//!    uses the child seed [`seed::child_seed`]`(B, i)` — a SplitMix64
+//!    stream element, O(1) to compute, independent of which worker runs the
+//!    job or when. Crash-victim selection uses a further derived stream
+//!    (`seed ^ 0xc4a5`) so fault injection never perturbs the simulation
+//!    stream.
+//! 2. **Aggregation is scheduling-blind.** Workers return results keyed by
+//!    job id; tables and CSVs are emitted in id order from per-job data
+//!    only. Event *streams* interleave by scheduling, final artifacts do
+//!    not.
+//!
+//! Together: a sweep with `--threads 1` and `--threads 64` produces
+//! byte-identical CSV output.
+//!
+//! # Determinism: the checkpoint design
+//!
+//! A job's timeline — crash points, burn-in boundary, sample positions,
+//! first-hit probe positions — is a pure function of its spec, and the
+//! simulators snapshot their *exact* state (configuration, counters, and
+//! the ChaCha key/counter/index of the RNG; floats round-trip as IEEE bit
+//! patterns, never decimal). Resuming therefore replays precisely the
+//! steps the uninterrupted run would have taken, and an interrupted sweep
+//! converges to byte-identical final artifacts. Checkpoint writes are
+//! atomic (`.tmp` + rename), completed jobs become durable done-records,
+//! and `meta.txt` refuses to resume a directory belonging to a different
+//! sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use sops_engine::{EngineConfig, JobGrid};
+//!
+//! let grid = JobGrid::new(7).ns([12]).lambdas([2.0, 4.0]).steps(2_000).samples(4);
+//! let report = sops_engine::run_grid(&grid, &EngineConfig {
+//!     threads: 2,
+//!     ..EngineConfig::default()
+//! })
+//! .unwrap();
+//! assert!(report.is_complete());
+//! assert_eq!(report.results.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod checkpoint;
+pub mod grid;
+mod job;
+pub mod pool;
+pub mod result;
+mod run;
+pub mod seed;
+pub mod sink;
+
+pub use checkpoint::CheckpointConfig;
+pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape};
+pub use pool::{default_threads, map_parallel};
+pub use result::JobResult;
+pub use run::{run_grid, run_sweep, EngineConfig, SweepReport};
+pub use sink::EventSink;

@@ -1,0 +1,103 @@
+//! A fixed-size worker pool over a shared work queue (`std::thread` only).
+//!
+//! [`map_parallel`] is the engine's sole parallel primitive: spawn `threads`
+//! scoped workers, let them drain a shared queue of `(index, item)` pairs,
+//! and return results **in input order**. Because every item's computation
+//! depends only on the item itself (jobs carry their own derived seeds — see
+//! [`crate::seed`]), the output is identical at any thread count; only
+//! wall-clock time changes.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Default worker count: the machine's available parallelism (1 if unknown).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of at most `threads` workers and
+/// returns the results in input order.
+///
+/// `f` receives `(index, item)`. A panic in any worker propagates.
+pub fn map_parallel<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, n);
+    if workers == 1 {
+        // Run inline: keeps single-threaded sweeps trivially debuggable.
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("queue poisoned").pop_front();
+                let Some((index, item)) = next else {
+                    break;
+                };
+                let result = f(index, item);
+                results.lock().expect("results poisoned")[index] = Some(result);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|r| r.expect("every queued item completes"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 4, 9] {
+            let out = map_parallel(threads, items.clone(), |i, x| {
+                assert_eq!(i, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = map_parallel(4, vec![(); 250], |_, ()| {
+            counter.fetch_add(1, Ordering::SeqCst)
+        });
+        assert_eq!(out.len(), 250);
+        assert_eq!(counter.load(Ordering::SeqCst), 250);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = map_parallel(8, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

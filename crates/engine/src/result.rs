@@ -1,0 +1,144 @@
+//! Per-job results and their durable text form (checkpoint done-records).
+
+use sops::analysis::OnlineStats;
+use sops::core::snapshot::{self, SnapshotError};
+
+/// The measured outcome of one completed [`crate::grid::JobSpec`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobResult {
+    /// Id of the job this result belongs to.
+    pub job: usize,
+    /// Actual particle count of the simulated system. Usually `spec.n`,
+    /// but shapes like `Annulus` derive their size from other parameters.
+    pub particles: usize,
+    /// Perimeter samples, in sampling order (empty in first-hit mode).
+    pub samples: Vec<f64>,
+    /// Work units actually executed (may stop short of the budget on a
+    /// first hit or a halted ablation).
+    pub work_done: u64,
+    /// Perimeter of the final configuration.
+    pub final_perimeter: u64,
+    /// Edge count of the final configuration.
+    pub final_edges: u64,
+    /// Whether the final configuration is connected.
+    pub final_connected: bool,
+    /// First-hit work (first-hit mode only).
+    pub first_hit: Option<u64>,
+    /// Invariant violations observed (ablation jobs only).
+    pub violations: u64,
+}
+
+impl JobResult {
+    /// Online mean/variance of the perimeter samples.
+    ///
+    /// Recomputed from the exactly stored samples, so an interrupted-and-
+    /// resumed sweep aggregates to bit-identical statistics.
+    #[must_use]
+    pub fn stats(&self) -> OnlineStats {
+        self.samples.iter().copied().collect()
+    }
+
+    /// Serializes the result as a durable done-record.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        use core::fmt::Write as _;
+        let mut s = String::from("sops-engine-result v1\n");
+        let _ = writeln!(s, "job={}", self.job);
+        let _ = writeln!(s, "particles={}", self.particles);
+        let _ = writeln!(s, "work={}", self.work_done);
+        let _ = writeln!(s, "final_perimeter={}", self.final_perimeter);
+        let _ = writeln!(s, "final_edges={}", self.final_edges);
+        let _ = writeln!(s, "connected={}", u8::from(self.final_connected));
+        let _ = writeln!(
+            s,
+            "first_hit={}",
+            snapshot::opt_u64_to_string(self.first_hit)
+        );
+        let _ = writeln!(s, "violations={}", self.violations);
+        let _ = writeln!(s, "samples={}", snapshot::f64s_to_string(&self.samples));
+        s
+    }
+
+    /// Parses a [`JobResult::to_text`] record.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] on malformed input.
+    pub fn from_text(text: &str) -> Result<JobResult, SnapshotError> {
+        let fields = snapshot::Fields::parse(text, "sops-engine-result v1")?;
+        let samples = snapshot::f64s_from_string("samples", fields.get("samples")?)?;
+        let first_hit = snapshot::opt_u64_from_string("first_hit", fields.get("first_hit")?)?;
+        Ok(JobResult {
+            job: fields.parse_num("job")?,
+            particles: fields.parse_num("particles")?,
+            samples,
+            work_done: fields.parse_num("work")?,
+            final_perimeter: fields.parse_num("final_perimeter")?,
+            final_edges: fields.parse_num("final_edges")?,
+            final_connected: fields.parse_num::<u8>("connected")? != 0,
+            first_hit,
+            violations: fields.parse_num("violations")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_text_round_trips_bit_exactly() {
+        let result = JobResult {
+            job: 17,
+            particles: 15,
+            samples: vec![42.0, 1.0 / 3.0, 0.1 + 0.2],
+            work_done: 123_456,
+            final_perimeter: 40,
+            final_edges: 77,
+            final_connected: true,
+            first_hit: Some(99_999),
+            violations: 0,
+        };
+        let back = JobResult::from_text(&result.to_text()).unwrap();
+        assert_eq!(result, back);
+        for (a, b) in result.samples.iter().zip(&back.samples) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_samples_and_no_hit_round_trip() {
+        let result = JobResult {
+            job: 0,
+            particles: 1,
+            samples: Vec::new(),
+            work_done: 0,
+            final_perimeter: 10,
+            final_edges: 5,
+            final_connected: false,
+            first_hit: None,
+            violations: 12,
+        };
+        assert_eq!(JobResult::from_text(&result.to_text()).unwrap(), result);
+    }
+
+    #[test]
+    fn stats_match_direct_welford() {
+        let result = JobResult {
+            job: 1,
+            particles: 5,
+            samples: (0..50).map(|i| f64::from(i) * 0.7).collect(),
+            work_done: 1,
+            final_perimeter: 1,
+            final_edges: 1,
+            final_connected: true,
+            first_hit: None,
+            violations: 0,
+        };
+        let mut direct = OnlineStats::new();
+        for &s in &result.samples {
+            direct.push(s);
+        }
+        assert_eq!(result.stats(), direct);
+    }
+}

@@ -1,0 +1,240 @@
+//! Top-level sweep orchestration: [`run_sweep`], [`EngineConfig`] and
+//! [`SweepReport`].
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use sops::analysis::table::{fmt_f64, Table};
+use sops::system::metrics;
+
+use crate::checkpoint::{CheckpointConfig, Store};
+use crate::grid::{JobGrid, JobSpec};
+use crate::job::{run_job, JobContext, JobOutcome};
+use crate::pool::{default_threads, map_parallel};
+use crate::result::JobResult;
+use crate::sink::EventSink;
+
+/// How a sweep executes.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (results are identical at any value; only wall-clock
+    /// time changes).
+    pub threads: usize,
+    /// Enable checkpoint/resume under this config.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Append JSONL events to this path.
+    pub events_path: Option<PathBuf>,
+    /// Gracefully stop the whole sweep after this many checkpoints have
+    /// been written — deterministic "kill" injection for tests and CI
+    /// resume drills.
+    pub stop_after_checkpoints: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: default_threads(),
+            checkpoint: None,
+            events_path: None,
+            stop_after_checkpoints: None,
+        }
+    }
+}
+
+/// The outcome of [`run_sweep`].
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// Every job of the sweep, in id order.
+    pub specs: Vec<JobSpec>,
+    /// Results of completed jobs, in id order (all of them unless
+    /// [`SweepReport::interrupted`]).
+    pub results: Vec<JobResult>,
+    /// How many results were reused from done-records of a prior run.
+    pub reused: usize,
+    /// `true` when the sweep stopped early (stop flag); resume by running
+    /// again with the same checkpoint directory.
+    pub interrupted: bool,
+}
+
+impl SweepReport {
+    /// `true` when every job has a result.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.results.len() == self.specs.len()
+    }
+
+    /// The result for job `id`, if completed.
+    #[must_use]
+    pub fn result_for(&self, id: usize) -> Option<&JobResult> {
+        self.results
+            .binary_search_by_key(&id, |r| r.job)
+            .ok()
+            .map(|i| &self.results[i])
+    }
+
+    /// Completed `(spec, result)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&JobSpec, &JobResult)> {
+        self.results.iter().map(|r| (&self.specs[r.job], r))
+    }
+
+    /// The summary table (one row per completed job, id order): per-job
+    /// online mean/σ of the perimeter samples, the mean compression ratio
+    /// `α = mean p / pmin`, final perimeter, first hit and violations.
+    ///
+    /// Built purely from per-job results, so the bytes are identical at any
+    /// thread count and across interrupt/resume cycles.
+    #[must_use]
+    pub fn to_table(&self) -> Table {
+        let mut table = Table::new([
+            "job",
+            "algorithm",
+            "shape",
+            "n",
+            "lambda",
+            "rep",
+            "seed",
+            "work",
+            "mean p",
+            "sd p",
+            "alpha",
+            "final p",
+            "first hit",
+            "violations",
+            "connected",
+        ]);
+        for (spec, result) in self.iter() {
+            let stats = result.stats();
+            // The *actual* particle count: for shapes like Annulus the
+            // system size is unrelated to spec.n.
+            let pmin = metrics::pmin(result.particles) as f64;
+            let (mean_p, sd_p, alpha) = if stats.count() == 0 {
+                ("-".into(), "-".into(), "-".into())
+            } else {
+                (
+                    fmt_f64(stats.mean(), 3),
+                    fmt_f64(stats.std_dev(), 3),
+                    fmt_f64(stats.mean() / pmin, 4),
+                )
+            };
+            table.row([
+                spec.id.to_string(),
+                spec.algorithm.to_string(),
+                spec.shape.to_string(),
+                spec.n.to_string(),
+                format!("{}", spec.lambda),
+                spec.rep.to_string(),
+                spec.seed.to_string(),
+                result.work_done.to_string(),
+                mean_p,
+                sd_p,
+                alpha,
+                result.final_perimeter.to_string(),
+                result
+                    .first_hit
+                    .map_or_else(|| "-".into(), |v: u64| v.to_string()),
+                result.violations.to_string(),
+                if result.final_connected { "yes" } else { "NO" }.to_string(),
+            ]);
+        }
+        table
+    }
+}
+
+/// Runs a sweep over `specs` (typically from [`JobGrid::build`]).
+///
+/// Jobs already recorded as done in the checkpoint directory are reused;
+/// jobs with a mid-flight checkpoint resume from it; the rest start fresh.
+/// Results are **bitwise identical at any thread count** and across any
+/// number of interrupt/resume cycles — see the crate docs for why.
+///
+/// # Errors
+///
+/// I/O errors from the checkpoint store or event sink, or `InvalidInput`
+/// for specs that cannot be instantiated (e.g. λ ≤ 0).
+pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepReport> {
+    // Ids must equal positions: checkpoints are keyed by id and results are
+    // paired back to specs[id]. Grid-built lists satisfy this; hand-built
+    // lists must go through `grid::assign_ids_and_seeds`.
+    if let Some((pos, spec)) = specs.iter().enumerate().find(|(i, s)| s.id != *i) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "spec at position {pos} has id {} — run assign_ids_and_seeds on hand-built specs",
+                spec.id
+            ),
+        ));
+    }
+    let sink = match &cfg.events_path {
+        Some(path) => EventSink::to_path(path)?,
+        None => EventSink::disabled(),
+    };
+    let store_every = match &cfg.checkpoint {
+        Some(ck) => {
+            let (store, _resumed) = Store::open(&ck.dir, &specs)?;
+            Some((store, ck.every))
+        }
+        None => None,
+    };
+    let done: Vec<JobResult> = match &store_every {
+        Some((store, _)) => store.load_done()?,
+        None => Vec::new(),
+    };
+    let reused = done.len();
+    let done_ids: Vec<usize> = done.iter().map(|r| r.job).collect();
+    let pending: Vec<JobSpec> = specs
+        .iter()
+        .filter(|s| done_ids.binary_search(&s.id).is_err())
+        .copied()
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let checkpoints = AtomicU64::new(0);
+    let ctx = JobContext {
+        store: store_every.as_ref().map(|(s, _)| s),
+        every: store_every.as_ref().map_or(u64::MAX, |&(_, every)| every),
+        sink: &sink,
+        stop: &stop,
+        checkpoints: &checkpoints,
+        stop_after: cfg.stop_after_checkpoints,
+    };
+
+    let outcomes = map_parallel(cfg.threads, pending, |_, spec| {
+        if ctx.stop.load(Ordering::SeqCst) {
+            return Ok(JobOutcome::Interrupted);
+        }
+        run_job(&spec, &ctx)
+    });
+
+    let mut results = done;
+    let mut interrupted = false;
+    for outcome in outcomes {
+        match outcome? {
+            JobOutcome::Completed(result) => results.push(result),
+            JobOutcome::Interrupted => interrupted = true,
+        }
+    }
+    results.sort_by_key(|r| r.job);
+
+    if !interrupted {
+        sink.emit(&format!(
+            "\"event\":\"sweep_complete\",\"jobs\":{},\"reused\":{reused}",
+            specs.len()
+        ));
+    }
+    Ok(SweepReport {
+        specs,
+        results,
+        reused,
+        interrupted,
+    })
+}
+
+/// Convenience: build the grid and run it.
+///
+/// # Errors
+///
+/// Same as [`run_sweep`].
+pub fn run_grid(grid: &JobGrid, cfg: &EngineConfig) -> io::Result<SweepReport> {
+    run_sweep(grid.build(), cfg)
+}

@@ -1,0 +1,117 @@
+//! Streaming result sink: JSON-Lines events appended as a sweep runs.
+//!
+//! Every worker thread shares one [`EventSink`]; each event is a single
+//! JSON object on its own line, flushed immediately so an interrupted
+//! process leaves a complete prefix on disk. Event order between *jobs*
+//! depends on scheduling (events stream as they happen); the final CSV —
+//! built from per-job results in job-id order — does not.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// A shared, thread-safe JSONL event stream (possibly disabled).
+#[derive(Debug, Default)]
+pub struct EventSink {
+    writer: Option<Mutex<BufWriter<File>>>,
+}
+
+impl EventSink {
+    /// A sink that drops every event.
+    #[must_use]
+    pub fn disabled() -> EventSink {
+        EventSink::default()
+    }
+
+    /// A sink appending to `path` (created along with parent directories).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating the file.
+    pub fn to_path(path: &Path) -> io::Result<EventSink> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(EventSink {
+            writer: Some(Mutex::new(BufWriter::new(file))),
+        })
+    }
+
+    /// Whether events are being persisted.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.writer.is_some()
+    }
+
+    /// Appends one event line (the `{}` braces are added here).
+    ///
+    /// Best-effort: an I/O error on an individual event is swallowed rather
+    /// than aborting the sweep — events are diagnostics, the authoritative
+    /// outputs are the done-records and the final CSV.
+    pub fn emit(&self, body: &str) {
+        if let Some(writer) = &self.writer {
+            let mut writer = writer.lock().expect("event sink poisoned");
+            let _ = writeln!(writer, "{{{body}}}");
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document (adds the quotes).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_str_escapes_specials() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn sink_writes_one_line_per_event() {
+        let dir = std::env::temp_dir().join("sops_engine_sink_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        let sink = EventSink::to_path(&path).unwrap();
+        assert!(sink.is_enabled());
+        sink.emit(&format!("\"event\":{},\"job\":3", json_str("sample")));
+        sink.emit("\"event\":\"done\"");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"event\":\"sample\",\"job\":3}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_sink_is_a_no_op() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.emit("\"event\":\"ignored\"");
+    }
+}

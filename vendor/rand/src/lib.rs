@@ -27,6 +27,26 @@ pub mod rngs {
     #[derive(Clone, Debug)]
     pub struct StdRng(rand_chacha::ChaCha12Rng);
 
+    impl StdRng {
+        /// Captures the generator state (`key`, block counter, word index)
+        /// for checkpointing; see [`StdRng::from_state`].
+        ///
+        /// Not part of the real `rand` API — the real `StdRng` is opaque by
+        /// design. This workspace checkpoints long simulations, which needs
+        /// the state to round-trip exactly.
+        #[must_use]
+        pub fn state(&self) -> ([u32; 8], u64, usize) {
+            self.0.state()
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] triple; the
+        /// resulting stream continues exactly where the captured one was.
+        #[must_use]
+        pub fn from_state(key: [u32; 8], counter: u64, index: usize) -> Self {
+            StdRng(rand_chacha::ChaCha12Rng::from_state(key, counter, index))
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u32(&mut self) -> u32 {
             self.0.next_u32()

@@ -68,6 +68,31 @@ macro_rules! chacha_rng {
                 self.counter = self.counter.wrapping_add(1);
                 self.index = 0;
             }
+
+            /// Captures the generator state as `(key, block counter, word
+            /// index)`. Feeding the triple to [`Self::from_state`] yields a
+            /// generator producing the identical remaining keystream.
+            #[must_use]
+            pub fn state(&self) -> ([u32; 8], u64, usize) {
+                (self.key, self.counter, self.index)
+            }
+
+            /// Rebuilds a generator from a triple captured by
+            /// [`Self::state`]. The current output block is regenerated from
+            /// the key and the previous block counter, so the state is
+            /// three words instead of a 16-word buffer.
+            #[must_use]
+            pub fn from_state(key: [u32; 8], counter: u64, index: usize) -> Self {
+                let mut rng = Self {
+                    key,
+                    counter: counter.wrapping_sub(1),
+                    buffer: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng.index = index.min(16);
+                rng
+            }
         }
 
         impl RngCore for $name {
@@ -138,6 +163,20 @@ mod tests {
         let x = a.next_u64();
         assert_eq!(x, b.next_u64());
         assert_ne!(x, c.next_u64());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_the_stream() {
+        let mut rng = ChaCha12Rng::seed_from_u64(42);
+        // Advance partway into a block (odd number of u32 draws).
+        for _ in 0..7 {
+            rng.next_u32();
+        }
+        let (key, counter, index) = rng.state();
+        let mut resumed = ChaCha12Rng::from_state(key, counter, index);
+        let a: Vec<u64> = (0..40).map(|_| rng.next_u64()).collect();
+        let b: Vec<u64> = (0..40).map(|_| resumed.next_u64()).collect();
+        assert_eq!(a, b);
     }
 
     #[test]

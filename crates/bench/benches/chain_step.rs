@@ -15,7 +15,7 @@ fn equilibrated_chain(n: usize, lambda: f64) -> CompressionChain {
 
 fn bench_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("chain_step");
-    for n in [25usize, 100, 400] {
+    for n in [100usize, 400, 1600] {
         group.throughput(Throughput::Elements(1));
         group.bench_with_input(BenchmarkId::new("lambda4", n), &n, |b, &n| {
             let mut chain = equilibrated_chain(n, 4.0);

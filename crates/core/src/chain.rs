@@ -20,7 +20,7 @@ use core::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sops_lattice::Direction;
-use sops_system::{metrics, ParticleSystem, SystemError};
+use sops_system::{boundary, metrics, ParticleSystem, SystemError};
 
 use crate::snapshot::{self, SnapshotError};
 
@@ -173,6 +173,9 @@ pub struct CompressionChain<R: Rng = StdRng> {
     crashed: Vec<bool>,
     crashed_count: usize,
     validate: bool,
+    /// Reusable boundary-trace buffers: hole counting during sampling
+    /// allocates nothing. Transient — not part of snapshots.
+    scratch: boundary::TraceScratch,
 }
 
 impl CompressionChain<StdRng> {
@@ -317,6 +320,7 @@ impl<R: Rng> CompressionChain<R> {
             crashed: vec![false; n],
             crashed_count: 0,
             validate: false,
+            scratch: boundary::TraceScratch::default(),
         })
     }
 
@@ -380,12 +384,19 @@ impl<R: Rng> CompressionChain<R> {
 
     /// `true` once the configuration is hole-free; monotone by Lemma 3.2.
     ///
-    /// Lazily recomputed (flood fill) while holes remain.
+    /// Lazily recomputed while holes remain, via an allocation-free
+    /// boundary trace over reused scratch (the chain keeps the
+    /// configuration connected — Lemma 3.1 — which the tracer requires).
     pub fn is_hole_free(&mut self) -> bool {
-        if !self.hole_free && self.sys.hole_count() == 0 {
+        if !self.hole_free && self.holes_now() == 0 {
             self.hole_free = true;
         }
         self.hole_free
+    }
+
+    /// The current hole count through the scratch-backed boundary tracer.
+    fn holes_now(&mut self) -> usize {
+        boundary::trace_summary_with(&self.sys, &mut self.scratch).hole_count
     }
 
     /// The current perimeter `p(σ)`.
@@ -408,7 +419,7 @@ impl<R: Rng> CompressionChain<R> {
         let id = self.rng.gen_range(0..n);
         // Step 2: uniform neighboring location and uniform q ∈ (0, 1).
         // (q is drawn lazily below; the acceptance law is identical.)
-        let dir = Direction::from_index(self.rng.gen_range(0..6usize));
+        let dir = Direction::ALL[self.rng.gen_range(0..6usize)];
         let outcome = self.try_move(id, dir);
         self.counts.record(outcome);
         outcome
@@ -419,10 +430,12 @@ impl<R: Rng> CompressionChain<R> {
             return StepOutcome::CrashedParticle;
         }
         let from = self.sys.position(id);
-        let validity = self.sys.check_move(from, dir);
-        if validity.target_occupied {
+        // Occupied targets (the most common rejection) need one occupancy
+        // bit, not the full ring mask; no RNG is consumed either way.
+        if self.sys.is_occupied(from + dir) {
             return StepOutcome::TargetOccupied;
         }
+        let validity = self.sys.check_move(from, dir);
         if validity.five_neighbor_blocked() {
             return StepOutcome::FiveNeighborBlocked;
         }
@@ -487,12 +500,16 @@ impl<R: Rng> CompressionChain<R> {
     }
 
     /// Samples the current trajectory point (perimeter, edges, ratios).
+    ///
+    /// Allocation-free in the steady state: the hole count comes from the
+    /// reused boundary-trace scratch (and is skipped entirely once the
+    /// chain is known hole-free).
     pub fn sample(&mut self) -> TrajectoryPoint {
-        let holes = if self.is_hole_free() {
-            0
-        } else {
-            self.sys.hole_count()
-        };
+        // One trace serves both the monotone hole-free latch and the sample.
+        let holes = if self.hole_free { 0 } else { self.holes_now() };
+        if holes == 0 {
+            self.hole_free = true;
+        }
         let perimeter = self.sys.perimeter_with_holes(holes as u64);
         let n = self.sys.len();
         TrajectoryPoint {

@@ -29,7 +29,7 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use sops_lattice::{Direction, PairRing, TriMap, TriPoint};
+use sops_lattice::{Direction, PairRing, TileGrid, TriPoint};
 use sops_system::{moves::MoveValidity, ParticleSystem};
 
 use crate::chain::ChainError;
@@ -99,10 +99,28 @@ impl Ord for Event {
     }
 }
 
+/// One occupied site as stored in the occupancy grid: the particle id in
+/// the high bits, the head/tail flag in bit 0.
 #[derive(Clone, Copy, Debug)]
 struct Slot {
     id: usize,
     is_head: bool,
+}
+
+impl Slot {
+    #[inline]
+    fn encode(self) -> u32 {
+        debug_assert!(self.id < (1 << 31), "particle id exceeds 31 bits");
+        (self.id as u32) << 1 | u32::from(self.is_head)
+    }
+
+    #[inline]
+    fn decode(value: u32) -> Slot {
+        Slot {
+            id: (value >> 1) as usize,
+            is_head: value & 1 != 0,
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -132,7 +150,9 @@ struct Particle {
 #[derive(Clone, Debug)]
 pub struct LocalRunner<R: Rng = StdRng> {
     particles: Vec<Particle>,
-    occ: TriMap<TriPoint, Slot>,
+    /// Site → encoded [`Slot`] occupancy (tails and heads), bit-packed into
+    /// 8×8-site tiles so neighborhood probes stay word-level.
+    occ: TileGrid,
     queue: BinaryHeap<Event>,
     time: f64,
     lambda_pow: [f64; 11],
@@ -261,16 +281,19 @@ impl LocalRunner<StdRng> {
             return Err(SnapshotError::Invalid("no particles".into()));
         }
         let n = particles.len();
-        let mut occ: TriMap<TriPoint, Slot> = TriMap::default();
+        let mut occ = TileGrid::with_site_capacity(2 * n);
         for (id, p) in particles.iter().enumerate() {
-            if occ.insert(p.tail, Slot { id, is_head: false }).is_some() {
+            if occ
+                .insert(p.tail, Slot { id, is_head: false }.encode())
+                .is_some()
+            {
                 return Err(SnapshotError::Invalid(format!(
                     "site {} occupied twice",
                     p.tail
                 )));
             }
             if let Some(h) = p.head {
-                if occ.insert(h, Slot { id, is_head: true }).is_some() {
+                if occ.insert(h, Slot { id, is_head: true }.encode()).is_some() {
                     return Err(SnapshotError::Invalid(format!("site {h} occupied twice")));
                 }
             }
@@ -348,9 +371,9 @@ impl<R: Rng> LocalRunner<R> {
                 flag: false,
             })
             .collect();
-        let mut occ: TriMap<TriPoint, Slot> = TriMap::default();
+        let mut occ = TileGrid::with_site_capacity(2 * particles.len());
         for (id, p) in particles.iter().enumerate() {
-            occ.insert(p.tail, Slot { id, is_head: false });
+            occ.insert(p.tail, Slot { id, is_head: false }.encode());
         }
         let mut lambda_pow = [0.0; 11];
         for (i, slot) in lambda_pow.iter_mut().enumerate() {
@@ -527,11 +550,11 @@ impl<R: Rng> LocalRunner<R> {
         let dir = Direction::from_index(self.rng.gen_range(0..6usize));
         let target = tail + dir;
         // Step 3: require ℓ′ unoccupied and no expanded neighbors of ℓ.
-        if self.occ.contains_key(&target) || self.has_expanded_neighbor(tail, id) {
+        if self.occ.contains(target) || self.has_expanded_neighbor(tail, id) {
             return Activation::Idle { id };
         }
         // Step 4: expand.
-        self.occ.insert(target, Slot { id, is_head: true });
+        self.occ.insert(target, Slot { id, is_head: true }.encode());
         self.particles[id].head = Some(target);
         // Steps 5–7: set the flag.
         let flag = !self.has_expanded_neighbor(tail, id) && !self.has_expanded_neighbor(target, id);
@@ -560,15 +583,15 @@ impl<R: Rng> LocalRunner<R> {
             && self.particles[id].flag;
         if accept {
             // Step 12: contract to ℓ′.
-            self.occ.remove(&tail);
-            self.occ.insert(head, Slot { id, is_head: false });
+            self.occ.remove(tail);
+            self.occ.insert(head, Slot { id, is_head: false }.encode());
             self.particles[id].tail = head;
             self.particles[id].head = None;
             self.moves_completed += 1;
             Activation::ContractedForward { id }
         } else {
             // Step 13: contract back to ℓ.
-            self.occ.remove(&head);
+            self.occ.remove(head);
             self.particles[id].head = None;
             Activation::ContractedBack { id }
         }
@@ -578,43 +601,49 @@ impl<R: Rng> LocalRunner<R> {
     /// than `id` (at either that particle's head or tail)?
     fn has_expanded_neighbor(&self, p: TriPoint, id: usize) -> bool {
         p.neighbors().any(|q| {
-            self.occ
-                .get(&q)
-                .is_some_and(|slot| slot.id != id && self.particles[slot.id].head.is_some())
+            self.occ.get(q).is_some_and(|value| {
+                let slot = Slot::decode(value);
+                slot.id != id && self.particles[slot.id].head.is_some()
+            })
         })
     }
 
     /// Is `p` occupied by a non-head slot of a particle other than `id`?
     /// This realizes the paper's `N*(·)` neighborhoods.
     fn is_tail_of_other(&self, p: TriPoint, id: usize) -> bool {
-        self.occ
-            .get(&p)
-            .is_some_and(|slot| slot.id != id && !slot.is_head)
+        self.occ.get(p).is_some_and(|value| {
+            let slot = Slot::decode(value);
+            slot.id != id && !slot.is_head
+        })
     }
 
     /// Checks internal invariants (slot/particle agreement, tail
-    /// distinctness). Intended for tests.
+    /// distinctness, grid consistency). Intended for tests.
     ///
     /// # Panics
     ///
     /// Panics if any invariant fails.
     pub fn assert_invariants(&self) {
+        self.occ.assert_valid();
         let mut slots = 0usize;
-        for (p, slot) in &self.occ {
-            let particle = &self.particles[slot.id];
-            if slot.is_head {
-                assert_eq!(particle.head, Some(*p), "head slot mismatch at {p}");
-            } else {
-                assert_eq!(particle.tail, *p, "tail slot mismatch at {p}");
-            }
+        for (id, particle) in self.particles.iter().enumerate() {
+            assert_eq!(
+                self.occ.get(particle.tail),
+                Some(Slot { id, is_head: false }.encode()),
+                "tail slot mismatch at {}",
+                particle.tail
+            );
             slots += 1;
+            if let Some(h) = particle.head {
+                assert_eq!(
+                    self.occ.get(h),
+                    Some(Slot { id, is_head: true }.encode()),
+                    "head slot mismatch at {h}"
+                );
+                slots += 1;
+            }
         }
-        let expected: usize = self
-            .particles
-            .iter()
-            .map(|p| 1 + usize::from(p.head.is_some()))
-            .sum();
-        assert_eq!(slots, expected, "slot count mismatch");
+        assert_eq!(slots, self.occ.len(), "slot count mismatch");
     }
 }
 

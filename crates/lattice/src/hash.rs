@@ -1,11 +1,17 @@
 //! Fast, deterministic hashing for lattice-keyed containers.
 //!
-//! The Markov chain of the paper performs tens of millions of occupancy
-//! lookups per simulated run, so the default SipHash of `std` is replaced
-//! with a multiply-xor hasher in the spirit of `fxhash`. Determinism also
-//! matters: experiments must be exactly reproducible from a seed, so the
-//! hasher must not randomize per process (as `RandomState` does) or the
-//! iteration-order-sensitive parts of diagnostics would drift.
+//! The default SipHash of `std` is replaced with a multiply-xor hasher in
+//! the spirit of `fxhash`. Determinism matters: experiments must be exactly
+//! reproducible from a seed, so the hasher must not randomize per process
+//! (as `RandomState` does) or the iteration-order-sensitive parts of
+//! diagnostics would drift.
+//!
+//! The Markov chain's per-step occupancy probes no longer go through these
+//! containers at all — the bit-packed [`crate::TileGrid`] answers whole
+//! neighborhoods from a few tile words. `TriMap`/`TriSet` remain the
+//! general-purpose containers for cold paths (enumeration, canonical-state
+//! counting, boundary face indexing) and for the TriMap-backed reference
+//! models that differential-test the grid.
 
 use core::hash::{BuildHasherDefault, Hasher};
 use std::collections::{HashMap, HashSet};

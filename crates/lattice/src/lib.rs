@@ -14,9 +14,13 @@
 //!   Lemma 2.4 and for hexagonal-dual boundary tracing).
 //! * [`HexNode`] — a vertex of the hexagonal (honeycomb) lattice, the dual of
 //!   `G∆`, used for self-avoiding-walk enumeration (Theorem 4.2).
+//! * [`TileGrid`]/[`BitWindow`] — the bit-packed occupancy substrate of the
+//!   hot loops: 8×8-site `u64` tiles answer whole-neighborhood queries from
+//!   a handful of words, and a dense bounding-box bitset backs the flood
+//!   fills without allocating per call.
 //! * [`TriMap`]/[`TriSet`] — hash containers keyed by lattice points with a
-//!   fast, deterministic hasher suitable for tens of millions of Markov-chain
-//!   steps per run.
+//!   fast, deterministic hasher, used on cold paths and by the reference
+//!   models that differential-test the grid.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@
 mod bbox;
 mod coords;
 mod direction;
+mod grid;
 mod hash;
 mod hex;
 mod ring;
@@ -46,6 +51,7 @@ mod triangle;
 pub use bbox::BoundingBox;
 pub use coords::TriPoint;
 pub use direction::Direction;
+pub use grid::{BitWindow, TileGrid};
 pub use hash::{DeterministicState, FastHasher, TriMap, TriSet};
 pub use hex::HexNode;
 pub use ring::PairRing;

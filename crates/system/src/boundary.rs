@@ -13,6 +13,12 @@
 //! O(1)-per-move closed form `p = 3n − e − 3 + 3H` maintained by
 //! [`crate::ParticleSystem`], and the data for renderers that outline
 //! configurations.
+//!
+//! Tracing is built for repeated use on a hot sampling path: boundary edges
+//! are enumerated in sorted order directly from the occupancy grid's tiles
+//! (no per-call sort), and every working buffer lives in a caller-provided
+//! [`TraceScratch`], so steady-state calls to [`trace_summary_with`] — the
+//! form trajectory sampling in `sops-core` uses — allocate nothing.
 
 use sops_lattice::{Direction, TriMap, TriPoint, Triangle};
 
@@ -67,12 +73,16 @@ impl BoundaryComponent {
     /// where `h` is [`BoundaryComponent::hex_len`].
     #[must_use]
     pub fn walk_len(&self) -> u64 {
-        let h = self.hex_len() as u64;
-        if self.is_hole {
-            (h + 6) / 2
-        } else {
-            h.saturating_sub(6) / 2
-        }
+        walk_len(self.hex_len(), self.is_hole)
+    }
+}
+
+fn walk_len(hex_len: usize, is_hole: bool) -> u64 {
+    let h = hex_len as u64;
+    if is_hole {
+        (h + 6) / 2
+    } else {
+        h.saturating_sub(6) / 2
     }
 }
 
@@ -108,87 +118,159 @@ impl BoundaryTrace {
     }
 }
 
+/// Aggregate results of a boundary trace, without the per-edge cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total number of boundary components.
+    pub components: usize,
+    /// Number of components bounding holes.
+    pub hole_count: usize,
+    /// The perimeter `p(σ)` as the sum of boundary walk lengths.
+    pub perimeter: u64,
+}
+
+/// Reusable buffers for [`trace_with`] and [`trace_summary_with`]: the
+/// boundary edge list, the face → incident-edges index, the cycle walker's
+/// visit marks, and the exterior-fill bitmaps used to classify holes.
+#[derive(Clone, Debug, Default)]
+pub struct TraceScratch {
+    edges: Vec<BoundaryEdge>,
+    tiles: Vec<(u64, u32)>,
+    faces: TriMap<Triangle, [u32; 2]>,
+    visited: Vec<bool>,
+    cycle: Vec<BoundaryEdge>,
+    holes: holes::HoleScratch,
+}
+
 /// Traces all boundary components of a connected configuration.
 ///
 /// Every dual boundary edge is incident to exactly two triangular faces, and
-/// every face is incident to 0 or 2 boundary edges (a face with 1 or 3
-/// occupied corners has exactly two mixed corner-pairs), so boundary edges
+/// every face is incident to 0 or 2 boundary edges (a face with 1, 2 or 3
+/// occupied corners has 2, 2 or 0 mixed corner-pairs), so boundary edges
 /// decompose into disjoint cycles which this function follows.
 #[must_use]
 pub fn trace(sys: &ParticleSystem) -> BoundaryTrace {
-    // Collect boundary edges and index them by their face endpoints.
-    let mut edges: Vec<BoundaryEdge> = Vec::new();
-    for &p in sys.positions() {
+    trace_with(sys, &mut TraceScratch::default())
+}
+
+/// [`trace`] with caller-provided scratch; only the returned components'
+/// edge vectors are freshly allocated.
+#[must_use]
+pub fn trace_with(sys: &ParticleSystem, scratch: &mut TraceScratch) -> BoundaryTrace {
+    let mut components = Vec::new();
+    walk_components(sys, scratch, |edges, is_hole| {
+        components.push(BoundaryComponent {
+            edges: edges.to_vec(),
+            is_hole,
+        });
+    });
+    BoundaryTrace { components }
+}
+
+/// Computes component count, hole count and perimeter without materializing
+/// the cycles. With reused scratch this allocates nothing, which is what
+/// makes per-sample hole counting in `sops-core` trajectory sampling cheap.
+#[must_use]
+pub fn trace_summary_with(sys: &ParticleSystem, scratch: &mut TraceScratch) -> TraceSummary {
+    let mut summary = TraceSummary {
+        components: 0,
+        hole_count: 0,
+        perimeter: 0,
+    };
+    walk_components(sys, scratch, |edges, is_hole| {
+        summary.components += 1;
+        summary.hole_count += usize::from(is_hole);
+        summary.perimeter += walk_len(edges.len(), is_hole);
+    });
+    summary
+}
+
+/// Enumerates boundary edges (sorted), pairs them at their dual faces, and
+/// follows the resulting disjoint cycles, reporting each component's edges
+/// in traversal order plus its hole flag to `on_component`.
+fn walk_components(
+    sys: &ParticleSystem,
+    scratch: &mut TraceScratch,
+    mut on_component: impl FnMut(&[BoundaryEdge], bool),
+) {
+    let TraceScratch {
+        edges,
+        tiles,
+        faces,
+        visited,
+        cycle,
+        holes: hole_scratch,
+    } = scratch;
+
+    // Boundary edges in ascending (site, dir) order, straight from the
+    // grid's tiles — no per-call sort.
+    edges.clear();
+    sys.grid().for_each_site_sorted(tiles, |p| {
         for dir in Direction::ALL {
             if !sys.is_occupied(p + dir) {
                 edges.push(BoundaryEdge { site: p, dir });
             }
         }
-    }
-    edges.sort();
+    });
 
-    let mut by_face: TriMap<Triangle, Vec<usize>> = TriMap::default();
+    // Index edges by their two dual-face endpoints; each face carries
+    // exactly 0 or 2 boundary edges.
+    faces.clear();
     for (i, e) in edges.iter().enumerate() {
         for t in e.endpoints() {
-            by_face.entry(t).or_default().push(i);
+            let slots = faces.entry(t).or_insert([u32::MAX; 2]);
+            if slots[0] == u32::MAX {
+                slots[0] = i as u32;
+            } else {
+                debug_assert_eq!(slots[1], u32::MAX, "face {t:?} has boundary degree > 2");
+                slots[1] = i as u32;
+            }
         }
-    }
-    for (face, incident) in &by_face {
-        debug_assert_eq!(
-            incident.len() % 2,
-            0,
-            "face {face:?} has odd boundary degree"
-        );
     }
 
     // Identify which unoccupied cells are exterior.
+    if edges.is_empty() {
+        return;
+    }
     let bbox = sys.bounding_box().expanded(1);
-    let exterior = holes::exterior_fill(sys, bbox);
+    holes::exterior_fill_with(sys, bbox, hole_scratch);
+    let exterior = hole_scratch.exterior();
 
-    let mut visited = vec![false; edges.len()];
-    let mut components = Vec::new();
+    visited.clear();
+    visited.resize(edges.len(), false);
     for start in 0..edges.len() {
         if visited[start] {
             continue;
         }
-        let mut cycle = Vec::new();
+        cycle.clear();
         let mut current = start;
-        // Walk the cycle: from each edge, leave through its "second"
-        // endpoint, alternating so we never immediately backtrack.
+        // Walk the cycle: from each edge, leave through the endpoint we did
+        // not enter by, continuing with that face's other incident edge.
         let mut enter_face = edges[start].endpoints()[0];
         loop {
             visited[current] = true;
             cycle.push(edges[current]);
             let [a, b] = edges[current].endpoints();
             let exit_face = if a == enter_face { b } else { a };
-            let incident = &by_face[&exit_face];
-            let next = incident
-                .iter()
-                .copied()
-                .find(|&j| !visited[j])
-                .or_else(|| incident.iter().copied().find(|&j| j == start));
-            match next {
-                Some(j) if j != start => {
-                    enter_face = exit_face;
-                    current = j;
-                }
-                _ => break,
+            let [e1, e2] = faces[&exit_face];
+            let next = if e1 as usize == current { e2 } else { e1 } as usize;
+            if next == start {
+                break;
             }
+            debug_assert!(!visited[next], "cycle re-entered a visited edge");
+            enter_face = exit_face;
+            current = next;
         }
-        let is_hole = !exterior.contains(&cycle[0].outside());
-        components.push(BoundaryComponent {
-            edges: cycle,
-            is_hole,
-        });
+        let is_hole = !exterior.contains(cycle[0].outside());
+        on_component(cycle, is_hole);
     }
-
-    BoundaryTrace { components }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::shapes;
+    use sops_lattice::TriPoint;
 
     #[test]
     fn single_particle_boundary() {
@@ -248,5 +330,50 @@ mod tests {
         let t = trace(&sys);
         assert_eq!(t.perimeter(), 4);
         assert_eq!(t.components.len(), 1);
+    }
+
+    #[test]
+    fn edges_are_enumerated_in_sorted_order() {
+        let mut rng_state = 5u64;
+        let mut next = || {
+            rng_state = rng_state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            rng_state >> 33
+        };
+        let mut pts: Vec<TriPoint> = vec![TriPoint::ORIGIN];
+        for _ in 0..60 {
+            let base = pts[(next() % pts.len() as u64) as usize];
+            let q = base + Direction::from_index(next() as usize);
+            if !pts.contains(&q) {
+                pts.push(q);
+            }
+        }
+        let sys = ParticleSystem::connected(pts).unwrap();
+        let mut scratch = TraceScratch::default();
+        let _ = trace_summary_with(&sys, &mut scratch);
+        let mut sorted = scratch.edges.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(scratch.edges, sorted, "edge enumeration must be sorted");
+    }
+
+    #[test]
+    fn summary_matches_full_trace_with_reused_scratch() {
+        let mut scratch = TraceScratch::default();
+        for shape in [
+            shapes::line(7),
+            shapes::annulus(3),
+            shapes::spiral(23),
+            shapes::l_shape(3, 5),
+        ] {
+            let sys = ParticleSystem::connected(shape).unwrap();
+            let summary = trace_summary_with(&sys, &mut scratch);
+            let full = trace_with(&sys, &mut scratch);
+            assert_eq!(summary.components, full.components.len());
+            assert_eq!(summary.hole_count, full.hole_count());
+            assert_eq!(summary.perimeter, full.perimeter());
+            assert_eq!(full, trace(&sys), "scratch reuse changed the trace");
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! The [`ParticleSystem`] configuration type.
 
-use sops_lattice::{BoundingBox, Direction, PairRing, TriMap, TriPoint};
+use sops_lattice::{BoundingBox, Direction, TileGrid, TriPoint};
 
 use crate::canonical::{canonical_key, CanonicalKey};
 use crate::moves::MoveValidity;
@@ -16,11 +16,18 @@ pub type ParticleId = usize;
 /// intermediate states only exist inside the local algorithm `A` of
 /// `sops-core`). The structure maintains:
 ///
-/// * a location → particle map for O(1) occupancy tests,
+/// * a bit-packed tiled occupancy grid ([`sops_lattice::TileGrid`]): 8×8-site
+///   `u64` tiles answer occupancy tests, neighbor counts and the full
+///   [`sops_lattice::PairRing`] mask of [`ParticleSystem::check_move`] from
+///   at most four tile words, with particle ids stored per site,
 /// * a particle → location vector for uniform random particle selection,
 /// * the configuration edge count `e(σ)`, updated incrementally in O(1) per
 ///   move (the paper's Metropolis filter only ever needs the *change* in
 ///   edge count, which is local).
+///
+/// A hash-map-backed implementation with identical observable behavior is
+/// kept as [`crate::reference::RefSystem`] and differential-tested against
+/// this one.
 ///
 /// # Example
 ///
@@ -41,7 +48,7 @@ pub type ParticleId = usize;
 /// ```
 #[derive(Clone, Debug)]
 pub struct ParticleSystem {
-    occ: TriMap<TriPoint, ParticleId>,
+    grid: TileGrid,
     pos: Vec<TriPoint>,
     edges: u64,
 }
@@ -58,14 +65,18 @@ impl ParticleSystem {
         if pos.is_empty() {
             return Err(SystemError::Empty);
         }
-        let mut occ: TriMap<TriPoint, ParticleId> = TriMap::default();
-        occ.reserve(pos.len() * 2);
+        let mut grid = TileGrid::with_site_capacity(pos.len());
         for (id, p) in pos.iter().enumerate() {
-            if occ.insert(*p, id).is_some() {
+            let id = u32::try_from(id).expect("particle count exceeds u32 ids");
+            if grid.insert(*p, id).is_some() {
                 return Err(SystemError::DuplicateLocation(*p));
             }
         }
-        let mut sys = ParticleSystem { occ, pos, edges: 0 };
+        let mut sys = ParticleSystem {
+            grid,
+            pos,
+            edges: 0,
+        };
         sys.edges = sys.recount_edges();
         Ok(sys)
     }
@@ -116,14 +127,21 @@ impl ParticleSystem {
     #[inline]
     #[must_use]
     pub fn is_occupied(&self, p: TriPoint) -> bool {
-        self.occ.contains_key(&p)
+        self.grid.contains(p)
     }
 
     /// The particle occupying `p`, if any.
     #[inline]
     #[must_use]
     pub fn particle_at(&self, p: TriPoint) -> Option<ParticleId> {
-        self.occ.get(&p).copied()
+        self.grid.get(p).map(|id| id as ParticleId)
+    }
+
+    /// The occupancy grid backing this configuration (for the word-level
+    /// scans in [`crate::boundary`] and [`crate::holes`]).
+    #[inline]
+    pub(crate) fn grid(&self) -> &TileGrid {
+        &self.grid
     }
 
     /// The location of particle `id`.
@@ -149,19 +167,14 @@ impl ParticleSystem {
         self.pos.iter().copied()
     }
 
-    /// The number of occupied neighbors of location `p`.
+    /// The number of occupied neighbors of location `p`, answered from at
+    /// most four tile words.
     ///
     /// `p` itself does not count, whether or not it is occupied.
     #[inline]
     #[must_use]
     pub fn neighbor_count(&self, p: TriPoint) -> u8 {
-        let mut count = 0u8;
-        for d in Direction::ALL {
-            if self.is_occupied(p + d) {
-                count += 1;
-            }
-        }
-        count
+        self.grid.neighbor_count(p)
     }
 
     /// The number of configuration triangles `t(σ)` — lattice faces with all
@@ -221,10 +234,7 @@ impl ParticleSystem {
     /// and belongs to the chain in `sops-core`.
     #[must_use]
     pub fn check_move(&self, from: TriPoint, dir: Direction) -> MoveValidity {
-        let to = from + dir;
-        let target_occupied = self.is_occupied(to);
-        let ring = PairRing::new(from, dir);
-        let mask = ring.occupancy_mask(|p| self.is_occupied(p));
+        let (mask, target_occupied) = self.grid.pair_ring_mask(from, dir);
         MoveValidity::from_mask(mask, target_occupied)
     }
 
@@ -242,14 +252,20 @@ impl ParticleSystem {
     pub fn move_particle(&mut self, id: ParticleId, dir: Direction) -> Result<(), SystemError> {
         let from = *self.pos.get(id).ok_or(SystemError::NoSuchParticle(id))?;
         let to = from + dir;
-        if self.is_occupied(to) {
+        // One window fetch yields the target occupancy and both neighbor
+        // counts: with `from` vacated and `to` still empty, `e` and `e′` are
+        // exactly the two 5-site arcs of the pair-ring mask.
+        let (mask, target_occupied) = self.grid.pair_ring_mask(from, dir);
+        if target_occupied {
             return Err(SystemError::TargetOccupied(to));
         }
-        self.occ.remove(&from);
-        let e_from = self.neighbor_count(from) as u64;
-        let e_to = self.neighbor_count(to) as u64;
-        self.edges = self.edges - e_from + e_to;
-        self.occ.insert(to, id);
+        let validity = MoveValidity::from_mask(mask, false);
+        let moved = self
+            .grid
+            .remove(from)
+            .expect("particle positions always occupy the grid");
+        self.edges = self.edges - validity.e_from as u64 + validity.e_to as u64;
+        self.grid.insert(to, moved);
         self.pos[id] = to;
         Ok(())
     }
@@ -310,16 +326,22 @@ impl ParticleSystem {
         twice / 2
     }
 
-    /// Checks internal invariants (position/occupancy agreement, incremental
-    /// edge count). Intended for tests and debug assertions.
+    /// Checks internal invariants (grid↔position agreement, grid internal
+    /// consistency, incremental edge count). Intended for tests and debug
+    /// assertions.
     ///
     /// # Panics
     ///
     /// Panics if any invariant is violated.
     pub fn assert_invariants(&self) {
-        assert_eq!(self.occ.len(), self.pos.len(), "occupancy size mismatch");
+        self.grid.assert_valid();
+        assert_eq!(self.grid.len(), self.pos.len(), "occupancy size mismatch");
         for (id, &p) in self.pos.iter().enumerate() {
-            assert_eq!(self.occ.get(&p), Some(&id), "particle {id} at {p}");
+            assert_eq!(
+                self.grid.get(p),
+                Some(id as u32),
+                "particle {id} at {p} disagrees with the grid"
+            );
         }
         assert_eq!(self.edges, self.recount_edges(), "edge count drifted");
     }

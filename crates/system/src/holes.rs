@@ -5,8 +5,13 @@
 //! outside the configuration's bounding box: unoccupied cells inside the box
 //! that the fill cannot reach belong to holes, and their connected
 //! components are the holes themselves.
+//!
+//! The fills run over dense [`BitWindow`] bitmaps sized to the bounding box
+//! — one word index per membership test — and every buffer lives in a
+//! reusable [`HoleScratch`], so steady-state callers (trajectory sampling,
+//! the boundary tracer) allocate nothing.
 
-use sops_lattice::{BoundingBox, TriPoint, TriSet};
+use sops_lattice::{BitWindow, BoundingBox, TriPoint, TriSet};
 
 use crate::ParticleSystem;
 
@@ -29,6 +34,21 @@ impl HoleAnalysis {
     }
 }
 
+/// Reusable buffers for [`analyze_with`] and [`exterior_fill_with`].
+#[derive(Clone, Debug, Default)]
+pub struct HoleScratch {
+    exterior: BitWindow,
+    visited: BitWindow,
+    stack: Vec<TriPoint>,
+}
+
+impl HoleScratch {
+    /// The exterior bitmap produced by the latest [`exterior_fill_with`].
+    pub(crate) fn exterior(&self) -> &BitWindow {
+        &self.exterior
+    }
+}
+
 /// Analyzes the holes of a configuration.
 ///
 /// Runs in `O(area)` of the bounding box. For the chain's hot loop this is
@@ -36,34 +56,44 @@ impl HoleAnalysis {
 /// Lemma 3.2 guarantees hole-freeness forever.
 #[must_use]
 pub fn analyze(sys: &ParticleSystem) -> HoleAnalysis {
+    analyze_with(sys, &mut HoleScratch::default())
+}
+
+/// [`analyze`] with caller-provided scratch: repeated calls allocate only
+/// for the representatives of configurations that actually have holes.
+#[must_use]
+pub fn analyze_with(sys: &ParticleSystem, scratch: &mut HoleScratch) -> HoleAnalysis {
     let bbox = sys.bounding_box().expanded(1);
-    let exterior = exterior_fill(sys, bbox);
+    exterior_fill_with(sys, bbox, scratch);
 
     // Any unoccupied, non-exterior cell inside the box is part of a hole.
-    let mut hole_cells: TriSet<TriPoint> = TriSet::default();
-    for p in bbox.iter() {
-        if !sys.is_occupied(p) && !exterior.contains(&p) {
-            hole_cells.insert(p);
-        }
-    }
-
-    let hole_area = hole_cells.len();
+    // Scan in ascending (x, y) order so each hole's representative is its
+    // lexicographically smallest cell.
+    let is_hole_cell = |sys: &ParticleSystem, exterior: &BitWindow, p: TriPoint| {
+        bbox.contains(p) && !sys.is_occupied(p) && !exterior.contains(p)
+    };
+    let mut hole_area = 0usize;
     let mut representatives = Vec::new();
-    let mut visited: TriSet<TriPoint> = TriSet::default();
-    // Deterministic iteration: sort the cells before component-finding.
-    let mut cells: Vec<TriPoint> = hole_cells.iter().copied().collect();
-    cells.sort();
-    for &cell in &cells {
-        if visited.contains(&cell) {
-            continue;
-        }
-        representatives.push(cell);
-        let mut stack = vec![cell];
-        visited.insert(cell);
-        while let Some(p) = stack.pop() {
-            for q in p.neighbors() {
-                if hole_cells.contains(&q) && visited.insert(q) {
-                    stack.push(q);
+    scratch.visited.reset(bbox);
+    for x in bbox.min_x..=bbox.max_x {
+        for y in bbox.min_y..=bbox.max_y {
+            let cell = TriPoint::new(x, y);
+            if !is_hole_cell(sys, &scratch.exterior, cell) {
+                continue;
+            }
+            hole_area += 1;
+            if scratch.visited.contains(cell) {
+                continue;
+            }
+            representatives.push(cell);
+            scratch.visited.insert(cell);
+            scratch.stack.clear();
+            scratch.stack.push(cell);
+            while let Some(p) = scratch.stack.pop() {
+                for q in p.neighbors() {
+                    if is_hole_cell(sys, &scratch.exterior, q) && scratch.visited.insert(q) {
+                        scratch.stack.push(q);
+                    }
                 }
             }
         }
@@ -76,26 +106,61 @@ pub fn analyze(sys: &ParticleSystem) -> HoleAnalysis {
     }
 }
 
-/// Flood-fills the unoccupied exterior region within `bbox`, starting from
-/// the box frame. The frame must not intersect the configuration (use a
-/// bounding box expanded by at least 1).
-#[must_use]
-pub fn exterior_fill(sys: &ParticleSystem, bbox: BoundingBox) -> TriSet<TriPoint> {
-    let mut exterior: TriSet<TriPoint> = TriSet::default();
-    let mut stack: Vec<TriPoint> = Vec::new();
-    for p in bbox.iter() {
-        if bbox.on_frame(p) {
-            debug_assert!(!sys.is_occupied(p), "frame must be outside the system");
-            if exterior.insert(p) {
-                stack.push(p);
+/// Flood-fills the unoccupied exterior region within `bbox` into
+/// `scratch.exterior`, starting from the box frame. The frame must not
+/// intersect the configuration (use a bounding box expanded by at least 1).
+pub fn exterior_fill_with(sys: &ParticleSystem, bbox: BoundingBox, scratch: &mut HoleScratch) {
+    scratch.exterior.reset(bbox);
+    scratch.stack.clear();
+    let seed = |exterior: &mut BitWindow, stack: &mut Vec<TriPoint>, p: TriPoint| {
+        debug_assert!(!sys.is_occupied(p), "frame must be outside the system");
+        if exterior.insert(p) {
+            stack.push(p);
+        }
+    };
+    for x in bbox.min_x..=bbox.max_x {
+        seed(
+            &mut scratch.exterior,
+            &mut scratch.stack,
+            TriPoint::new(x, bbox.min_y),
+        );
+        seed(
+            &mut scratch.exterior,
+            &mut scratch.stack,
+            TriPoint::new(x, bbox.max_y),
+        );
+    }
+    for y in bbox.min_y..=bbox.max_y {
+        seed(
+            &mut scratch.exterior,
+            &mut scratch.stack,
+            TriPoint::new(bbox.min_x, y),
+        );
+        seed(
+            &mut scratch.exterior,
+            &mut scratch.stack,
+            TriPoint::new(bbox.max_x, y),
+        );
+    }
+    while let Some(p) = scratch.stack.pop() {
+        for q in p.neighbors() {
+            if bbox.contains(q) && !sys.is_occupied(q) && scratch.exterior.insert(q) {
+                scratch.stack.push(q);
             }
         }
     }
-    while let Some(p) = stack.pop() {
-        for q in p.neighbors() {
-            if bbox.contains(q) && !sys.is_occupied(q) && exterior.insert(q) {
-                stack.push(q);
-            }
+}
+
+/// The exterior region as a hash set, for callers that want set semantics;
+/// [`exterior_fill_with`] is the allocation-free variant behind it.
+#[must_use]
+pub fn exterior_fill(sys: &ParticleSystem, bbox: BoundingBox) -> TriSet<TriPoint> {
+    let mut scratch = HoleScratch::default();
+    exterior_fill_with(sys, bbox, &mut scratch);
+    let mut exterior: TriSet<TriPoint> = TriSet::default();
+    for p in bbox.iter() {
+        if scratch.exterior.contains(p) {
+            exterior.insert(p);
         }
     }
     exterior
@@ -159,5 +224,33 @@ mod tests {
     fn compact_shapes_are_hole_free() {
         let sys = ParticleSystem::connected(shapes::spiral(30)).unwrap();
         assert!(analyze(&sys).is_hole_free());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_analysis() {
+        let mut scratch = HoleScratch::default();
+        for shape in [
+            shapes::annulus(3),
+            shapes::line(9),
+            shapes::spiral(25),
+            TriPoint::ORIGIN.neighbors().collect(),
+        ] {
+            let sys = ParticleSystem::connected(shape).unwrap();
+            assert_eq!(analyze_with(&sys, &mut scratch), analyze(&sys));
+        }
+    }
+
+    #[test]
+    fn exterior_fill_set_matches_window() {
+        let sys = ParticleSystem::connected(shapes::annulus(2)).unwrap();
+        let bbox = sys.bounding_box().expanded(1);
+        let set = exterior_fill(&sys, bbox);
+        let mut scratch = HoleScratch::default();
+        exterior_fill_with(&sys, bbox, &mut scratch);
+        for p in bbox.iter() {
+            assert_eq!(set.contains(&p), scratch.exterior.contains(p), "{p}");
+        }
+        // The origin is enclosed by the annulus: not exterior.
+        assert!(!set.contains(&TriPoint::ORIGIN));
     }
 }

@@ -10,8 +10,11 @@
 //! # Overview
 //!
 //! * [`ParticleSystem`] — a set of `n` particles occupying distinct lattice
-//!   vertices, with O(1) occupancy queries and an incrementally maintained
-//!   edge count.
+//!   vertices, backed by the bit-packed [`sops_lattice::TileGrid`]: O(1)
+//!   occupancy queries, word-level neighbor counts and ring masks, and an
+//!   incrementally maintained edge count.
+//! * [`reference`] — the retained hash-map-backed implementation, used as a
+//!   differential-testing oracle for the grid.
 //! * [`moves`] — O(1) move validity from the 8-bit occupancy mask of the
 //!   [`sops_lattice::PairRing`], with first-principles reference
 //!   implementations used for cross-validation.
@@ -44,6 +47,7 @@ mod error;
 pub mod holes;
 pub mod metrics;
 pub mod moves;
+pub mod reference;
 pub mod shapes;
 
 pub use canonical::{canonical_key, canonical_points, CanonicalKey};

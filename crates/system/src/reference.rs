@@ -1,0 +1,228 @@
+//! The retained hash-map-backed configuration model, kept as a
+//! differential-testing oracle for the grid-backed [`ParticleSystem`].
+//!
+//! [`RefSystem`] is the pre-grid implementation of the configuration layer:
+//! a [`TriMap`] from location to particle id, per-site occupancy probes for
+//! neighbor counts and ring masks, and a [`TriSet`]-based exterior flood
+//! fill for hole counting. It is deliberately simple and independent of
+//! `sops_lattice::TileGrid` — the property tests in this crate drive random
+//! valid move sequences through both implementations and require identical
+//! occupancy, edge counts, perimeters, hole counts and canonical keys.
+
+use sops_lattice::{BoundingBox, Direction, PairRing, TriMap, TriPoint, TriSet};
+
+use crate::canonical::{canonical_key, CanonicalKey};
+use crate::moves::MoveValidity;
+use crate::{ParticleId, SystemError};
+
+/// Hash-map-backed twin of [`crate::ParticleSystem`] (see the
+/// [module docs](self)).
+#[derive(Clone, Debug)]
+pub struct RefSystem {
+    occ: TriMap<TriPoint, ParticleId>,
+    pos: Vec<TriPoint>,
+    edges: u64,
+}
+
+impl RefSystem {
+    /// Builds a configuration from particle locations.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::ParticleSystem::new`].
+    pub fn new(points: impl IntoIterator<Item = TriPoint>) -> Result<RefSystem, SystemError> {
+        let pos: Vec<TriPoint> = points.into_iter().collect();
+        if pos.is_empty() {
+            return Err(SystemError::Empty);
+        }
+        let mut occ: TriMap<TriPoint, ParticleId> = TriMap::default();
+        for (id, p) in pos.iter().enumerate() {
+            if occ.insert(*p, id).is_some() {
+                return Err(SystemError::DuplicateLocation(*p));
+            }
+        }
+        let mut sys = RefSystem { occ, pos, edges: 0 };
+        sys.edges = sys.recount_edges();
+        Ok(sys)
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// `true` when empty (never, through the public constructor).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// The configuration edge count `e(σ)`.
+    #[must_use]
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// `true` if `p` is occupied.
+    #[must_use]
+    pub fn is_occupied(&self, p: TriPoint) -> bool {
+        self.occ.contains_key(&p)
+    }
+
+    /// The particle occupying `p`, if any.
+    #[must_use]
+    pub fn particle_at(&self, p: TriPoint) -> Option<ParticleId> {
+        self.occ.get(&p).copied()
+    }
+
+    /// The location of particle `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n`.
+    #[must_use]
+    pub fn position(&self, id: ParticleId) -> TriPoint {
+        self.pos[id]
+    }
+
+    /// The number of occupied neighbors of `p` (per-site hash probes).
+    #[must_use]
+    pub fn neighbor_count(&self, p: TriPoint) -> u8 {
+        let mut count = 0u8;
+        for d in Direction::ALL {
+            if self.is_occupied(p + d) {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    /// Move validity via [`PairRing::occupancy_mask`] over hash probes.
+    #[must_use]
+    pub fn check_move(&self, from: TriPoint, dir: Direction) -> MoveValidity {
+        let to = from + dir;
+        let target_occupied = self.is_occupied(to);
+        let ring = PairRing::new(from, dir);
+        let mask = ring.occupancy_mask(|p| self.is_occupied(p));
+        MoveValidity::from_mask(mask, target_occupied)
+    }
+
+    /// Moves particle `id` one step in `dir` with the pre-grid update
+    /// sequence (remove, recount both neighborhoods, insert).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::ParticleSystem::move_particle`].
+    pub fn move_particle(&mut self, id: ParticleId, dir: Direction) -> Result<(), SystemError> {
+        let from = *self.pos.get(id).ok_or(SystemError::NoSuchParticle(id))?;
+        let to = from + dir;
+        if self.is_occupied(to) {
+            return Err(SystemError::TargetOccupied(to));
+        }
+        self.occ.remove(&from);
+        let e_from = self.neighbor_count(from) as u64;
+        let e_to = self.neighbor_count(to) as u64;
+        self.edges = self.edges - e_from + e_to;
+        self.occ.insert(to, id);
+        self.pos[id] = to;
+        Ok(())
+    }
+
+    /// Recounts edges from scratch.
+    #[must_use]
+    pub fn recount_edges(&self) -> u64 {
+        let mut twice = 0u64;
+        for &p in &self.pos {
+            twice += self.neighbor_count(p) as u64;
+        }
+        twice / 2
+    }
+
+    /// The number of holes, by hash-set exterior flood fill.
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        let bbox = BoundingBox::of(self.pos.iter().copied())
+            .expect("reference systems are non-empty")
+            .expanded(1);
+        let mut exterior: TriSet<TriPoint> = TriSet::default();
+        let mut stack: Vec<TriPoint> = Vec::new();
+        for p in bbox.iter() {
+            if bbox.on_frame(p) && exterior.insert(p) {
+                stack.push(p);
+            }
+        }
+        while let Some(p) = stack.pop() {
+            for q in p.neighbors() {
+                if bbox.contains(q) && !self.is_occupied(q) && exterior.insert(q) {
+                    stack.push(q);
+                }
+            }
+        }
+        let mut hole_cells: Vec<TriPoint> = bbox
+            .iter()
+            .filter(|p| !self.is_occupied(*p) && !exterior.contains(p))
+            .collect();
+        hole_cells.sort();
+        let cells: TriSet<TriPoint> = hole_cells.iter().copied().collect();
+        let mut visited: TriSet<TriPoint> = TriSet::default();
+        let mut holes = 0usize;
+        for &cell in &hole_cells {
+            if !visited.insert(cell) {
+                continue;
+            }
+            holes += 1;
+            let mut stack = vec![cell];
+            while let Some(p) = stack.pop() {
+                for q in p.neighbors() {
+                    if cells.contains(&q) && visited.insert(q) {
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        holes
+    }
+
+    /// The perimeter through the closed form `p = 3n − e − 3 + 3H`.
+    #[must_use]
+    pub fn perimeter(&self) -> u64 {
+        3 * self.len() as u64 - self.edges - 3 + 3 * self.hole_count() as u64
+    }
+
+    /// The translation-invariant canonical key of the configuration.
+    #[must_use]
+    pub fn canonical_key(&self) -> CanonicalKey {
+        canonical_key(self.pos.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{shapes, ParticleSystem};
+
+    #[test]
+    fn agrees_with_particle_system_on_shapes() {
+        for shape in [shapes::line(8), shapes::annulus(2), shapes::spiral(20)] {
+            let grid = ParticleSystem::new(shape.clone()).unwrap();
+            let reference = RefSystem::new(shape).unwrap();
+            assert_eq!(grid.edge_count(), reference.edge_count());
+            assert_eq!(grid.perimeter(), reference.perimeter());
+            assert_eq!(grid.hole_count(), reference.hole_count());
+            assert_eq!(grid.canonical_key(), reference.canonical_key());
+        }
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty() {
+        assert_eq!(
+            RefSystem::new([TriPoint::ORIGIN, TriPoint::ORIGIN]).unwrap_err(),
+            SystemError::DuplicateLocation(TriPoint::ORIGIN)
+        );
+        assert_eq!(
+            RefSystem::new(std::iter::empty()).unwrap_err(),
+            SystemError::Empty
+        );
+    }
+}

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sops_lattice::{Direction, TriPoint};
+use sops_system::reference::RefSystem;
 use sops_system::{boundary, holes, metrics, moves, shapes, ParticleSystem};
 
 /// A random connected configuration from a seeded Eden growth.
@@ -143,5 +144,68 @@ proptest! {
         let translated: Vec<TriPoint> = sys.iter().map(|p| p.translated(dx, dy)).collect();
         let moved = ParticleSystem::new(translated).unwrap();
         prop_assert_eq!(sys.canonical_key(), moved.canonical_key());
+    }
+
+    /// Differential test: the grid-backed [`ParticleSystem`] and the
+    /// retained TriMap-backed [`RefSystem`] stay in lock-step through random
+    /// valid move sequences — identical move validity at every proposal, and
+    /// identical occupancy, edge count, perimeter, hole count and canonical
+    /// key at every accepted move.
+    #[test]
+    fn grid_system_matches_reference_model(
+        sys in arb_connected(),
+        seq in proptest::collection::vec((any::<usize>(), 0usize..6), 1..60),
+    ) {
+        let mut grid_sys = sys;
+        let mut ref_sys = RefSystem::new(grid_sys.iter()).unwrap();
+        for (id_raw, d_raw) in seq {
+            let id = id_raw % grid_sys.len();
+            let dir = Direction::from_index(d_raw);
+            let from = grid_sys.position(id);
+            prop_assert_eq!(from, ref_sys.position(id));
+            let grid_validity = grid_sys.check_move(from, dir);
+            let ref_validity = ref_sys.check_move(from, dir);
+            prop_assert_eq!(grid_validity, ref_validity);
+            prop_assert_eq!(
+                grid_sys.neighbor_count(from),
+                ref_sys.neighbor_count(from)
+            );
+            if grid_validity.is_structurally_valid() {
+                grid_sys.move_particle(id, dir).unwrap();
+                ref_sys.move_particle(id, dir).unwrap();
+                prop_assert_eq!(grid_sys.edge_count(), ref_sys.edge_count());
+            }
+        }
+        // Full end-state agreement.
+        for id in 0..grid_sys.len() {
+            let p = grid_sys.position(id);
+            prop_assert_eq!(Some(id), ref_sys.particle_at(p));
+            prop_assert_eq!(grid_sys.particle_at(p), Some(id));
+        }
+        let bbox = grid_sys.bounding_box().expanded(1);
+        for p in bbox.iter() {
+            prop_assert_eq!(grid_sys.is_occupied(p), ref_sys.is_occupied(p), "{}", p);
+        }
+        prop_assert_eq!(grid_sys.edge_count(), ref_sys.edge_count());
+        prop_assert_eq!(grid_sys.hole_count(), ref_sys.hole_count());
+        prop_assert_eq!(grid_sys.perimeter(), ref_sys.perimeter());
+        prop_assert_eq!(grid_sys.canonical_key(), ref_sys.canonical_key());
+        grid_sys.assert_invariants();
+    }
+
+    /// The scratch-reusing trace summary agrees with the full tracer and
+    /// with the flood-fill hole analysis across random configurations.
+    #[test]
+    fn trace_summary_matches_analysis(sys in arb_connected()) {
+        let mut trace_scratch = boundary::TraceScratch::default();
+        let mut hole_scratch = holes::HoleScratch::default();
+        let summary = boundary::trace_summary_with(&sys, &mut trace_scratch);
+        let analysis = holes::analyze_with(&sys, &mut hole_scratch);
+        prop_assert_eq!(summary.hole_count, analysis.hole_count);
+        prop_assert_eq!(summary.perimeter, sys.perimeter());
+        prop_assert_eq!(summary.components, analysis.hole_count + 1);
+        // Reuse across configurations must not leak state.
+        let summary_again = boundary::trace_summary_with(&sys, &mut trace_scratch);
+        prop_assert_eq!(summary, summary_again);
     }
 }

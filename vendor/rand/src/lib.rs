@@ -110,10 +110,13 @@ pub trait SampleRange<T> {
 }
 
 /// Uniform `u64` in `[0, span)` by rejection sampling (no modulo bias).
+#[inline]
 fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
     debug_assert!(span > 0);
-    // Largest value below which `% span` is exactly uniform.
-    let zone = u64::MAX - (u64::MAX % span + 1) % span;
+    // Largest value below which `% span` is exactly uniform:
+    // `u64::MAX − (2^64 mod span)`, with `2^64 mod span` computed as
+    // `(2^64 − span) mod span` in one division.
+    let zone = u64::MAX - span.wrapping_neg() % span;
     loop {
         let v = rng.next_u64();
         if v <= zone {
@@ -125,8 +128,11 @@ fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
 macro_rules! range_int {
     ($($ty:ty),*) => {$(
         impl SampleRange<$ty> for Range<$ty> {
+            #[inline]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
                 assert!(self.start < self.end, "cannot sample empty range");
+                // The i128 difference handles signed ranges wider than the
+                // type's MAX (e.g. -100i8..100) without sign-extension bugs.
                 let span = (self.end as i128 - self.start as i128) as u64;
                 self.start.wrapping_add(uniform_below(rng, span) as $ty)
             }
@@ -202,6 +208,11 @@ mod tests {
             assert!((3..17).contains(&v));
             let w = rng.gen_range(-5i32..=5);
             assert!((-5..=5).contains(&w));
+            // Signed ranges wider than the type's MAX must not sign-extend.
+            let x = rng.gen_range(-100i8..100);
+            assert!((-100..100).contains(&x));
+            let y = rng.gen_range(i64::MIN..i64::MAX);
+            assert!(y < i64::MAX);
         }
     }
 

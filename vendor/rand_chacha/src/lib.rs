@@ -12,43 +12,52 @@ use rand_core::{RngCore, SeedableRng};
 
 const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
 
-#[inline]
-fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
+/// One ChaCha quarter round over four named words. Expressed on locals (not
+/// array slots) so the four independent quarter rounds of each half-round
+/// stay in registers and schedule in parallel.
+macro_rules! quarter_round {
+    ($a:ident, $b:ident, $c:ident, $d:ident) => {
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(16);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(12);
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(8);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(7);
+    };
 }
 
 /// One ChaCha block: `rounds` must be even; writes 16 output words.
 fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
-    let mut state = [0u32; 16];
-    state[..4].copy_from_slice(&CONSTANTS);
-    state[4..12].copy_from_slice(key);
-    state[12] = counter as u32;
-    state[13] = (counter >> 32) as u32;
-    // Nonce words left zero: each generator instance owns its stream.
-    let initial = state;
+    let mut initial = [0u32; 16];
+    initial[..4].copy_from_slice(&CONSTANTS);
+    initial[4..12].copy_from_slice(key);
+    initial[12] = counter as u32;
+    initial[13] = (counter >> 32) as u32;
+    // Nonce words (14, 15) left zero: each generator owns its stream.
+    let [mut x0, mut x1, mut x2, mut x3, mut x4, mut x5, mut x6, mut x7, mut x8, mut x9, mut x10, mut x11, mut x12, mut x13, mut x14, mut x15] =
+        initial;
     for _ in 0..rounds / 2 {
         // Column rounds.
-        quarter_round(&mut state, 0, 4, 8, 12);
-        quarter_round(&mut state, 1, 5, 9, 13);
-        quarter_round(&mut state, 2, 6, 10, 14);
-        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round!(x0, x4, x8, x12);
+        quarter_round!(x1, x5, x9, x13);
+        quarter_round!(x2, x6, x10, x14);
+        quarter_round!(x3, x7, x11, x15);
         // Diagonal rounds.
-        quarter_round(&mut state, 0, 5, 10, 15);
-        quarter_round(&mut state, 1, 6, 11, 12);
-        quarter_round(&mut state, 2, 7, 8, 13);
-        quarter_round(&mut state, 3, 4, 9, 14);
+        quarter_round!(x0, x5, x10, x15);
+        quarter_round!(x1, x6, x11, x12);
+        quarter_round!(x2, x7, x8, x13);
+        quarter_round!(x3, x4, x9, x14);
     }
-    for (word, init) in state.iter_mut().zip(initial.iter()) {
-        *word = word.wrapping_add(*init);
+    let state = [
+        x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15,
+    ];
+    let mut out = [0u32; 16];
+    for ((slot, word), init) in out.iter_mut().zip(state).zip(initial) {
+        *slot = word.wrapping_add(init);
     }
-    state
+    out
 }
 
 macro_rules! chacha_rng {
@@ -96,6 +105,7 @@ macro_rules! chacha_rng {
         }
 
         impl RngCore for $name {
+            #[inline]
             fn next_u32(&mut self) -> u32 {
                 if self.index >= 16 {
                     self.refill();
@@ -105,7 +115,15 @@ macro_rules! chacha_rng {
                 word
             }
 
+            #[inline]
             fn next_u64(&mut self) -> u64 {
+                // Fast path: both words from the current block, one branch.
+                if self.index < 15 {
+                    let lo = self.buffer[self.index] as u64;
+                    let hi = self.buffer[self.index + 1] as u64;
+                    self.index += 2;
+                    return lo | (hi << 32);
+                }
                 let lo = self.next_u32() as u64;
                 let hi = self.next_u32() as u64;
                 lo | (hi << 32)

@@ -17,21 +17,34 @@ use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::{block_means, integrated_autocorrelation_time};
 use sops::prelude::*;
 use sops_bench::{out, Args};
-use sops_engine::{run_grid, EngineConfig, JobGrid};
+use sops_engine::{run_grid, Algorithm, EngineConfig, JobGrid};
 
 fn main() {
     let args = Args::from_env();
     let quick = args.flag("quick");
     let n = args.get_usize("n", 50);
     let sweeps = args.get_u64("sweeps", if quick { 4_000 } else { 40_000 });
+    // `--algo chain-kmc` runs the rejection-free sampler: the same
+    // step-indexed law, so IATs in sweeps are directly comparable, at a
+    // fraction of the wall clock in the strongly-rejecting regimes.
+    let algo: Algorithm = args
+        .get_string("algo")
+        .unwrap_or_else(|| "chain".into())
+        .parse()
+        .unwrap_or_else(|err| panic!("--algo: {err}"));
+    assert!(
+        algo.is_chain_sampler(),
+        "--algo must be chain or chain-kmc (diagnostics are chain-step-indexed)"
+    );
 
-    println!("# E15 / Section 3.7 — convergence diagnostics of chain M");
+    println!("# E15 / Section 3.7 — convergence diagnostics of chain M ({algo})");
     println!("n = {n}, {sweeps} sweeps (1 sweep = n iterations), perimeter observable\n");
 
     let lambdas = [1.5, 2.0, 3.0, 4.0, 6.0];
     let grid = JobGrid::new(77)
         .ns([n])
         .lambdas(lambdas)
+        .algorithms([algo])
         .burnin(sweeps / 3 * n as u64)
         .steps(sweeps * n as u64)
         .samples(sweeps);

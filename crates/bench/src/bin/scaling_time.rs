@@ -17,13 +17,25 @@ use sops::analysis::stats::Summary;
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::LinearFit;
 use sops_bench::{out, Args};
-use sops_engine::{run_grid, EngineConfig, JobGrid};
+use sops_engine::{run_grid, Algorithm, EngineConfig, JobGrid};
 
 fn main() {
     let args = Args::from_env();
     let quick = args.flag("quick");
     let lambda = args.get_f64("lambda", 4.0);
     let alpha = args.get_f64("alpha", 2.0);
+    // First-hit step counts are step-indexed, so the rejection-free sampler
+    // (`--algo chain-kmc`) measures the same law — useful for pushing the
+    // doubling ladder to sizes the naive chain cannot reach in wall clock.
+    let algo: Algorithm = args
+        .get_string("algo")
+        .unwrap_or_else(|| "chain".into())
+        .parse()
+        .unwrap_or_else(|err| panic!("--algo: {err}"));
+    assert!(
+        algo.is_chain_sampler(),
+        "--algo must be chain or chain-kmc (first-hit mode only exists for the chain samplers)"
+    );
     let reps = args.get_u64("reps", if quick { 2 } else { 5 });
     let sizes: Vec<usize> = if quick {
         vec![12, 25, 50]
@@ -32,13 +44,14 @@ fn main() {
     };
     let max_steps = args.get_u64("max-steps", if quick { 20_000_000 } else { 400_000_000 });
 
-    println!("# E7 / Section 3.7 — iterations until α-compression");
+    println!("# E7 / Section 3.7 — iterations until α-compression ({algo})");
     println!("λ = {lambda}, target α = {alpha}, {reps} repetitions per n\n");
 
     // One engine job per (n, repetition), all racing on the shared pool.
     let grid = JobGrid::new(args.get_u64("seed", 1000))
         .ns(sizes.iter().copied())
         .lambdas([lambda])
+        .algorithms([algo])
         .reps(reps)
         .steps(max_steps)
         .until_alpha(alpha);

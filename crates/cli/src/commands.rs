@@ -89,18 +89,18 @@ pub fn sweep(args: &Args) {
         .samples(args.get_u64("samples", 100))
         .reps(args.get_u64("reps", 1));
     if let Some(alpha) = args.get_string("until-alpha") {
-        // First-hit mode only exists for the chain; reject or warn rather
-        // than silently ignoring the flag.
-        let chains = algorithms
-            .iter()
-            .filter(|a| matches!(a, sops_engine::Algorithm::Chain))
-            .count();
+        // First-hit mode only exists for the chain samplers; reject or warn
+        // rather than silently ignoring the flag.
+        let chains = algorithms.iter().filter(|a| a.is_chain_sampler()).count();
         if chains == 0 {
-            eprintln!("--until-alpha requires --algo chain (first-hit mode is chain-only)");
+            eprintln!(
+                "--until-alpha requires --algo chain or chain-kmc \
+                 (first-hit mode only exists for the chain samplers)"
+            );
             std::process::exit(2);
         }
         if chains < algorithms.len() {
-            eprintln!("note: --until-alpha only applies to the chain jobs in this sweep");
+            eprintln!("note: --until-alpha only applies to the chain/chain-kmc jobs in this sweep");
         }
         grid = grid.until_alpha(alpha.parse().unwrap_or_else(|_| {
             eprintln!("--until-alpha expects a number");
@@ -193,9 +193,11 @@ COMMANDS:
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
   sweep      run a job grid on the engine
-             --n 50,100 --lambda 2,4 --shape line --algo chain,local --steps --burnin
-             --samples --reps --until-alpha --seed --threads
+             --n 50,100 --lambda 2,4 --shape line --algo chain,chain-kmc,local
+             --steps --burnin --samples --reps --until-alpha --seed --threads
              --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
+             (chain-kmc = rejection-free sampler of M; same distribution,
+             work per accepted move only — fastest at high λ equilibrium)
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg

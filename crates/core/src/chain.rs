@@ -20,8 +20,9 @@ use core::fmt;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sops_lattice::Direction;
-use sops_system::{boundary, metrics, ParticleSystem, SystemError};
+use sops_system::{metrics, ParticleSystem, SystemError};
 
+use crate::measure::HoleTracker;
 use crate::snapshot::{self, SnapshotError};
 
 /// Errors from constructing a [`CompressionChain`].
@@ -169,13 +170,12 @@ pub struct CompressionChain<R: Rng = StdRng> {
     rng: R,
     steps: u64,
     counts: StepCounts,
-    hole_free: bool,
+    /// Hole-free latch + reusable trace scratch (shared implementation
+    /// with the KMC sampler; scratch is transient, not part of snapshots).
+    measure: HoleTracker,
     crashed: Vec<bool>,
     crashed_count: usize,
     validate: bool,
-    /// Reusable boundary-trace buffers: hole counting during sampling
-    /// allocates nothing. Transient — not part of snapshots.
-    scratch: boundary::TraceScratch,
 }
 
 impl CompressionChain<StdRng> {
@@ -217,7 +217,7 @@ impl CompressionChain<StdRng> {
             "counts={},{},{},{},{},{}",
             c.moved, c.target_occupied, c.crashed, c.five_neighbor, c.property, c.metropolis
         );
-        let _ = writeln!(s, "hole_free={}", u8::from(self.hole_free));
+        let _ = writeln!(s, "hole_free={}", u8::from(self.measure.latched()));
         let _ = writeln!(s, "validate={}", u8::from(self.validate));
         let _ = writeln!(s, "crashed={}", crashed.join(","));
         let _ = writeln!(s, "rng={}", snapshot::rng_to_string(&self.rng));
@@ -264,7 +264,9 @@ impl CompressionChain<StdRng> {
         };
         // The hole-free flag is lazily monotone; restoring the stored value
         // (rather than recomputing) preserves the exact observable behavior.
-        chain.hole_free = fields.parse_num::<u8>("hole_free")? != 0;
+        chain
+            .measure
+            .set_latched(fields.parse_num::<u8>("hole_free")? != 0);
         chain.validate = fields.parse_num::<u8>("validate")? != 0;
         for id in fields.parse_list::<usize>("crashed")? {
             if id >= chain.crashed.len() {
@@ -316,11 +318,10 @@ impl<R: Rng> CompressionChain<R> {
             rng,
             steps: 0,
             counts: StepCounts::default(),
-            hole_free,
+            measure: HoleTracker::new(hole_free),
             crashed: vec![false; n],
             crashed_count: 0,
             validate: false,
-            scratch: boundary::TraceScratch::default(),
         })
     }
 
@@ -388,27 +389,19 @@ impl<R: Rng> CompressionChain<R> {
     /// boundary trace over reused scratch (the chain keeps the
     /// configuration connected — Lemma 3.1 — which the tracer requires).
     pub fn is_hole_free(&mut self) -> bool {
-        if !self.hole_free && self.holes_now() == 0 {
-            self.hole_free = true;
-        }
-        self.hole_free
-    }
-
-    /// The current hole count through the scratch-backed boundary tracer.
-    fn holes_now(&mut self) -> usize {
-        boundary::trace_summary_with(&self.sys, &mut self.scratch).hole_count
+        self.measure.is_hole_free(&self.sys)
     }
 
     /// The current perimeter `p(σ)`.
     ///
-    /// O(1) once the chain has reached the hole-free space `Ω*`.
+    /// O(1) once the chain has reached the hole-free space `Ω*`; before
+    /// that, one scratch-backed boundary trace serves both the monotone
+    /// hole-free latch and the hole count of the perimeter formula (the
+    /// latch and the measurement used to flood-fill separately, tracing the
+    /// boundary twice per pre-latch check).
     #[must_use = "perimeter is a measurement; ignoring it wastes a flood fill"]
     pub fn perimeter(&mut self) -> u64 {
-        if self.is_hole_free() {
-            self.sys.perimeter_with_holes(0)
-        } else {
-            self.sys.perimeter()
-        }
+        self.measure.perimeter(&self.sys)
     }
 
     /// Executes one step of `M` (Algorithm `M`, Steps 1–8).
@@ -456,7 +449,7 @@ impl<R: Rng> CompressionChain<R> {
             .expect("validated move must apply");
         if self.validate {
             assert!(self.sys.is_connected(), "Lemma 3.1 violated: disconnected");
-            if self.hole_free {
+            if self.measure.latched() {
                 assert_eq!(self.sys.hole_count(), 0, "Lemma 3.2 violated: hole");
             }
         }
@@ -503,31 +496,10 @@ impl<R: Rng> CompressionChain<R> {
     ///
     /// Allocation-free in the steady state: the hole count comes from the
     /// reused boundary-trace scratch (and is skipped entirely once the
-    /// chain is known hole-free).
+    /// chain is known hole-free); one trace serves both the monotone
+    /// hole-free latch and the sample.
     pub fn sample(&mut self) -> TrajectoryPoint {
-        // One trace serves both the monotone hole-free latch and the sample.
-        let holes = if self.hole_free { 0 } else { self.holes_now() };
-        if holes == 0 {
-            self.hole_free = true;
-        }
-        let perimeter = self.sys.perimeter_with_holes(holes as u64);
-        let n = self.sys.len();
-        TrajectoryPoint {
-            step: self.steps,
-            edges: self.sys.edge_count(),
-            perimeter,
-            holes,
-            alpha: if metrics::pmin(n) == 0 {
-                f64::INFINITY
-            } else {
-                perimeter as f64 / metrics::pmin(n) as f64
-            },
-            beta: if metrics::pmax(n) == 0 {
-                f64::NAN
-            } else {
-                perimeter as f64 / metrics::pmax(n) as f64
-            },
-        }
+        self.measure.sample(&self.sys, self.steps)
     }
 
     /// Runs the chain, sampling every `interval` steps, for `total` steps.

@@ -1,0 +1,1029 @@
+//! Rejection-free (kinetic Monte Carlo) sampling of Markov chain `M`.
+//!
+//! In the regime the paper's main theorem lives in — `λ > 2 + √2` at or near
+//! the α-compressed equilibrium (Theorem 4.5) — almost every step of the
+//! naive chain is a rejection: the target is occupied, the five-neighbor
+//! rule blocks, Properties 1/2 fail, or the Metropolis draw refuses. The
+//! work per *accepted* move is then dominated by the no-ops between moves.
+//! [`KmcChain`] eliminates them exactly.
+//!
+//! # Exact equivalence at step granularity
+//!
+//! One step of `M` in configuration `σ` selects a particle `P` and direction
+//! `d` uniformly (probability `1/(6n)` per pair) and accepts with
+//! probability `a(P, d) ∈ {0} ∪ {min(1, λ^(e′−e))}` — zero when the target
+//! is occupied, the particle is crashed, `e = 5`, or neither Property holds.
+//! Writing `S = Σ a(P, d)` for the total acceptance mass, each step
+//! therefore independently:
+//!
+//! * accepts the specific move `m` with probability `a(m)/(6n)`, and
+//! * rejects (a no-op) with probability `1 − S/(6n)`.
+//!
+//! Consequently, the number `K` of rejected steps before the next accepted
+//! move is geometric, `P(K = k) = (1 − S/6n)^k · S/6n`, and the accepted
+//! move is `m` with probability `a(m)/S`, independent of `K`:
+//!
+//! ```text
+//! P(K = k, move = m) = (1 − S/6n)^k · a(m)/6n
+//!                    = [Geom(S/6n)](k) · a(m)/S.
+//! ```
+//!
+//! [`KmcChain`] samples exactly this product law: it draws `K` by inverting
+//! the geometric CDF, advances its step counter by `K + 1`, and picks the
+//! move proportionally to `a`. The distribution of the configuration at
+//! *any* step index — and hence of [`TrajectoryPoint`] sequences,
+//! [`KmcChain::run_until_compressed`] first hits, and stationary histograms
+//! — is identical to the naive chain's. (The realized trajectories differ:
+//! the two samplers consume randomness differently, so they are equal in
+//! law, not bit-for-bit.) Because the geometric law is memoryless, a dwell
+//! that is interrupted — by the end of a [`KmcChain::run`] budget or by a
+//! [`KmcChain::crash`] that changes `S` — can be kept or redrawn against the
+//! new `S` without biasing the process.
+//!
+//! # Incremental acceptance masses
+//!
+//! `a(P, d)` is a function of the 8-bit [`sops_lattice::PairRing`] occupancy
+//! mask around `(ℓ, ℓ′ = ℓ + d)` plus the target bit, all within graph
+//! distance 2 of `ℓ`. An accepted move changes occupancy at exactly two
+//! sites, so only the pairs of [`sops_system::moves::revalidation_plan`]
+//! need revalidation — ≤ 24 sites, each restricted to the directions whose
+//! dependency set actually touches a changed site. An O(1) neighborhood per
+//! accepted move.
+//!
+//! Masses take at most 11 distinct values `min(1, λ^δ)`, `δ = e′ − e ∈
+//! [−5, 5]`, so the table is a **bucketed tower**, not a float tree: each
+//! structurally valid pair `(P, d)` lives in the bucket of its `δ`, `S` is
+//! the exactly-maintained integer histogram folded against the 11 weights,
+//! and sampling is one weighted draw over 11 buckets followed by one uniform
+//! index draw. Buckets stay sorted by pair index — a canonical form that
+//! makes the table a pure function of the configuration (so snapshots can
+//! omit it and still continue bit-for-bit) — and no floating-point
+//! accumulator ever drifts: the histogram is integral, verified by a
+//! property test against a from-scratch recount.
+
+use core::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops_lattice::{Direction, TriPoint};
+use sops_system::{metrics, moves, ParticleSystem};
+
+use crate::chain::{ChainError, TrajectoryPoint};
+use crate::measure::HoleTracker;
+use crate::snapshot::{self, SnapshotError};
+
+/// Class index marking a pair with zero acceptance mass.
+const CLASS_NONE: u8 = u8::MAX;
+
+/// Number of mass classes: one per edge delta `δ ∈ [−5, 5]`.
+const CLASSES: usize = 11;
+
+/// Aggregate outcome counters of a [`KmcChain`].
+///
+/// The rejection-free sampler never resolves *which* kind of rejection each
+/// skipped step would have been (that information is integrated out by the
+/// geometric dwell), so unlike [`crate::chain::StepCounts`] only the
+/// accepted-move count and the dwell geometry are available.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KmcCounts {
+    /// Accepted (executed) moves.
+    pub moved: u64,
+    /// Largest single dwell: rejected steps skipped before one acceptance.
+    /// Recorded when the dwell is *realized* (its accepted move executes),
+    /// so a pending dwell cut short by a budget end or discarded by a crash
+    /// never counts.
+    pub max_jump: u64,
+}
+
+/// The acceptance-mass table: every structurally valid pair `(P, d)`
+/// bucketed by its edge delta, supporting O(1) reclassification and
+/// weighted sampling by class draw + rank/select.
+///
+/// Each class is a **bitset over pair indices** (one bit per `(P, d)`).
+/// Because membership is positional, the whole table is a pure function of
+/// (configuration, crash set) — no trace of mutation history survives. That
+/// canonical form is what lets [`KmcChain::snapshot`] omit the table
+/// entirely and still promise a bitwise-identical continuation after
+/// [`KmcChain::restore`]: the rebuilt table samples the same pair for the
+/// same RNG draws. Reclassifying a pair is two bit flips and two counter
+/// bumps; selecting the `j`-th member of a class is a popcount scan of that
+/// class's words (`6n/64` words — ~25 for the n = 1600 bench; a summary
+/// level can be added if systems grow to where this scan shows up).
+#[derive(Clone, Debug)]
+struct MassTable {
+    /// Per pair index `P·6 + d`: its class (`CLASS_NONE` = zero mass).
+    class: Vec<u8>,
+    /// Words per class bitset.
+    stride: usize,
+    /// Concatenated class bitsets: class `c` owns words
+    /// `[c·stride, (c+1)·stride)`; bit `k` of a bitset = pair `k`.
+    bits: Vec<u64>,
+    /// Member count per class.
+    count: [u32; CLASSES],
+}
+
+impl MassTable {
+    fn new(pairs: usize) -> MassTable {
+        let stride = pairs.div_ceil(64);
+        MassTable {
+            class: vec![CLASS_NONE; pairs],
+            stride,
+            bits: vec![0; stride * CLASSES],
+            count: [0; CLASSES],
+        }
+    }
+
+    /// Moves pair `k` to `class` (possibly `CLASS_NONE`). O(1).
+    fn set(&mut self, k: usize, class: u8) {
+        let old = self.class[k];
+        if old == class {
+            return;
+        }
+        let (word, bit) = (k / 64, 1u64 << (k % 64));
+        if old != CLASS_NONE {
+            self.bits[old as usize * self.stride + word] &= !bit;
+            self.count[old as usize] -= 1;
+        }
+        if class != CLASS_NONE {
+            self.bits[class as usize * self.stride + word] |= bit;
+            self.count[class as usize] += 1;
+        }
+        self.class[k] = class;
+    }
+
+    /// Pairs per class — the integral state `S` is derived from.
+    fn histogram(&self) -> [u64; CLASSES] {
+        let mut h = [0u64; CLASSES];
+        for (c, &n) in self.count.iter().enumerate() {
+            h[c] = u64::from(n);
+        }
+        h
+    }
+
+    /// Total acceptance mass `S`, folded in fixed class order so identical
+    /// histograms always produce the identical float.
+    fn total(&self, weight: &[f64; CLASSES]) -> f64 {
+        self.count
+            .iter()
+            .zip(weight)
+            .map(|(&n, w)| f64::from(n) * w)
+            .sum()
+    }
+
+    /// The `j`-th member (0-based, ascending pair index) of `class`.
+    fn select(&self, class: usize, j: u32) -> u32 {
+        let mut remaining = j;
+        let base = class * self.stride;
+        for (wi, &word) in self.bits[base..base + self.stride].iter().enumerate() {
+            let ones = word.count_ones();
+            if remaining < ones {
+                // Clear the lowest `remaining` set bits, then read the next.
+                let mut w = word;
+                for _ in 0..remaining {
+                    w &= w - 1;
+                }
+                return (wi * 64) as u32 + w.trailing_zeros();
+            }
+            remaining -= ones;
+        }
+        unreachable!("selection index exceeds class cardinality")
+    }
+
+    /// Draws a pair with probability proportional to its mass.
+    ///
+    /// `total` must be this table's positive total mass. Consumes one `f64`
+    /// for the class and one bounded integer for the index.
+    fn sample<R: Rng>(&self, weight: &[f64; CLASSES], total: f64, rng: &mut R) -> u32 {
+        let mut target = rng.gen::<f64>() * total;
+        let mut last_nonempty = usize::MAX;
+        for (c, &n) in self.count.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            last_nonempty = c;
+            let mass = f64::from(n) * weight[c];
+            if target < mass {
+                return self.select(c, rng.gen_range(0..n));
+            }
+            target -= mass;
+        }
+        // Float round-off can push the target past the final class; fall
+        // back to a uniform member of the last non-empty class.
+        let n = self.count[last_nonempty];
+        self.select(last_nonempty, rng.gen_range(0..n))
+    }
+
+    /// Checks class/bitset agreement.
+    fn assert_valid(&self) {
+        for c in 0..CLASSES {
+            let base = c * self.stride;
+            let mut members = 0u32;
+            for (wi, &word) in self.bits[base..base + self.stride].iter().enumerate() {
+                members += word.count_ones();
+                let mut w = word;
+                while w != 0 {
+                    let k = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    assert_eq!(self.class[k], c as u8, "pair {k} misfiled");
+                }
+            }
+            assert_eq!(members, self.count[c], "class {c} count drifted");
+        }
+        let counted: u32 = self.count.iter().sum();
+        let classed = self.class.iter().filter(|&&c| c != CLASS_NONE).count();
+        assert_eq!(counted as usize, classed, "membership drifted");
+    }
+}
+
+/// The acceptance class of a [`sops_system::MoveValidity`]: `δ + 5`, or
+/// [`CLASS_NONE`] when the move is structurally invalid.
+fn class_of_validity(v: sops_system::MoveValidity) -> u8 {
+    if v.target_occupied || v.five_neighbor_blocked() || !(v.property1 || v.property2) {
+        CLASS_NONE
+    } else {
+        (v.edge_delta() + 5) as u8
+    }
+}
+
+/// Recomputes the masses of particle `id` at `pos` for the directions in
+/// `dmask` (bit `i` = `Direction::from_index(i)`).
+///
+/// One 5×5 window gather answers all requested directions (every pair ring
+/// of `pos` lies inside it) plus the interior fast path (six occupied
+/// neighbors ⇒ every move blocked). A free function over split borrows so
+/// the revalidation closure in [`KmcChain::accept_move`] can mutate the
+/// table while reading the configuration. Directions outside `dmask` are
+/// untouched — the caller guarantees their dependency sets did not change.
+fn refresh_masses(
+    sys: &ParticleSystem,
+    crashed: &[bool],
+    masses: &mut MassTable,
+    id: usize,
+    pos: TriPoint,
+    dmask: u8,
+) {
+    let base = id * 6;
+    if crashed[id] {
+        // A crashed particle's classes are already all CLASS_NONE and stay
+        // there.
+        return;
+    }
+    let window = sys.window25(pos);
+    let interior = (window & moves::WINDOW25_NEIGHBORS).count_ones() == 6;
+    let mut bits = dmask;
+    while bits != 0 {
+        let d = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let class = if interior {
+            CLASS_NONE
+        } else {
+            class_of_validity(moves::check_move_in_window25(
+                window,
+                Direction::from_index(d),
+            ))
+        };
+        masses.set(base + d, class);
+    }
+}
+
+/// A drawn-but-not-yet-realized geometric dwell.
+#[derive(Clone, Copy, Debug)]
+struct Dwell {
+    /// Absolute step index of the next accepted move.
+    at: u64,
+    /// Rejected steps the dwell skips (recorded into [`KmcCounts`] only
+    /// when the acceptance actually executes).
+    skipped: u64,
+}
+
+/// A rejection-free sampler of Markov chain `M`, equal in law to
+/// [`crate::chain::CompressionChain`] at step granularity (see the
+/// [module docs](self) for the argument) but doing work proportional to
+/// *accepted* moves only.
+///
+/// The API mirrors the naive chain — [`KmcChain::run`],
+/// [`KmcChain::run_until_compressed`], [`KmcChain::trajectory`],
+/// [`KmcChain::sample`], crash injection and text snapshots — with
+/// [`KmcCounts`] in place of per-category rejection counts.
+///
+/// # Example
+///
+/// ```
+/// use sops_core::kmc::KmcChain;
+/// use sops_system::{shapes, ParticleSystem};
+///
+/// let start = ParticleSystem::connected(shapes::spiral(50)).unwrap();
+/// let mut kmc = KmcChain::from_seed(start, 6.0, 1).unwrap();
+/// let accepted = kmc.run(100_000);
+/// assert_eq!(kmc.steps(), 100_000);
+/// assert!(accepted > 0 && kmc.system().is_connected());
+/// ```
+#[derive(Clone, Debug)]
+pub struct KmcChain<R: Rng = StdRng> {
+    sys: ParticleSystem,
+    lambda: f64,
+    /// `weight[c]` = `min(1, λ^(c − 5))`: the acceptance mass of class `c`.
+    weight: [f64; CLASSES],
+    masses: MassTable,
+    rng: R,
+    steps: u64,
+    /// The next accepted move, when its dwell is already drawn.
+    pending: Option<Dwell>,
+    counts: KmcCounts,
+    /// Hole-free latch + reusable trace scratch (shared implementation
+    /// with the naive chain; scratch is transient, not part of snapshots).
+    measure: HoleTracker,
+    crashed: Vec<bool>,
+    crashed_count: usize,
+    validate: bool,
+}
+
+impl KmcChain<StdRng> {
+    /// Builds a sampler with a [`StdRng`] seeded from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KmcChain::new`].
+    pub fn from_seed(
+        sys: ParticleSystem,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<KmcChain<StdRng>, ChainError> {
+        KmcChain::new(sys, lambda, StdRng::seed_from_u64(seed))
+    }
+
+    /// Serializes the sampler state as a compact text snapshot.
+    ///
+    /// The acceptance-mass table is *not* stored: it is a pure function of
+    /// the configuration and crash set, and [`KmcChain::restore`] rebuilds
+    /// it deterministically — snapshots stay the size of the configuration.
+    /// The pending dwell (if drawn) is stored, so restoring and continuing
+    /// reproduces the uninterrupted trajectory bit for bit.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        use core::fmt::Write as _;
+        let crashed: Vec<String> = self
+            .crashed
+            .iter()
+            .enumerate()
+            .filter(|(_, &dead)| dead)
+            .map(|(id, _)| id.to_string())
+            .collect();
+        let pending = self
+            .pending
+            .map_or_else(|| "none".into(), |d| format!("{},{}", d.at, d.skipped));
+        let mut s = String::from("sops-kmc-snapshot v1\n");
+        let _ = writeln!(s, "lambda={}", snapshot::f64_to_hex(self.lambda));
+        let _ = writeln!(s, "steps={}", self.steps);
+        let _ = writeln!(s, "counts={},{}", self.counts.moved, self.counts.max_jump);
+        let _ = writeln!(s, "pending={pending}");
+        let _ = writeln!(s, "hole_free={}", u8::from(self.measure.latched()));
+        let _ = writeln!(s, "validate={}", u8::from(self.validate));
+        let _ = writeln!(s, "crashed={}", crashed.join(","));
+        let _ = writeln!(s, "rng={}", snapshot::rng_to_string(&self.rng));
+        let _ = writeln!(
+            s,
+            "positions={}",
+            snapshot::points_to_string(self.sys.positions().iter().copied())
+        );
+        s
+    }
+
+    /// Rebuilds a sampler from a [`KmcChain::snapshot`] text.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the text is malformed or describes an invalid
+    /// state.
+    pub fn restore(text: &str) -> Result<KmcChain<StdRng>, SnapshotError> {
+        let fields = snapshot::Fields::parse(text, "sops-kmc-snapshot v1")?;
+        let positions = snapshot::points_from_string("positions", fields.get("positions")?)?;
+        let sys = ParticleSystem::connected(positions)
+            .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        let lambda = fields.parse_f64_bits("lambda")?;
+        let rng = snapshot::rng_from_string("rng", fields.get("rng")?)?;
+        let mut kmc =
+            KmcChain::new(sys, lambda, rng).map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        kmc.steps = fields.parse_num("steps")?;
+        let counts: Vec<u64> = fields.parse_list("counts")?;
+        let [moved, max_jump] = counts[..] else {
+            return Err(SnapshotError::BadField {
+                field: "counts",
+                value: fields.get("counts")?.to_string(),
+            });
+        };
+        kmc.counts = KmcCounts { moved, max_jump };
+        kmc.measure
+            .set_latched(fields.parse_num::<u8>("hole_free")? != 0);
+        kmc.validate = fields.parse_num::<u8>("validate")? != 0;
+        for id in fields.parse_list::<usize>("crashed")? {
+            if id >= kmc.crashed.len() {
+                return Err(SnapshotError::Invalid(format!(
+                    "crashed id {id} out of range for {} particles",
+                    kmc.crashed.len()
+                )));
+            }
+            kmc.crash(id);
+        }
+        // After crash() above, which clears any pending dwell: the stored
+        // dwell was drawn against the post-crash mass, so restore it last.
+        let pending_raw = fields.get("pending")?;
+        kmc.pending = if pending_raw == "none" {
+            None
+        } else {
+            let dwell: Vec<u64> = fields.parse_list("pending")?;
+            let [at, skipped] = dwell[..] else {
+                return Err(SnapshotError::BadField {
+                    field: "pending",
+                    value: pending_raw.to_string(),
+                });
+            };
+            if at <= kmc.steps {
+                return Err(SnapshotError::Invalid(format!(
+                    "pending acceptance at step {at} does not lie after step {}",
+                    kmc.steps
+                )));
+            }
+            Some(Dwell { at, skipped })
+        };
+        Ok(kmc)
+    }
+}
+
+impl<R: Rng> KmcChain<R> {
+    /// Builds the sampler from a connected starting configuration and bias
+    /// `λ`, computing the initial acceptance-mass table in O(n).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] for non-finite or non-positive `λ`,
+    /// [`ChainError::NotConnected`] for a disconnected start.
+    pub fn new(sys: ParticleSystem, lambda: f64, rng: R) -> Result<KmcChain<R>, ChainError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ChainError::InvalidLambda(lambda));
+        }
+        if !sys.is_connected() {
+            return Err(ChainError::NotConnected);
+        }
+        let mut weight = [0.0; CLASSES];
+        for (c, w) in weight.iter_mut().enumerate() {
+            *w = lambda.powi(c as i32 - 5).min(1.0);
+        }
+        let hole_free = sys.hole_count() == 0;
+        let n = sys.len();
+        let mut kmc = KmcChain {
+            sys,
+            lambda,
+            weight,
+            masses: MassTable::new(6 * n),
+            rng,
+            steps: 0,
+            pending: None,
+            counts: KmcCounts::default(),
+            measure: HoleTracker::new(hole_free),
+            crashed: vec![false; n],
+            crashed_count: 0,
+            validate: false,
+        };
+        for id in 0..n {
+            kmc.refresh_particle(id, kmc.sys.position(id));
+        }
+        Ok(kmc)
+    }
+
+    /// The bias parameter `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The current configuration.
+    #[must_use]
+    pub fn system(&self) -> &ParticleSystem {
+        &self.sys
+    }
+
+    /// Consumes the sampler and returns the final configuration.
+    #[must_use]
+    pub fn into_system(self) -> ParticleSystem {
+        self.sys
+    }
+
+    /// Number of chain steps simulated so far (including skipped
+    /// rejections).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Outcome counters since construction.
+    #[must_use]
+    pub fn counts(&self) -> KmcCounts {
+        self.counts
+    }
+
+    /// Fraction of simulated steps that moved a particle.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        self.counts.moved as f64 / self.steps as f64
+    }
+
+    /// Enables per-accepted-move invariant validation (connectivity,
+    /// hole-freeness and mass-table coherence re-checked after every
+    /// accepted move). Expensive; intended for tests.
+    pub fn set_validation(&mut self, enabled: bool) {
+        self.validate = enabled;
+    }
+
+    /// Marks a particle as crashed: it stays in place forever and acts as a
+    /// fixed obstacle (Section 3.3). Returns the previous crash state.
+    ///
+    /// Zeroes the particle's six masses and discards any pending dwell —
+    /// the geometric law is memoryless, so redrawing against the reduced
+    /// mass is exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn crash(&mut self, id: usize) -> bool {
+        let was = self.crashed[id];
+        if !was {
+            self.crashed[id] = true;
+            self.crashed_count += 1;
+            for d in 0..6 {
+                self.masses.set(id * 6 + d, CLASS_NONE);
+            }
+            self.pending = None;
+        }
+        was
+    }
+
+    /// Number of crashed particles.
+    #[must_use]
+    pub fn crashed_count(&self) -> usize {
+        self.crashed_count
+    }
+
+    /// The current per-class pair counts, as maintained incrementally.
+    ///
+    /// Class `c` holds the structurally valid pairs with edge delta
+    /// `δ = c − 5`; the total acceptance mass is the histogram folded
+    /// against `min(1, λ^δ)`. Exposed for the incremental-vs-recomputed
+    /// property test and for diagnostics.
+    #[must_use]
+    pub fn mass_histogram(&self) -> [u64; 11] {
+        self.masses.histogram()
+    }
+
+    /// The per-class pair counts recomputed from scratch off the current
+    /// configuration — the oracle [`KmcChain::mass_histogram`] must equal
+    /// exactly (both are integral, so equality is not approximate).
+    #[must_use]
+    pub fn recomputed_mass_histogram(&self) -> [u64; 11] {
+        let mut h = [0u64; 11];
+        for id in 0..self.sys.len() {
+            if self.crashed[id] {
+                continue;
+            }
+            let from = self.sys.position(id);
+            for dir in Direction::ALL {
+                // Deliberately through the grid-backed check_move, not the
+                // window gather: the recount is an independent oracle.
+                let c = class_of_validity(self.sys.check_move(from, dir));
+                if c != CLASS_NONE {
+                    h[c as usize] += 1;
+                }
+            }
+        }
+        h
+    }
+
+    /// The total acceptance mass `S = Σ a(P, d)`.
+    #[must_use]
+    pub fn total_mass(&self) -> f64 {
+        self.masses.total(&self.weight)
+    }
+
+    /// `true` once the configuration is hole-free; monotone by Lemma 3.2.
+    pub fn is_hole_free(&mut self) -> bool {
+        self.measure.is_hole_free(&self.sys)
+    }
+
+    /// The current perimeter `p(σ)`, through one boundary trace at most
+    /// (none once the chain is known hole-free).
+    #[must_use = "perimeter is a measurement; ignoring it wastes a flood fill"]
+    pub fn perimeter(&mut self) -> u64 {
+        self.measure.perimeter(&self.sys)
+    }
+
+    /// Recomputes all six masses of the particle `id` at `pos`.
+    fn refresh_particle(&mut self, id: usize, pos: TriPoint) {
+        refresh_masses(&self.sys, &self.crashed, &mut self.masses, id, pos, 0x3f);
+    }
+
+    /// The next accepted move's dwell, drawing it if none is pending.
+    /// `None` when the acceptance mass is zero (no move will ever be
+    /// accepted from this state).
+    fn next_acceptance(&mut self) -> Option<Dwell> {
+        if let Some(dwell) = self.pending {
+            return Some(dwell);
+        }
+        let total = self.masses.total(&self.weight);
+        if total <= 0.0 {
+            return None;
+        }
+        let p = (total / (6.0 * self.sys.len() as f64)).min(1.0);
+        let skipped = if p >= 1.0 {
+            0
+        } else {
+            // Invert the geometric CDF: K = ⌊ln(1 − u) / ln(1 − p)⌋ has
+            // P(K = k) = (1 − p)^k · p for u uniform in [0, 1).
+            let u: f64 = self.rng.gen();
+            let k = ((1.0 - u).ln() / (1.0 - p).ln()).floor();
+            if k.is_finite() && k >= 0.0 && k <= u64::MAX as f64 / 4.0 {
+                k as u64
+            } else {
+                u64::MAX / 4
+            }
+        };
+        let dwell = Dwell {
+            at: self.steps.saturating_add(skipped).saturating_add(1),
+            skipped,
+        };
+        self.pending = Some(dwell);
+        Some(dwell)
+    }
+
+    /// Applies the next accepted move (the step counter must already sit on
+    /// the acceptance index) and revalidates its neighborhood.
+    fn accept_move(&mut self) {
+        let total = self.masses.total(&self.weight);
+        let k = self.masses.sample(&self.weight, total, &mut self.rng) as usize;
+        let id = k / 6;
+        let dir = Direction::from_index(k % 6);
+        let from = self.sys.position(id);
+        self.sys
+            .move_particle(id, dir)
+            .expect("mass table holds only structurally valid moves");
+        self.counts.moved += 1;
+        // Revalidate exactly the pairs the occupancy change can touch;
+        // borrow the fields separately so the closure can mutate the table
+        // while reading the configuration.
+        let sys = &self.sys;
+        let masses = &mut self.masses;
+        let crashed = &self.crashed;
+        sys.for_each_particle_near_move(from, dir, |qid, qpos, dmask| {
+            refresh_masses(sys, crashed, masses, qid, qpos, dmask);
+        });
+        if self.validate {
+            assert!(self.sys.is_connected(), "Lemma 3.1 violated: disconnected");
+            if self.measure.latched() {
+                assert_eq!(self.sys.hole_count(), 0, "Lemma 3.2 violated: hole");
+            }
+            self.assert_invariants();
+        }
+    }
+
+    /// Simulates exactly `steps` steps of `M` and returns the number of
+    /// accepted moves, doing work proportional to the accepted moves only.
+    pub fn run(&mut self, steps: u64) -> u64 {
+        let before = self.counts.moved;
+        let target = self.steps.saturating_add(steps);
+        while self.steps < target {
+            let Some(dwell) = self.next_acceptance() else {
+                // Zero acceptance mass: every remaining step is a no-op.
+                self.steps = target;
+                break;
+            };
+            if dwell.at > target {
+                // The dwell extends past this budget; keep it pending
+                // (memorylessness makes either choice exact, keeping it is
+                // deterministic for snapshots) and burn the budget.
+                self.steps = target;
+                break;
+            }
+            self.steps = dwell.at;
+            self.pending = None;
+            // The dwell is realized — only now does it count.
+            self.counts.max_jump = self.counts.max_jump.max(dwell.skipped);
+            self.accept_move();
+        }
+        self.counts.moved - before
+    }
+
+    /// Runs until the configuration is α-compressed (`p ≤ α · pmin`) or
+    /// `max_steps` elapse; returns the step count at first hit.
+    ///
+    /// Checks the perimeter every `n` steps, on the same step grid as
+    /// [`crate::chain::CompressionChain::run_until_compressed`] — first-hit
+    /// distributions are comparable between the two samplers.
+    pub fn run_until_compressed(&mut self, alpha: f64, max_steps: u64) -> Option<u64> {
+        let n = self.sys.len() as u64;
+        let target = alpha * metrics::pmin(self.sys.len()) as f64;
+        let check_every = n.max(1);
+        let start = self.steps;
+        loop {
+            if self.perimeter() as f64 <= target {
+                return Some(self.steps);
+            }
+            if self.steps - start >= max_steps {
+                return None;
+            }
+            self.run(check_every);
+        }
+    }
+
+    /// Samples the current trajectory point (perimeter, edges, ratios),
+    /// identically to [`crate::chain::CompressionChain::sample`].
+    pub fn sample(&mut self) -> TrajectoryPoint {
+        self.measure.sample(&self.sys, self.steps)
+    }
+
+    /// Runs the sampler, sampling every `interval` steps, for `total` steps
+    /// — the same step-indexed schedule as
+    /// [`crate::chain::CompressionChain::trajectory`].
+    pub fn trajectory(&mut self, total: u64, interval: u64) -> Vec<TrajectoryPoint> {
+        let interval = interval.max(1);
+        let mut points = vec![self.sample()];
+        let mut done = 0u64;
+        while done < total {
+            let burst = interval.min(total - done);
+            self.run(burst);
+            done += burst;
+            points.push(self.sample());
+        }
+        points
+    }
+
+    /// Checks internal invariants: configuration coherence and exact
+    /// agreement of the incremental mass table with a from-scratch recount.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn assert_invariants(&self) {
+        self.sys.assert_invariants();
+        self.masses.assert_valid();
+        assert_eq!(
+            self.mass_histogram(),
+            self.recomputed_mass_histogram(),
+            "incremental acceptance masses drifted from the configuration"
+        );
+    }
+}
+
+impl<R: Rng> fmt::Display for KmcChain<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KmcChain(n={}, λ={}, steps={}, accepted={})",
+            self.sys.len(),
+            self.lambda,
+            self.steps,
+            self.counts.moved
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_system::shapes;
+
+    fn line_kmc(n: usize, lambda: f64, seed: u64) -> KmcChain {
+        let sys = ParticleSystem::connected(shapes::line(n)).unwrap();
+        KmcChain::from_seed(sys, lambda, seed).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_lambda_and_disconnected_start() {
+        let sys = ParticleSystem::connected(shapes::line(3)).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = KmcChain::from_seed(sys.clone(), bad, 0).unwrap_err();
+            assert!(matches!(err, ChainError::InvalidLambda(_)), "{bad}");
+        }
+        let apart = ParticleSystem::new([TriPoint::new(0, 0), TriPoint::new(9, 9)]).unwrap();
+        let err = KmcChain::from_seed(apart, 2.0, 0).unwrap_err();
+        assert!(matches!(err, ChainError::NotConnected));
+    }
+
+    #[test]
+    fn run_advances_exactly_and_reproducibly() {
+        let mut a = line_kmc(10, 4.0, 42);
+        let mut b = line_kmc(10, 4.0, 42);
+        a.run(5_000);
+        b.run(2_500);
+        b.run(2_500);
+        assert_eq!(a.steps(), 5_000);
+        assert_eq!(b.steps(), 5_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.system().canonical_key(), b.system().canonical_key());
+    }
+
+    #[test]
+    fn masses_stay_exact_under_long_runs() {
+        let mut kmc = line_kmc(15, 3.0, 7);
+        kmc.run(50_000);
+        kmc.assert_invariants();
+        assert!(kmc.counts().moved > 0);
+        assert!(kmc.acceptance_rate() > 0.0 && kmc.acceptance_rate() < 1.0);
+    }
+
+    #[test]
+    fn validation_mode_checks_every_accepted_move() {
+        let mut kmc = line_kmc(12, 4.0, 3);
+        kmc.set_validation(true);
+        kmc.run(20_000);
+        assert!(kmc.system().is_connected());
+        assert!(kmc.is_hole_free());
+    }
+
+    #[test]
+    fn compresses_at_high_lambda() {
+        let mut kmc = line_kmc(20, 5.0, 9);
+        kmc.run(200_000);
+        let p = kmc.perimeter();
+        assert!(
+            p <= 2 * metrics::pmin(20),
+            "perimeter {p} should approach pmin = {}",
+            metrics::pmin(20)
+        );
+    }
+
+    #[test]
+    fn eliminates_holes_from_annulus() {
+        let sys = ParticleSystem::connected(shapes::annulus(3)).unwrap();
+        let mut kmc = KmcChain::from_seed(sys, 4.0, 11).unwrap();
+        assert!(!kmc.is_hole_free());
+        kmc.run(200_000);
+        assert!(kmc.is_hole_free(), "holes must eventually vanish");
+        assert_eq!(kmc.perimeter(), kmc.system().perimeter());
+    }
+
+    #[test]
+    fn single_particle_has_zero_mass_and_never_moves() {
+        let sys = ParticleSystem::new([TriPoint::ORIGIN]).unwrap();
+        let mut kmc = KmcChain::from_seed(sys, 4.0, 0).unwrap();
+        assert_eq!(kmc.total_mass(), 0.0);
+        assert_eq!(kmc.run(10_000), 0);
+        assert_eq!(kmc.steps(), 10_000);
+        assert_eq!(kmc.counts().moved, 0);
+    }
+
+    #[test]
+    fn crashed_particles_never_move_and_drop_their_mass() {
+        let mut kmc = line_kmc(10, 4.0, 5);
+        let frozen = kmc.system().position(0);
+        assert!(!kmc.crash(0));
+        assert!(kmc.crash(0), "second crash reports prior state");
+        assert_eq!(kmc.crashed_count(), 1);
+        kmc.assert_invariants();
+        kmc.run(20_000);
+        assert_eq!(kmc.system().position(0), frozen);
+        kmc.assert_invariants();
+    }
+
+    #[test]
+    fn all_crashed_system_is_frozen() {
+        let mut kmc = line_kmc(5, 4.0, 1);
+        for id in 0..5 {
+            kmc.crash(id);
+        }
+        assert_eq!(kmc.total_mass(), 0.0);
+        assert_eq!(kmc.run(5_000), 0);
+        assert_eq!(kmc.steps(), 5_000);
+    }
+
+    #[test]
+    fn run_until_compressed_reports_first_hit() {
+        let mut kmc = line_kmc(15, 6.0, 11);
+        let hit = kmc.run_until_compressed(1.8, 2_000_000);
+        assert!(hit.is_some(), "λ=6 must compress a 15-particle line");
+        let p = kmc.perimeter() as f64;
+        assert!(p <= 1.8 * metrics::pmin(15) as f64);
+    }
+
+    #[test]
+    fn trajectory_matches_chain_schedule() {
+        let mut kmc = line_kmc(10, 2.0, 13);
+        let traj = kmc.trajectory(1000, 100);
+        assert_eq!(traj.len(), 11);
+        for w in traj.windows(2) {
+            assert!(w[0].step < w[1].step);
+        }
+        for pt in traj {
+            assert_eq!(pt.holes, 0);
+            assert_eq!(pt.edges, 3 * 10 - pt.perimeter - 3);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut a = line_kmc(12, 4.0, 99);
+        a.run(3_333);
+        let snap = a.snapshot();
+        let mut b = KmcChain::restore(&snap).unwrap();
+        assert_eq!(a.steps(), b.steps());
+        assert_eq!(a.counts(), b.counts());
+        a.run(5_000);
+        b.run(5_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.system().positions(), b.system().positions());
+    }
+
+    #[test]
+    fn snapshot_preserves_crash_set_and_flags() {
+        let mut a = line_kmc(10, 3.0, 4);
+        a.crash(2);
+        a.crash(7);
+        a.set_validation(true);
+        a.run(1_000);
+        let b = KmcChain::restore(&a.snapshot()).unwrap();
+        assert_eq!(b.crashed_count(), 2);
+        assert!((b.lambda() - 3.0).abs() < 1e-15);
+        assert_eq!(b.mass_histogram(), a.mass_histogram());
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        assert!(matches!(
+            KmcChain::restore("not a snapshot").unwrap_err(),
+            SnapshotError::WrongHeader { .. }
+        ));
+        let valid = line_kmc(5, 2.0, 1).snapshot();
+        let truncated: String = valid
+            .lines()
+            .filter(|l| !l.starts_with("pending="))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(matches!(
+            KmcChain::restore(&truncated).unwrap_err(),
+            SnapshotError::MissingField("pending")
+        ));
+        // A pending acceptance at or before the restored step counter would
+        // rewind the chain; such snapshots are rejected, not replayed.
+        let mut ran = line_kmc(5, 2.0, 1);
+        ran.run(1_000);
+        let rewound: String = ran
+            .snapshot()
+            .lines()
+            .map(|l| {
+                if l.starts_with("pending=") {
+                    "pending=5,3\n".to_string()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        assert!(matches!(
+            KmcChain::restore(&rewound).unwrap_err(),
+            SnapshotError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn lambda_below_one_weights_positive_deltas() {
+        // For λ < 1, gaining edges is *penalized*: classes with δ > 0 carry
+        // mass λ^δ < 1. The sampler must still be exact.
+        let mut kmc = line_kmc(8, 0.5, 21);
+        kmc.run(30_000);
+        kmc.assert_invariants();
+        assert!(kmc.counts().moved > 0);
+    }
+
+    #[test]
+    fn max_jump_tracks_dwell_sizes() {
+        // A compressed blob at high λ rejects nearly always; dwells between
+        // accepted moves must show up in max_jump.
+        let sys = ParticleSystem::connected(shapes::spiral(60)).unwrap();
+        let mut kmc = KmcChain::from_seed(sys, 6.0, 2).unwrap();
+        kmc.run(100_000);
+        assert!(kmc.counts().max_jump > 0);
+        // Realized dwells only: a dwell can never skip more steps than were
+        // simulated.
+        assert!(kmc.counts().max_jump < kmc.steps());
+    }
+
+    #[test]
+    fn unrealized_dwells_never_count() {
+        // A run budget too short for the first acceptance leaves the dwell
+        // pending, and a pending dwell must not be reported as a jump.
+        let sys = ParticleSystem::connected(shapes::spiral(60)).unwrap();
+        let mut kmc = KmcChain::from_seed(sys, 50.0, 4).unwrap();
+        // λ = 50 at a compressed spiral: the first dwell is overwhelmingly
+        // likely to exceed one step.
+        kmc.run(1);
+        if kmc.counts().moved == 0 {
+            assert_eq!(kmc.counts().max_jump, 0, "pending dwell leaked");
+        }
+        // A crash discards the pending dwell entirely; still nothing
+        // recorded.
+        kmc.crash(0);
+        if kmc.counts().moved == 0 {
+            assert_eq!(kmc.counts().max_jump, 0);
+        }
+    }
+}

@@ -9,6 +9,11 @@
 //!   Metropolis probability `min(1, λ^(e′−e))`. Its stationary distribution
 //!   is `π(σ) ∝ λ^{e(σ)}` over hole-free connected configurations
 //!   (Lemma 3.13).
+//! * [`kmc::KmcChain`] — a rejection-free (kinetic Monte Carlo) sampler of
+//!   the same chain: geometric dwells between accepted moves plus a
+//!   proportional move pick, equal in law to `M` at step granularity but
+//!   doing work per *accepted* move only — the right tool at or near the
+//!   compressed equilibrium, where almost every naive step rejects.
 //! * [`local::LocalRunner`] — the fully distributed, local, asynchronous
 //!   algorithm `A` (Section 3.2): each particle runs on its own Poisson
 //!   clock, moves in decoupled expand/contract phases, and serializes its
@@ -39,10 +44,13 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod kmc;
 pub mod local;
+mod measure;
 pub mod snapshot;
 
 pub use chain::{ChainError, CompressionChain, StepCounts, StepOutcome, TrajectoryPoint};
+pub use kmc::{KmcChain, KmcCounts};
 pub use local::LocalRunner;
 pub use snapshot::SnapshotError;
 

@@ -4,6 +4,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sops_core::chain::{CompressionChain, StepOutcome};
+use sops_core::kmc::KmcChain;
 use sops_core::local::LocalRunner;
 use sops_system::{metrics, shapes, ParticleSystem};
 
@@ -118,6 +119,77 @@ proptest! {
         prop_assert_eq!(full.steps(), resumed.steps());
         prop_assert_eq!(full.counts(), resumed.counts());
         prop_assert_eq!(full.system().positions(), resumed.system().positions());
+    }
+
+    /// The rejection-free sampler's incrementally maintained acceptance
+    /// masses exactly equal a from-scratch recomputation after arbitrary
+    /// accepted-move sequences — including crash injections partway through.
+    /// Both sides are integral per-class counts, so equality is exact, and
+    /// the total mass S is a deterministic fold of the histogram.
+    #[test]
+    fn kmc_incremental_masses_match_recount(
+        start in arb_start(),
+        lambda_pct in 30u32..700,
+        seed in any::<u64>(),
+        crash_at in 0u64..2000,
+    ) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let n = start.len();
+        let mut kmc = KmcChain::from_seed(start, lambda, seed).unwrap();
+        kmc.run(crash_at);
+        kmc.crash(seed as usize % n);
+        kmc.run(5_000);
+        prop_assert_eq!(kmc.mass_histogram(), kmc.recomputed_mass_histogram());
+        kmc.assert_invariants();
+        // The histogram fold is the only path to S, so S is exact too.
+        let weights: f64 = kmc
+            .mass_histogram()
+            .iter()
+            .enumerate()
+            .map(|(c, &count)| count as f64 * lambda.powi(c as i32 - 5).min(1.0))
+            .sum();
+        prop_assert!((kmc.total_mass() - weights).abs() < 1e-12 * weights.max(1.0));
+    }
+
+    /// KMC checkpointing is invisible: snapshotting at an arbitrary step,
+    /// restoring (which rebuilds the mass table from the configuration),
+    /// and continuing produces the identical trajectory to an uninterrupted
+    /// run — the canonical sorted-bucket form makes the rebuilt table
+    /// sample identically.
+    #[test]
+    fn kmc_snapshot_restore_matches_uninterrupted_run(
+        start in arb_start(),
+        lambda_pct in 50u32..600,
+        seed in any::<u64>(),
+        split in 0u64..3000,
+    ) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let mut full = KmcChain::from_seed(start.clone(), lambda, seed).unwrap();
+        let mut interrupted = KmcChain::from_seed(start, lambda, seed).unwrap();
+        interrupted.run(split);
+        let mut resumed = KmcChain::restore(&interrupted.snapshot()).unwrap();
+        full.run(split + 1_500);
+        resumed.run(1_500);
+        prop_assert_eq!(full.steps(), resumed.steps());
+        prop_assert_eq!(full.counts(), resumed.counts());
+        prop_assert_eq!(full.system().positions(), resumed.system().positions());
+    }
+
+    /// Every move the KMC sampler executes is structurally valid under the
+    /// paper's conditions: its mass table can only hold pairs passing the
+    /// five-neighbor rule and Properties 1/2, so the configuration obeys the
+    /// same invariants as the naive chain's (connectivity per Lemma 3.1).
+    #[test]
+    fn kmc_preserves_chain_invariants(start in arb_start(), seed in any::<u64>()) {
+        let n = start.len();
+        let mut kmc = KmcChain::from_seed(start, 3.0, seed).unwrap();
+        kmc.set_validation(true);
+        kmc.run(10_000);
+        prop_assert!(kmc.system().is_connected());
+        prop_assert_eq!(kmc.system().len(), n);
+        kmc.system().assert_invariants();
+        let p = kmc.perimeter();
+        prop_assert!(p >= metrics::pmin(n));
     }
 
     /// The same for the local runner: snapshot → restore → continue equals

@@ -186,6 +186,7 @@ mod tests {
             final_connected: true,
             first_hit: None,
             violations: 0,
+            counts: crate::result::StepRecord::None,
         };
         store.write_done(&result).unwrap();
         assert_eq!(store.load_ckpt(0).unwrap(), None, "done clears the ckpt");

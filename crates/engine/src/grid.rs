@@ -21,6 +21,11 @@ use crate::seed::child_seed;
 pub enum Algorithm {
     /// The centralized Markov chain `M`; work units are chain steps.
     Chain,
+    /// The rejection-free kinetic sampler of `M` (`sops_core::kmc`): equal
+    /// in law to [`Algorithm::Chain`] at step granularity, but doing work
+    /// per accepted move only. Work units are chain steps (including the
+    /// skipped rejections).
+    ChainKmc,
     /// The asynchronous local algorithm `A`; work units are rounds.
     Local,
     /// The deliberately weakened chain (see [`crate::ablation`]); work
@@ -28,10 +33,20 @@ pub enum Algorithm {
     Ablation(Guards),
 }
 
+impl Algorithm {
+    /// Whether this algorithm samples chain `M` step-for-step — the family
+    /// first-hit (`until_alpha`) mode applies to.
+    #[must_use]
+    pub fn is_chain_sampler(&self) -> bool {
+        matches!(self, Algorithm::Chain | Algorithm::ChainKmc)
+    }
+}
+
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Algorithm::Chain => write!(f, "chain"),
+            Algorithm::ChainKmc => write!(f, "chain-kmc"),
             Algorithm::Local => write!(f, "local"),
             Algorithm::Ablation(g) => match (g.five_neighbor_rule, g.properties) {
                 (true, true) => write!(f, "ablation-full"),
@@ -49,6 +64,7 @@ impl FromStr for Algorithm {
     fn from_str(s: &str) -> Result<Algorithm, String> {
         match s {
             "chain" => Ok(Algorithm::Chain),
+            "chain-kmc" | "kmc" => Ok(Algorithm::ChainKmc),
             "local" => Ok(Algorithm::Local),
             "ablation-full" | "ablation" => Ok(Algorithm::Ablation(Guards::full())),
             "ablation-no-five" => Ok(Algorithm::Ablation(Guards::without_five_neighbor_rule())),
@@ -59,7 +75,7 @@ impl FromStr for Algorithm {
             })),
             other => Err(format!(
                 "unknown algorithm {other:?} \
-                 (try chain|local|ablation-full|ablation-no-five|ablation-no-prop)"
+                 (try chain|chain-kmc|local|ablation-full|ablation-no-five|ablation-no-prop)"
             )),
         }
     }
@@ -428,6 +444,7 @@ mod tests {
         }
         for a in [
             "chain",
+            "chain-kmc",
             "local",
             "ablation-full",
             "ablation-no-five",

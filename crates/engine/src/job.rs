@@ -14,13 +14,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sops::core::snapshot::{self, SnapshotError};
-use sops::core::{CompressionChain, LocalRunner};
+use sops::core::{CompressionChain, KmcChain, LocalRunner};
 use sops::system::metrics;
 
 use crate::ablation::AblationChain;
 use crate::checkpoint::Store;
 use crate::grid::{Algorithm, JobSpec};
-use crate::result::JobResult;
+use crate::result::{JobResult, StepRecord};
 use crate::sink::{json_str, EventSink};
 
 /// How a job ended.
@@ -43,9 +43,10 @@ pub(crate) struct JobContext<'a> {
     pub(crate) stop_after: Option<u64>,
 }
 
-/// One of the three simulators, dispatched per job.
+/// One of the four simulators, dispatched per job.
 enum Sim {
     Chain(Box<CompressionChain>),
+    Kmc(Box<KmcChain>),
     Local(Box<LocalRunner>),
     Ablation(Box<AblationChain>),
 }
@@ -60,6 +61,9 @@ impl Sim {
         Ok(match spec.algorithm {
             Algorithm::Chain => Sim::Chain(Box::new(
                 CompressionChain::from_seed(start, spec.lambda, spec.seed).map_err(invalid)?,
+            )),
+            Algorithm::ChainKmc => Sim::Kmc(Box::new(
+                KmcChain::from_seed(start, spec.lambda, spec.seed).map_err(invalid)?,
             )),
             Algorithm::Local => Sim::Local(Box::new(
                 LocalRunner::from_seed(&start, spec.lambda, spec.seed).map_err(invalid)?,
@@ -80,6 +84,7 @@ impl Sim {
     fn kind(&self) -> &'static str {
         match self {
             Sim::Chain(_) => "chain",
+            Sim::Kmc(_) => "kmc",
             Sim::Local(_) => "local",
             Sim::Ablation(_) => "ablation",
         }
@@ -88,6 +93,7 @@ impl Sim {
     fn restore(kind: &str, text: &str) -> Result<Sim, SnapshotError> {
         match kind {
             "chain" => Ok(Sim::Chain(Box::new(CompressionChain::restore(text)?))),
+            "kmc" => Ok(Sim::Kmc(Box::new(KmcChain::restore(text)?))),
             "local" => Ok(Sim::Local(Box::new(LocalRunner::restore(text)?))),
             "ablation" => Ok(Sim::Ablation(Box::new(AblationChain::restore(text)?))),
             other => Err(SnapshotError::Invalid(format!(
@@ -99,6 +105,7 @@ impl Sim {
     fn snapshot(&self) -> String {
         match self {
             Sim::Chain(c) => c.snapshot(),
+            Sim::Kmc(k) => k.snapshot(),
             Sim::Local(l) => l.snapshot(),
             Sim::Ablation(a) => a.snapshot(),
         }
@@ -108,6 +115,7 @@ impl Sim {
     fn len(&self) -> usize {
         match self {
             Sim::Chain(c) => c.system().len(),
+            Sim::Kmc(k) => k.system().len(),
             Sim::Local(l) => l.len(),
             Sim::Ablation(a) => a.system().len(),
         }
@@ -117,6 +125,7 @@ impl Sim {
     fn work(&self) -> u64 {
         match self {
             Sim::Chain(c) => c.steps(),
+            Sim::Kmc(k) => k.steps(),
             Sim::Local(l) => l.rounds(),
             Sim::Ablation(a) => a.steps(),
         }
@@ -133,6 +142,9 @@ impl Sim {
             Sim::Chain(c) => {
                 c.run(delta);
             }
+            Sim::Kmc(k) => {
+                k.run(delta);
+            }
             Sim::Local(l) => l.run_rounds(delta),
             Sim::Ablation(a) => a.run(delta),
         }
@@ -141,6 +153,7 @@ impl Sim {
     fn perimeter(&mut self) -> u64 {
         match self {
             Sim::Chain(c) => c.perimeter(),
+            Sim::Kmc(k) => k.perimeter(),
             Sim::Local(l) => l.tail_system().perimeter(),
             Sim::Ablation(a) => a.system().perimeter(),
         }
@@ -150,6 +163,9 @@ impl Sim {
         match self {
             Sim::Chain(c) => {
                 c.crash(id);
+            }
+            Sim::Kmc(k) => {
+                k.crash(id);
             }
             Sim::Local(l) => l.crash(id),
             // Ablation studies invariant violations, not fault tolerance;
@@ -165,12 +181,29 @@ impl Sim {
         }
     }
 
+    /// Step-outcome counters for the results layer.
+    fn step_record(&self) -> StepRecord {
+        match self {
+            Sim::Chain(c) => StepRecord::Chain(c.counts()),
+            Sim::Kmc(k) => StepRecord::Kmc {
+                moved: k.counts().moved,
+                total: k.steps(),
+                max_jump: k.counts().max_jump,
+            },
+            Sim::Local(_) | Sim::Ablation(_) => StepRecord::None,
+        }
+    }
+
     /// `(perimeter, edges, connected)` of the final configuration.
     fn final_state(&mut self) -> (u64, u64, bool) {
         match self {
             Sim::Chain(c) => {
                 let p = c.perimeter();
                 (p, c.system().edge_count(), c.system().is_connected())
+            }
+            Sim::Kmc(k) => {
+                let p = k.perimeter();
+                (p, k.system().edge_count(), k.system().is_connected())
             }
             Sim::Local(l) => {
                 let tails = l.tail_system();
@@ -386,7 +419,7 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
 
     // Phase 4: measurement.
     let total = spec.total_work();
-    let first_hit_mode = spec.until_alpha.is_some() && matches!(spec.algorithm, Algorithm::Chain);
+    let first_hit_mode = spec.until_alpha.is_some() && spec.algorithm.is_chain_sampler();
     if first_hit_mode {
         let n = state.sim.len();
         let target_p = spec.until_alpha.expect("first-hit mode") * metrics::pmin(n) as f64;
@@ -449,12 +482,24 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
         final_connected,
         first_hit: state.first_hit,
         violations: state.sim.violations(),
+        counts: state.sim.step_record(),
     };
     if let Some(store) = ctx.store {
         store.write_done(&result)?;
     }
+    // Acceptance diagnostics ride along on the completion event for the
+    // simulators that track them (fields are simply absent otherwise).
+    let mut extra = String::new();
+    if let (Some(accepted), Some(rate)) =
+        (result.counts.accepted(), result.counts.acceptance_rate())
+    {
+        extra.push_str(&format!(",\"accepted\":{accepted},\"accept_rate\":{rate}"));
+    }
+    if let Some(max_jump) = result.counts.max_jump() {
+        extra.push_str(&format!(",\"max_jump\":{max_jump}"));
+    }
     ctx.sink.emit(&format!(
-        "\"event\":\"job_done\",\"job\":{},\"work\":{},\"final_perimeter\":{final_perimeter}",
+        "\"event\":\"job_done\",\"job\":{},\"work\":{},\"final_perimeter\":{final_perimeter}{extra}",
         spec.id, result.work_done
     ));
     Ok(JobOutcome::Completed(result))

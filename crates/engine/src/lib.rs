@@ -82,6 +82,6 @@ pub mod sink;
 pub use checkpoint::CheckpointConfig;
 pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape};
 pub use pool::{default_threads, map_parallel};
-pub use result::JobResult;
+pub use result::{JobResult, StepRecord};
 pub use run::{run_grid, run_sweep, EngineConfig, SweepReport};
 pub use sink::EventSink;

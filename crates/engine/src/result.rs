@@ -2,6 +2,119 @@
 
 use sops::analysis::OnlineStats;
 use sops::core::snapshot::{self, SnapshotError};
+use sops::core::StepCounts;
+
+/// Step-outcome counters of a completed job, surfaced into the sweep's CSV
+/// and JSONL outputs (the simulators always maintained these, but they never
+/// reached the results layer before).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepRecord {
+    /// The simulator keeps no step counters (local rounds, ablation).
+    None,
+    /// The naive chain's full per-category rejection breakdown.
+    Chain(StepCounts),
+    /// The rejection-free sampler's counters: rejections are integrated out
+    /// by the geometric dwell, so only the acceptance count and the dwell
+    /// geometry exist.
+    Kmc {
+        /// Accepted moves.
+        moved: u64,
+        /// Chain steps simulated (including skipped rejections).
+        total: u64,
+        /// Largest geometric dwell (rejected steps skipped before one
+        /// acceptance).
+        max_jump: u64,
+    },
+}
+
+impl StepRecord {
+    /// Accepted moves, when the simulator counts them.
+    #[must_use]
+    pub fn accepted(&self) -> Option<u64> {
+        match *self {
+            StepRecord::None => None,
+            StepRecord::Chain(c) => Some(c.moved),
+            StepRecord::Kmc { moved, .. } => Some(moved),
+        }
+    }
+
+    /// Steps the counters cover.
+    #[must_use]
+    pub fn total(&self) -> Option<u64> {
+        match *self {
+            StepRecord::None => None,
+            StepRecord::Chain(c) => Some(c.total()),
+            StepRecord::Kmc { total, .. } => Some(total),
+        }
+    }
+
+    /// Fraction of steps that moved a particle.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> Option<f64> {
+        let (moved, total) = (self.accepted()?, self.total()?);
+        if total == 0 {
+            return Some(0.0);
+        }
+        Some(moved as f64 / total as f64)
+    }
+
+    /// Largest geometric dwell (rejection-free sampler only).
+    #[must_use]
+    pub fn max_jump(&self) -> Option<u64> {
+        match *self {
+            StepRecord::Kmc { max_jump, .. } => Some(max_jump),
+            _ => None,
+        }
+    }
+
+    fn to_field(self) -> String {
+        match self {
+            StepRecord::None => "none".into(),
+            StepRecord::Chain(c) => format!(
+                "chain:{},{},{},{},{},{}",
+                c.moved, c.target_occupied, c.crashed, c.five_neighbor, c.property, c.metropolis
+            ),
+            StepRecord::Kmc {
+                moved,
+                total,
+                max_jump,
+            } => format!("kmc:{moved},{total},{max_jump}"),
+        }
+    }
+
+    fn from_field(raw: &str) -> Result<StepRecord, SnapshotError> {
+        let bad = || SnapshotError::BadField {
+            field: "counts",
+            value: raw.to_string(),
+        };
+        if raw == "none" {
+            return Ok(StepRecord::None);
+        }
+        let (kind, list) = raw.split_once(':').ok_or_else(bad)?;
+        let values: Vec<u64> = list
+            .split(',')
+            .map(|v| v.parse().map_err(|_| bad()))
+            .collect::<Result<_, _>>()?;
+        match (kind, values.as_slice()) {
+            ("chain", &[moved, target_occupied, crashed, five_neighbor, property, metropolis]) => {
+                Ok(StepRecord::Chain(StepCounts {
+                    moved,
+                    target_occupied,
+                    crashed,
+                    five_neighbor,
+                    property,
+                    metropolis,
+                }))
+            }
+            ("kmc", &[moved, total, max_jump]) => Ok(StepRecord::Kmc {
+                moved,
+                total,
+                max_jump,
+            }),
+            _ => Err(bad()),
+        }
+    }
+}
 
 /// The measured outcome of one completed [`crate::grid::JobSpec`].
 #[derive(Clone, Debug, PartialEq)]
@@ -26,6 +139,8 @@ pub struct JobResult {
     pub first_hit: Option<u64>,
     /// Invariant violations observed (ablation jobs only).
     pub violations: u64,
+    /// Step-outcome counters (acceptance rate, dwell geometry).
+    pub counts: StepRecord,
 }
 
 impl JobResult {
@@ -55,6 +170,7 @@ impl JobResult {
             snapshot::opt_u64_to_string(self.first_hit)
         );
         let _ = writeln!(s, "violations={}", self.violations);
+        let _ = writeln!(s, "counts={}", self.counts.to_field());
         let _ = writeln!(s, "samples={}", snapshot::f64s_to_string(&self.samples));
         s
     }
@@ -68,6 +184,13 @@ impl JobResult {
         let fields = snapshot::Fields::parse(text, "sops-engine-result v1")?;
         let samples = snapshot::f64s_from_string("samples", fields.get("samples")?)?;
         let first_hit = snapshot::opt_u64_from_string("first_hit", fields.get("first_hit")?)?;
+        // Absent in pre-counts done-records; lenient so old checkpoint
+        // directories stay resumable.
+        let counts = match fields.get("counts") {
+            Ok(raw) => StepRecord::from_field(raw)?,
+            Err(SnapshotError::MissingField(_)) => StepRecord::None,
+            Err(e) => return Err(e),
+        };
         Ok(JobResult {
             job: fields.parse_num("job")?,
             particles: fields.parse_num("particles")?,
@@ -78,6 +201,7 @@ impl JobResult {
             final_connected: fields.parse_num::<u8>("connected")? != 0,
             first_hit,
             violations: fields.parse_num("violations")?,
+            counts,
         })
     }
 }
@@ -98,12 +222,53 @@ mod tests {
             final_connected: true,
             first_hit: Some(99_999),
             violations: 0,
+            counts: StepRecord::Chain(StepCounts {
+                moved: 10,
+                target_occupied: 20,
+                crashed: 0,
+                five_neighbor: 3,
+                property: 4,
+                metropolis: 5,
+            }),
         };
         let back = JobResult::from_text(&result.to_text()).unwrap();
         assert_eq!(result, back);
         for (a, b) in result.samples.iter().zip(&back.samples) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn kmc_and_missing_counts_round_trip() {
+        let mut result = JobResult {
+            job: 3,
+            particles: 9,
+            samples: vec![1.0],
+            work_done: 10,
+            final_perimeter: 4,
+            final_edges: 8,
+            final_connected: true,
+            first_hit: None,
+            violations: 0,
+            counts: StepRecord::Kmc {
+                moved: 123,
+                total: 100_000,
+                max_jump: 777,
+            },
+        };
+        assert_eq!(JobResult::from_text(&result.to_text()).unwrap(), result);
+        assert_eq!(result.counts.acceptance_rate(), Some(123.0 / 100_000.0));
+        assert_eq!(result.counts.max_jump(), Some(777));
+        // Records written before the counts field existed parse as None.
+        let legacy: String = result
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("counts="))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        result.counts = StepRecord::None;
+        assert_eq!(JobResult::from_text(&legacy).unwrap(), result);
+        assert_eq!(result.counts.acceptance_rate(), None);
     }
 
     #[test]
@@ -118,6 +283,7 @@ mod tests {
             final_connected: false,
             first_hit: None,
             violations: 12,
+            counts: StepRecord::None,
         };
         assert_eq!(JobResult::from_text(&result.to_text()).unwrap(), result);
     }
@@ -134,6 +300,7 @@ mod tests {
             final_connected: true,
             first_hit: None,
             violations: 0,
+            counts: StepRecord::None,
         };
         let mut direct = OnlineStats::new();
         for &s in &result.samples {

@@ -80,7 +80,9 @@ impl SweepReport {
 
     /// The summary table (one row per completed job, id order): per-job
     /// online mean/σ of the perimeter samples, the mean compression ratio
-    /// `α = mean p / pmin`, final perimeter, first hit and violations.
+    /// `α = mean p / pmin`, acceptance diagnostics (accepted moves,
+    /// acceptance rate, and the largest geometric dwell for `chain-kmc`
+    /// jobs), final perimeter, first hit and violations.
     ///
     /// Built purely from per-job results, so the bytes are identical at any
     /// thread count and across interrupt/resume cycles.
@@ -95,6 +97,9 @@ impl SweepReport {
             "rep",
             "seed",
             "work",
+            "accepted",
+            "accept rate",
+            "max jump",
             "mean p",
             "sd p",
             "alpha",
@@ -126,6 +131,18 @@ impl SweepReport {
                 spec.rep.to_string(),
                 spec.seed.to_string(),
                 result.work_done.to_string(),
+                result
+                    .counts
+                    .accepted()
+                    .map_or_else(|| "-".into(), |v| v.to_string()),
+                result
+                    .counts
+                    .acceptance_rate()
+                    .map_or_else(|| "-".into(), |r| fmt_f64(r, 5)),
+                result
+                    .counts
+                    .max_jump()
+                    .map_or_else(|| "-".into(), |v| v.to_string()),
                 mean_p,
                 sd_p,
                 alpha,

@@ -446,6 +446,55 @@ impl TileGrid {
         w
     }
 
+    /// Gathers the 5×5 site window `[x0, x0+4] × [y0, y0+4]` into one
+    /// `u32` bitboard (bit `(y − y0) · 5 + (x − x0)`), from at most four
+    /// tile words.
+    ///
+    /// A 5×5 window centered on a site covers its whole radius-2 disc, and
+    /// with it the [`crate::PairRing`] of every one of its six moves — one
+    /// gather answers all six ring masks plus the neighbor count, which is
+    /// what the rejection-free sampler's revalidation loop needs.
+    #[inline]
+    #[must_use]
+    pub fn window25(&self, x0: i32, y0: i32) -> u32 {
+        let tx0 = x0 >> 3;
+        let lx = (x0 & 7) as u32;
+        let ty0 = y0 >> 3;
+        let ty1 = (y0 + 4) >> 3;
+        // Columns cross a tile boundary iff the low offset starts past 3.
+        let spans_x = lx > 3;
+        let top_l = self.tile_word(tx0, ty0);
+        let top_r = if spans_x {
+            self.tile_word(tx0 + 1, ty0)
+        } else {
+            0
+        };
+        let (bot_l, bot_r) = if ty1 != ty0 {
+            let l = self.tile_word(tx0, ty1);
+            let r = if spans_x {
+                self.tile_word(tx0 + 1, ty1)
+            } else {
+                0
+            };
+            (l, r)
+        } else {
+            (top_l, top_r)
+        };
+        let mut w = 0u32;
+        for r in 0..5 {
+            let y = y0 + r;
+            let ly = ((y & 7) << 3) as u32;
+            let (lw, rw) = if y >> 3 == ty0 {
+                (top_l, top_r)
+            } else {
+                (bot_l, bot_r)
+            };
+            let row16 = ((lw >> ly) & 0xFF) as u32 | ((((rw >> ly) & 0xFF) as u32) << 8);
+            w |= ((row16 >> lx) & 0x1F) << (r * 5);
+        }
+        w
+    }
+
     /// The number of occupied sites among the six neighbors of `p` (`p`
     /// itself does not count), answered from at most four tile words.
     #[inline]
@@ -801,6 +850,37 @@ mod tests {
                     let (mask, target) = grid.pair_ring_mask(from, dir);
                     assert_eq!(mask, expected, "{from} {dir}");
                     assert_eq!(target, grid.contains(from + dir), "{from} {dir}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window25_matches_per_site_probes() {
+        let mut grid = TileGrid::new();
+        let mut state = 11u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..300 {
+            let p = TriPoint::new((next() % 24) as i32 - 12, (next() % 24) as i32 - 12);
+            grid.insert(p, 0);
+        }
+        for x0 in -14..12 {
+            for y0 in -14..12 {
+                let w = grid.window25(x0, y0);
+                for dy in 0..5 {
+                    for dx in 0..5 {
+                        let p = TriPoint::new(x0 + dx, y0 + dy);
+                        assert_eq!(
+                            w >> (dy * 5 + dx) & 1 != 0,
+                            grid.contains(p),
+                            "window ({x0}, {y0}) bit ({dx}, {dy})"
+                        );
+                    }
                 }
             }
         }

@@ -54,6 +54,7 @@ pub mod prelude {
     pub use rand::rngs::StdRng;
     pub use rand::SeedableRng;
     pub use sops_core::chain::{ChainError, CompressionChain, StepOutcome, TrajectoryPoint};
+    pub use sops_core::kmc::{KmcChain, KmcCounts};
     pub use sops_core::local::LocalRunner;
     pub use sops_core::{LAMBDA_COMPRESSION, LAMBDA_EXPANSION};
     pub use sops_lattice::{Direction, TriPoint};

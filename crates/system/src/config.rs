@@ -238,6 +238,49 @@ impl ParticleSystem {
         MoveValidity::from_mask(mask, target_occupied)
     }
 
+    /// Calls `f` for every particle whose Algorithm-`M` acceptance
+    /// probabilities a move `(from → from + dir)` can touch, with its id,
+    /// location, and the bitmask of move directions (bit `i` =
+    /// `Direction::from_index(i)`) whose acceptance actually reads one of
+    /// the two changed sites.
+    ///
+    /// This is the revalidation hook of the rejection-free sampler in
+    /// `sops-core`: after the move is applied, exactly these `(particle,
+    /// direction)` pairs (at most 24 sites, the union of the two radius-2
+    /// discs around `from` and `from + dir` — see
+    /// [`crate::moves::revalidation_plan`]) need their acceptance masses
+    /// recomputed; every other pair's mask is untouched by the occupancy
+    /// change. Call it *after* mutating the configuration so the mover is
+    /// visited at its new location (where all six of its directions are
+    /// planned).
+    pub fn for_each_particle_near_move(
+        &self,
+        from: TriPoint,
+        dir: Direction,
+        mut f: impl FnMut(ParticleId, TriPoint, u8),
+    ) {
+        for &((ox, oy), dmask) in crate::moves::revalidation_plan(dir) {
+            let p = TriPoint::new(from.x + ox, from.y + oy);
+            if let Some(id) = self.particle_at(p) {
+                f(id, p, dmask);
+            }
+        }
+    }
+
+    /// The 5×5 occupancy window centered on `p`, as one `u32` bitboard
+    /// (bit `(dy + 2) · 5 + (dx + 2)` for the site at offset `(dx, dy)`).
+    ///
+    /// One gather covers `p`'s whole radius-2 disc — every
+    /// [`sops_lattice::PairRing`] of its six moves — so
+    /// [`crate::moves::check_move_in_window25`] can evaluate all six
+    /// directions from this single word. This is the bulk-revalidation
+    /// primitive of the rejection-free sampler in `sops-core`.
+    #[inline]
+    #[must_use]
+    pub fn window25(&self, p: TriPoint) -> u32 {
+        self.grid.window25(p.x - 2, p.y - 2)
+    }
+
     /// Moves particle `id` one step in direction `dir`, updating the edge
     /// count incrementally, without checking Properties 1/2.
     ///

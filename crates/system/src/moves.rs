@@ -162,6 +162,162 @@ impl MoveValidity {
     }
 }
 
+/// Upper bound on the size of a move's revalidation neighborhood (the union
+/// of two adjacent radius-2 discs holds 24 sites).
+const REVAL_MAX: usize = 24;
+
+/// The nine sites the acceptance probability of pair `(q, q + d)` reads,
+/// as offsets from `q`: the eight [`sops_lattice::PairRing`] sites plus the
+/// target `q + d` itself. Mirrors the ring geometry of
+/// `sops_lattice::PairRing::new` (cross-checked in this module's tests via
+/// the coverage test below).
+const fn dependency_offsets(d: Direction) -> [(i32, i32); 9] {
+    let (dx, dy) = d.offset();
+    [
+        d.rot60(1).offset(),
+        d.rot60(2).offset(),
+        d.rot60(3).offset(),
+        d.rot60(4).offset(),
+        d.rot60(5).offset(),
+        (dx + d.rot60(5).offset().0, dy + d.rot60(5).offset().1),
+        (2 * dx, 2 * dy),
+        (dx + d.rot60(1).offset().0, dy + d.rot60(1).offset().1),
+        (dx, dy),
+    ]
+}
+
+/// One revalidation-plan entry: a site offset from `ℓ` plus the bitmask of
+/// directions whose pair at that site reads a changed site.
+pub type PlanEntry = ((i32, i32), u8);
+
+const fn reval_plan(mv: Direction) -> ([PlanEntry; REVAL_MAX], usize) {
+    let (mx, my) = mv.offset();
+    let mut out = [((0i32, 0i32), 0u8); REVAL_MAX];
+    let mut len = 0usize;
+    let mut oy = -3i32;
+    while oy <= 3 {
+        let mut ox = -3i32;
+        while ox <= 3 {
+            // Directions whose dependency set, anchored at this offset,
+            // contains ℓ = (0, 0) or ℓ′ = (mx, my).
+            let mut dmask = 0u8;
+            let mut di = 0;
+            while di < 6 {
+                let deps = dependency_offsets(Direction::ALL[di]);
+                let mut k = 0;
+                while k < 9 {
+                    let (sx, sy) = (ox + deps[k].0, oy + deps[k].1);
+                    if (sx == 0 && sy == 0) || (sx == mx && sy == my) {
+                        dmask |= 1 << di;
+                        break;
+                    }
+                    k += 1;
+                }
+                di += 1;
+            }
+            if dmask != 0 {
+                out[len] = ((ox, oy), dmask);
+                len += 1;
+            }
+            ox += 1;
+        }
+        oy += 1;
+    }
+    (out, len)
+}
+
+static REVALIDATION_PLANS: [([PlanEntry; REVAL_MAX], usize); 6] = [
+    reval_plan(Direction::E),
+    reval_plan(Direction::NE),
+    reval_plan(Direction::NW),
+    reval_plan(Direction::W),
+    reval_plan(Direction::SW),
+    reval_plan(Direction::SE),
+];
+
+/// The revalidation plan of a move from `ℓ` to `ℓ′ = ℓ + dir`: the sites
+/// (as offsets from `ℓ`) whose particles' Algorithm-`M` acceptance
+/// probabilities the move can change, each with the bitmask (bit `i` =
+/// `Direction::from_index(i)`) of the directions whose pair actually reads
+/// one of the two changed sites.
+///
+/// A pair `(P, d)` with `P` at `q` is accepted with probability
+/// `min(1, λ^(e′−e))` gated by the five-neighbor rule and Properties 1/2 —
+/// all functions of the occupancy of the [`sops_lattice::PairRing`] around
+/// `(q, q + d)` plus the target `q + d`, every site of which lies within
+/// graph distance 2 of `q`. A move changes occupancy only at `ℓ` and `ℓ′`,
+/// so `(P, d)` can change only if its dependency set touches one of them:
+/// the 24 offsets of this plan (the union of the two radius-2 discs,
+/// including `ℓ` and `ℓ′` themselves), restricted per site to the touching
+/// directions. This is the revalidation hook the rejection-free sampler in
+/// `sops-core` uses to keep its acceptance-mass table incremental.
+#[must_use]
+pub fn revalidation_plan(dir: Direction) -> &'static [PlanEntry] {
+    let (ref plan, len) = REVALIDATION_PLANS[dir.index()];
+    &plan[..len]
+}
+
+/// The sites of [`revalidation_plan`] without the direction masks.
+pub fn revalidation_offsets(dir: Direction) -> impl Iterator<Item = (i32, i32)> {
+    revalidation_plan(dir).iter().map(|&(offset, _)| offset)
+}
+
+/// Bit positions inside a center-anchored 5×5 window
+/// ([`crate::ParticleSystem::window25`]) of the eight
+/// [`sops_lattice::PairRing`] sites plus the move target, per direction.
+/// Every ring site lies within graph distance 2 of the center, so the
+/// whole set fits the window.
+static RING25_POSITIONS: [([u8; 8], u8); 6] = [
+    ring25_positions(Direction::E),
+    ring25_positions(Direction::NE),
+    ring25_positions(Direction::NW),
+    ring25_positions(Direction::W),
+    ring25_positions(Direction::SW),
+    ring25_positions(Direction::SE),
+];
+
+const fn ring25_positions(dir: Direction) -> ([u8; 8], u8) {
+    let deps = dependency_offsets(dir);
+    let mut ring = [0u8; 8];
+    let mut i = 0;
+    while i < 8 {
+        let (ox, oy) = deps[i];
+        ring[i] = ((oy + 2) * 5 + (ox + 2)) as u8;
+        i += 1;
+    }
+    let (tx, ty) = deps[8];
+    (ring, ((ty + 2) * 5 + (tx + 2)) as u8)
+}
+
+/// The six neighbor bits of the center of a 5×5 window (bit 12).
+pub const WINDOW25_NEIGHBORS: u32 = {
+    let mut mask = 0u32;
+    let mut i = 0;
+    while i < 6 {
+        let (dx, dy) = Direction::ALL[i].offset();
+        mask |= 1 << ((dy + 2) * 5 + (dx + 2));
+        i += 1;
+    }
+    mask
+};
+
+/// Evaluates the move conditions for the center particle of a 5×5 occupancy
+/// window ([`crate::ParticleSystem::window25`]) moving in `dir`, without
+/// touching the grid again: one window gather answers all six directions.
+///
+/// Equivalent to [`crate::ParticleSystem::check_move`] at the window's
+/// center (verified exhaustively in this module's tests).
+#[inline]
+#[must_use]
+pub fn check_move_in_window25(window: u32, dir: Direction) -> MoveValidity {
+    let (ring, target) = RING25_POSITIONS[dir.index()];
+    let mut mask = 0u8;
+    for (i, &pos) in ring.iter().enumerate() {
+        mask |= ((window >> pos & 1) as u8) << i;
+    }
+    MoveValidity::from_mask(mask, window >> target & 1 != 0)
+}
+
 /// First-principles implementations of the paper's definitions, used to
 /// cross-validate the lookup tables.
 ///
@@ -363,6 +519,100 @@ mod tests {
 
         let v = MoveValidity::from_mask(0b0000_0001, true);
         assert!(!v.is_structurally_valid(), "occupied target blocks moves");
+    }
+
+    #[test]
+    fn revalidation_plan_covers_exactly_the_dependent_pairs() {
+        // Pair (q, d) depends on the move (ℓ → ℓ′) iff its ring or target
+        // touches {ℓ, ℓ′}, or q is the mover's new location ℓ′ (where the
+        // ring always contains ℓ as a neighbor or target, verified here).
+        // The plan must list exactly those pairs: the KMC sampler
+        // revalidates nothing else after an accepted move.
+        let l = TriPoint::ORIGIN;
+        for mv in Direction::ALL {
+            let lp = l + mv;
+            let plan = revalidation_plan(mv);
+            for x in -5..=5 {
+                for y in -5..=5 {
+                    let q = TriPoint::new(x, y);
+                    let entry = plan.iter().find(|&&(o, _)| o == (x, y));
+                    for d in Direction::ALL {
+                        let ring = PairRing::new(q, d);
+                        let depends = q + d == l
+                            || q + d == lp
+                            || (0..8).any(|i| ring.site(i) == l || ring.site(i) == lp);
+                        let planned = entry.is_some_and(|&(_, dmask)| dmask >> d.index() & 1 != 0);
+                        assert_eq!(
+                            depends, planned,
+                            "move {mv}: pair ({q}, {d}) dependency mismatch"
+                        );
+                        if q == lp {
+                            assert!(depends, "the mover's pairs must all be planned");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window25_check_move_matches_grid_check_move() {
+        use crate::ParticleSystem;
+
+        // Random configurations: the single-gather evaluation must agree
+        // with the grid-backed check_move at every particle and direction.
+        let mut state = 5u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..40 {
+            let mut points = vec![TriPoint::ORIGIN];
+            while points.len() < 30 {
+                let base = points[next() as usize % points.len()];
+                let p = base + Direction::ALL[next() as usize % 6];
+                if !points.contains(&p) {
+                    points.push(p);
+                }
+            }
+            let sys = ParticleSystem::new(points.clone()).unwrap();
+            for &p in &points {
+                let w = sys.window25(p);
+                assert_eq!(
+                    (w & WINDOW25_NEIGHBORS).count_ones() as u8,
+                    sys.neighbor_count(p),
+                    "neighbor count at {p}"
+                );
+                for dir in Direction::ALL {
+                    assert_eq!(
+                        check_move_in_window25(w, dir),
+                        sys.check_move(p, dir),
+                        "{p} {dir}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn revalidation_offsets_are_tight_and_distinct() {
+        for mv in Direction::ALL {
+            let (dx, dy) = mv.offset();
+            let offsets: Vec<(i32, i32)> = revalidation_offsets(mv).collect();
+            // The union of two adjacent radius-2 discs: 19 + 19 − 14 = 24.
+            assert_eq!(offsets.len(), 24, "{mv}");
+            let mut sorted = offsets.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), offsets.len(), "{mv}: duplicate offsets");
+            for &(ox, oy) in &offsets {
+                let near_l = TriPoint::ORIGIN.distance(TriPoint::new(ox, oy)) <= 2;
+                let near_lp = TriPoint::new(dx, dy).distance(TriPoint::new(ox, oy)) <= 2;
+                assert!(near_l || near_lp, "{mv}: offset ({ox}, {oy}) too far");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! Distributional equivalence of the rejection-free sampler (`KmcChain`)
+//! and the naive chain `M`.
+//!
+//! The KMC sampler draws the dwell between accepted moves from the exact
+//! geometric law and picks the move proportionally to its acceptance mass,
+//! so it equals the naive chain *in law* at step granularity — but not
+//! byte-for-byte: the two consume randomness differently (the naive chain
+//! burns draws on every rejected step; KMC burns one dwell draw plus one
+//! move draw per acceptance), so their realized trajectories from the same
+//! seed differ. Equivalence is therefore checked distributionally:
+//!
+//! * χ² goodness-of-fit of long KMC runs against the exact Boltzmann
+//!   distribution `π(σ) = λ^{e(σ)}/Z` from `sops-enumerate`, for
+//!   `n ∈ {3, 4, 5, 6}` (samples thinned by `10n` to decorrelate, the same
+//!   discipline as the naive chain's χ² test; low-expectation states are
+//!   pooled per Cochran's rule);
+//! * a differential test comparing *step-indexed trajectory statistics*
+//!   (mean perimeter at fixed step indices, mean accepted-move counts)
+//!   between the two samplers over many independent seeds.
+
+use std::collections::HashMap;
+
+use sops::analysis::chi_square_p_value;
+use sops::enumerate::StateSpace;
+use sops::prelude::*;
+
+/// Long KMC run histogrammed over the enumerated state space.
+fn kmc_empirical_counts(
+    space: &StateSpace,
+    lambda: f64,
+    steps: u64,
+    burn_in: u64,
+    thin: u64,
+    seed: u64,
+) -> (Vec<f64>, u64) {
+    let n = space.particles();
+    let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+    let mut kmc = KmcChain::from_seed(start, lambda, seed).unwrap();
+    kmc.run(burn_in);
+    let mut counts: HashMap<usize, u64> = HashMap::new();
+    let mut samples = 0u64;
+    let mut done = 0u64;
+    while done < steps {
+        kmc.run(thin);
+        done += thin;
+        let key = kmc.system().canonical_key();
+        let idx = space.index_of(&key).expect("state must be enumerated");
+        *counts.entry(idx).or_insert(0) += 1;
+        samples += 1;
+    }
+    let mut observed = vec![0.0; space.len()];
+    for (idx, c) in counts {
+        observed[idx] = c as f64;
+    }
+    (observed, samples)
+}
+
+/// χ² statistic with Cochran pooling: states whose expected count falls
+/// below 5 are merged into one pooled category (χ² is unreliable on
+/// near-empty cells; at larger `n` and biased λ most of `Ω*` is
+/// exponentially rare). Returns the statistic and the category count.
+fn chi_square_pooled(observed: &[f64], expected: &[f64]) -> (f64, usize) {
+    let mut chi2 = 0.0;
+    let mut categories = 0usize;
+    let mut pooled_obs = 0.0;
+    let mut pooled_exp = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if e >= 5.0 {
+            let d = o - e;
+            chi2 += d * d / e;
+            categories += 1;
+        } else {
+            pooled_obs += o;
+            pooled_exp += e;
+        }
+    }
+    if pooled_exp > 0.0 {
+        let d = pooled_obs - pooled_exp;
+        chi2 += d * d / pooled_exp;
+        categories += 1;
+    }
+    (chi2, categories)
+}
+
+/// One χ² pass: KMC empirical histogram vs the exact Boltzmann law.
+fn assert_kmc_matches_boltzmann(n: usize, lambda: f64, steps: u64, seed: u64) {
+    let space = StateSpace::build(n);
+    let pi = space.boltzmann(lambda);
+    // χ² assumes independent draws; consecutive states of a small system
+    // are strongly correlated, so thin by 10n (the discipline the naive
+    // chain's χ² stationarity test uses).
+    let thin = 10 * n as u64;
+    let (observed, samples) = kmc_empirical_counts(&space, lambda, steps, 20_000, thin, seed);
+    let expected: Vec<f64> = pi.iter().map(|p| p * samples as f64).collect();
+    let (chi2, categories) = chi_square_pooled(&observed, &expected);
+    assert!(
+        categories >= 2,
+        "n = {n}: pooling collapsed the test ({categories} categories)"
+    );
+    let p = chi_square_p_value(chi2, categories - 1);
+    assert!(
+        p > 1e-6,
+        "n = {n}, λ = {lambda}: χ² = {chi2:.1} over {categories} categories \
+         ({samples} samples), p = {p:.2e}"
+    );
+}
+
+#[test]
+fn kmc_matches_boltzmann_n3() {
+    assert_kmc_matches_boltzmann(3, 2.5, 600_000, 17);
+}
+
+#[test]
+fn kmc_matches_boltzmann_n4() {
+    assert_kmc_matches_boltzmann(4, 2.5, 1_000_000, 18);
+}
+
+#[test]
+fn kmc_matches_boltzmann_n5() {
+    assert_kmc_matches_boltzmann(5, 2.5, 1_500_000, 19);
+}
+
+#[test]
+fn kmc_matches_boltzmann_n6() {
+    assert_kmc_matches_boltzmann(6, 2.5, 2_000_000, 20);
+}
+
+#[test]
+fn kmc_matches_boltzmann_below_one_lambda() {
+    // λ < 1 penalizes edge gains: the δ > 0 classes carry mass λ^δ < 1,
+    // exercising the weighted side of the bucket sampler.
+    assert_kmc_matches_boltzmann(4, 0.8, 1_000_000, 21);
+}
+
+#[test]
+fn kmc_and_chain_trajectories_agree_in_distribution() {
+    // Step-indexed trajectory *distributions* must agree: compare the mean
+    // perimeter at fixed step indices and the mean accepted-move count over
+    // many independent seeds. (Byte-identity is out of scope by design —
+    // see the module docs — so the comparison is statistical: with 48 seeds
+    // the standard error of each mean perimeter is well under 0.5, making a
+    // ±2.5 tolerance a > 5σ bound.)
+    const SEEDS: u64 = 48;
+    const MID: u64 = 10_000;
+    const END: u64 = 30_000;
+    let n = 20;
+    let lambda = 4.0;
+
+    let mut chain_mid = 0.0;
+    let mut chain_end = 0.0;
+    let mut chain_moved = 0.0;
+    let mut kmc_mid = 0.0;
+    let mut kmc_end = 0.0;
+    let mut kmc_moved = 0.0;
+    for seed in 0..SEEDS {
+        let start = ParticleSystem::connected(shapes::line(n)).unwrap();
+        let mut chain = CompressionChain::from_seed(start.clone(), lambda, seed).unwrap();
+        chain.run(MID);
+        chain_mid += chain.perimeter() as f64;
+        chain.run(END - MID);
+        chain_end += chain.perimeter() as f64;
+        chain_moved += chain.counts().moved as f64;
+
+        let mut kmc = KmcChain::from_seed(start, lambda, !seed).unwrap();
+        kmc.run(MID);
+        kmc_mid += kmc.perimeter() as f64;
+        kmc.run(END - MID);
+        kmc_end += kmc.perimeter() as f64;
+        kmc_moved += kmc.counts().moved as f64;
+    }
+    let scale = 1.0 / SEEDS as f64;
+    let (chain_mid, chain_end) = (chain_mid * scale, chain_end * scale);
+    let (kmc_mid, kmc_end) = (kmc_mid * scale, kmc_end * scale);
+    let (chain_moved, kmc_moved) = (chain_moved * scale, kmc_moved * scale);
+
+    assert!(
+        (chain_mid - kmc_mid).abs() < 2.5,
+        "mean perimeter at step {MID}: chain {chain_mid:.2} vs kmc {kmc_mid:.2}"
+    );
+    assert!(
+        (chain_end - kmc_end).abs() < 2.5,
+        "mean perimeter at step {END}: chain {chain_end:.2} vs kmc {kmc_end:.2}"
+    );
+    // Accepted-move counts over an identical step budget share a mean too.
+    let moved_gap = (chain_moved - kmc_moved).abs() / chain_moved.max(1.0);
+    assert!(
+        moved_gap < 0.05,
+        "mean accepted moves: chain {chain_moved:.0} vs kmc {kmc_moved:.0}"
+    );
+}

@@ -66,9 +66,9 @@ fn main() {
     // grid cross product.
     let mut specs = Vec::new();
     for (_, crash) in &scenarios {
-        for algorithm in [Algorithm::Chain, Algorithm::Local] {
+        for algorithm in [Algorithm::CHAIN, Algorithm::Local] {
             let budget = match algorithm {
-                Algorithm::Chain => steps,
+                Algorithm::Chain(_) => steps,
                 _ => rounds,
             };
             let mut spec = JobSpec::new(algorithm, Shape::Line, n, lambda, budget / 2);

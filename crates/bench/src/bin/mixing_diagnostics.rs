@@ -27,11 +27,9 @@ fn main() {
     // `--algo chain-kmc` runs the rejection-free sampler: the same
     // step-indexed law, so IATs in sweeps are directly comparable, at a
     // fraction of the wall clock in the strongly-rejecting regimes.
-    let algo: Algorithm = args
-        .get_string("algo")
-        .unwrap_or_else(|| "chain".into())
-        .parse()
-        .unwrap_or_else(|err| panic!("--algo: {err}"));
+    // `--hamiltonian alignment[:q]` measures the alignment dynamics'
+    // convergence on the same observable.
+    let algo: Algorithm = args.algorithm("chain");
     assert!(
         algo.is_chain_sampler(),
         "--algo must be chain or chain-kmc (diagnostics are chain-step-indexed)"

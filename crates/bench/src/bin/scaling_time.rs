@@ -27,11 +27,9 @@ fn main() {
     // First-hit step counts are step-indexed, so the rejection-free sampler
     // (`--algo chain-kmc`) measures the same law — useful for pushing the
     // doubling ladder to sizes the naive chain cannot reach in wall clock.
-    let algo: Algorithm = args
-        .get_string("algo")
-        .unwrap_or_else(|| "chain".into())
-        .parse()
-        .unwrap_or_else(|err| panic!("--algo: {err}"));
+    // `--hamiltonian alignment[:q]` times compression under the alignment
+    // bias instead (perimeter first hits remain well-defined).
+    let algo: Algorithm = args.algorithm("chain");
     assert!(
         algo.is_chain_sampler(),
         "--algo must be chain or chain-kmc (first-hit mode only exists for the chain samplers)"

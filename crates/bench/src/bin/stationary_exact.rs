@@ -88,16 +88,17 @@ fn main() {
     let steps = args.get_u64("steps", if quick { 400_000 } else { 4_000_000 });
     let max_n = args.get_usize("max-n", 5);
     // Parse through the engine's Algorithm so the accepted aliases stay in
-    // one place, even though this binary drives the samplers directly.
-    let algo: sops_engine::Algorithm = args
-        .get_string("algo")
-        .unwrap_or_else(|| "chain".into())
-        .parse()
-        .unwrap_or_else(|err| panic!("--algo: {err}"));
+    // one place, even though this binary drives the samplers directly. The
+    // exact transition matrix is built for the edge-count Hamiltonian, so
+    // other Hamiltonians are rejected rather than compared to the wrong π.
+    let algo: sops_engine::Algorithm = args.algorithm("chain");
     let kmc = match algo {
-        sops_engine::Algorithm::Chain => false,
-        sops_engine::Algorithm::ChainKmc => true,
-        other => panic!("--algo: {other} has no exact-stationarity mode (try chain|chain-kmc)"),
+        sops_engine::Algorithm::CHAIN => false,
+        sops_engine::Algorithm::CHAIN_KMC => true,
+        other => panic!(
+            "--algo: {other} has no exact-stationarity mode \
+             (try chain|chain-kmc with the default edge-count hamiltonian)"
+        ),
     };
 
     println!("# E8 / Lemma 3.13 — exact stationarity checks (empirical runs: {algo})\n");

@@ -110,6 +110,37 @@ impl Args {
         threads
     }
 
+    /// The shared `--algo NAME` flag combined with the optional
+    /// `--hamiltonian SPEC` flag: parses the algorithm (defaulting to
+    /// `default`), then swaps in the requested Hamiltonian on the chain
+    /// samplers (`--hamiltonian alignment:3` ≡ `--algo chain+alignment:3`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when either flag does not parse, or when `--hamiltonian` is
+    /// combined with an algorithm that does not take one.
+    #[must_use]
+    pub fn algorithm(&self, default: &str) -> sops_engine::Algorithm {
+        let algo: sops_engine::Algorithm = self
+            .get_string("algo")
+            .unwrap_or_else(|| default.into())
+            .parse()
+            .unwrap_or_else(|err| panic!("--algo: {err}"));
+        match self.get_string("hamiltonian") {
+            None => algo,
+            Some(raw) => {
+                let hamiltonian = raw
+                    .parse()
+                    .unwrap_or_else(|err| panic!("--hamiltonian: {err}"));
+                assert!(
+                    algo.is_chain_sampler(),
+                    "--hamiltonian only applies to the chain samplers, not {algo}"
+                );
+                algo.with_hamiltonian(hamiltonian)
+            }
+        }
+    }
+
     /// An `f64` value with a default.
     ///
     /// # Panics

@@ -75,6 +75,9 @@ pub fn sweep(args: &Args) {
         "algo",
         &args.get_string("algo").unwrap_or_else(|| "chain".into()),
     );
+    let hamiltonians: Option<Vec<sops_engine::HamiltonianSpec>> = args
+        .get_string("hamiltonian")
+        .map(|raw| parse_list("hamiltonian", &raw));
     let steps = args.get_u64("steps", 100_000);
     let seed = args.get_u64("seed", 0);
     let out_name = args.get_string("out").unwrap_or_else(|| "sweep".into());
@@ -88,6 +91,18 @@ pub fn sweep(args: &Args) {
         .burnin(args.get_u64("burnin", 0))
         .samples(args.get_u64("samples", 100))
         .reps(args.get_u64("reps", 1));
+    if let Some(hams) = hamiltonians {
+        // The Hamiltonian axis fans out over the chain samplers only; make
+        // a sweep with none of them an explicit error, not a silent no-op.
+        if !algorithms.iter().any(|a| a.is_chain_sampler()) {
+            eprintln!(
+                "--hamiltonian requires --algo chain or chain-kmc \
+                 (only the chain samplers take a Hamiltonian)"
+            );
+            std::process::exit(2);
+        }
+        grid = grid.hamiltonians(hams);
+    }
     if let Some(alpha) = args.get_string("until-alpha") {
         // First-hit mode only exists for the chain samplers; reject or warn
         // rather than silently ignoring the flag.
@@ -191,13 +206,20 @@ USAGE:
 
 COMMANDS:
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
+                                       --hamiltonian edges|alignment[:q]
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
   sweep      run a job grid on the engine
              --n 50,100 --lambda 2,4 --shape line --algo chain,chain-kmc,local
+             --hamiltonian edges,alignment[:q]
              --steps --burnin --samples --reps --until-alpha --seed --threads
              --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
              (chain-kmc = rejection-free sampler of M; same distribution,
-             work per accepted move only — fastest at high λ equilibrium)
+             work per accepted move only — fastest at high λ equilibrium.
+             --hamiltonian swaps the Metropolis energy on the chain samplers:
+             edges = the paper's compression bias, alignment:q = bias toward
+             like-oriented neighbors over q quenched orientations; an
+             alignment job's λ drives the alignment order parameter a/e,
+             reported as \"aligned\" in the JSONL job_done events)
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg
@@ -206,9 +228,12 @@ COMMANDS:
 
 EXAMPLES:
   sops-cli simulate --n 100 --lambda 4 --steps 5000000 --svg compressed.svg
+  sops-cli simulate --n 100 --lambda 5 --steps 2000000 --hamiltonian alignment:3
   sops-cli local --n 64 --lambda 2 --rounds 20000
   sops-cli sweep --n 50,100 --lambda 2,3,4 --steps 500000 --threads 8 \\
                  --checkpoint results/sweep-ckpt
+  sops-cli sweep --n 50 --lambda 1,3,5 --algo chain-kmc --hamiltonian alignment \\
+                 --steps 400000
   sops-cli render --shape annulus --radius 4"
     );
 }

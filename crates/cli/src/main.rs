@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! sops-cli simulate --n 100 --lambda 4 --steps 1000000 [--shape line|spiral|annulus|random]
-//!                   [--seed S] [--svg out.svg] [--every K]
+//!                   [--hamiltonian edges|alignment[:q]] [--seed S] [--svg out.svg] [--every K]
 //! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S]
 //! sops-cli sweep    --n 50,100 --lambda 2,4 --steps 100000 [--algo chain,local]
+//!                   [--hamiltonian edges,alignment[:q]]
 //!                   [--threads T] [--checkpoint DIR [--checkpoint-every W]] [--out NAME]
 //! sops-cli enumerate --max-n 9
 //! sops-cli saw      --max-len 20
@@ -52,20 +53,52 @@ fn simulate(args: &Args) {
     let steps = args.get_u64("steps", 1_000_000);
     let seed = args.get_u64("seed", 0);
     let every = args.get_u64("every", steps / 10);
+    let hamiltonian: HamiltonianSpec = args
+        .get_string("hamiltonian")
+        .unwrap_or_else(|| "edges".into())
+        .parse()
+        .unwrap_or_else(|err| {
+            eprintln!("--hamiltonian: {err}");
+            std::process::exit(2);
+        });
     let start = build_shape(args, n, seed);
 
     println!(
-        "chain M: n = {n}, λ = {lambda}, {steps} steps, seed {seed} (pmin = {}, pmax = {})",
+        "chain M ({hamiltonian}): n = {n}, λ = {lambda}, {steps} steps, seed {seed} \
+         (pmin = {}, pmax = {})",
         metrics::pmin(n),
         metrics::pmax(n)
     );
-    let mut chain = match CompressionChain::from_seed(start, lambda, seed) {
+    // Monomorphize per Hamiltonian here, at the edge where the choice is
+    // data; orientations use the same salted seed a sweep job would.
+    match hamiltonian {
+        HamiltonianSpec::Edges => {
+            let chain = CompressionChain::from_seed(start, lambda, seed);
+            simulate_chain(args, chain, steps, every);
+        }
+        HamiltonianSpec::Alignment { q } => {
+            let start = start.with_random_orientations(q, seed ^ sops_engine::ORIENT_SALT);
+            let chain = CompressionChain::from_seed_with(start, lambda, seed, Alignment::new(q));
+            simulate_chain(args, chain, steps, every);
+        }
+    }
+}
+
+/// Runs and reports one `simulate` invocation over any Hamiltonian.
+fn simulate_chain<H: Hamiltonian>(
+    args: &Args,
+    chain: Result<CompressionChain<StdRng, H>, ChainError>,
+    steps: u64,
+    every: u64,
+) {
+    let mut chain = match chain {
         Ok(chain) => chain,
         Err(err) => {
             eprintln!("error: {err}");
             std::process::exit(1);
         }
     };
+    let oriented = chain.system().orientations().is_some();
     let mut table = Table::new(["step", "edges", "perimeter", "alpha", "beta", "holes"]);
     for point in chain.trajectory(steps, every) {
         table.row([
@@ -80,6 +113,14 @@ fn simulate(args: &Args) {
     print!("{}", table.to_markdown());
     println!("\nfinal: {}", ascii::summary(chain.system()));
     println!("acceptance rate {:.3}", chain.counts().acceptance_rate());
+    if oriented {
+        println!(
+            "alignment order {:.3} ({} aligned pairs / {} edges)",
+            metrics::alignment_order(chain.system()),
+            metrics::aligned_pairs(chain.system()),
+            chain.system().edge_count()
+        );
+    }
     maybe_svg(args, chain.system());
 }
 

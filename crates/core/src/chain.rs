@@ -14,6 +14,12 @@
 //! `π(σ) = λ^{e(σ)}/Z` (Lemma 3.13). For `λ > 2 + √2` the stationary
 //! distribution is α-compressed with all but exponentially small probability
 //! (Theorem 4.5); for `λ < 2.17` it is β-expanded (Theorem 5.7).
+//!
+//! The Metropolis exponent is pluggable: the chain is generic over a
+//! [`Hamiltonian`] `H`, accepting with `min(1, λ^Δ)` for
+//! `Δ = H(σ′) − H(σ)`, and converging to `π(σ) ∝ λ^{H(σ)}` (the structural
+//! move conditions — and hence Lemmas 3.1/3.2 — do not depend on `H`). The
+//! default [`EdgeCount`] instance *is* the paper's chain, bit for bit.
 
 use core::fmt;
 
@@ -22,6 +28,7 @@ use rand::{Rng, SeedableRng};
 use sops_lattice::Direction;
 use sops_system::{metrics, ParticleSystem, SystemError};
 
+use crate::hamiltonian::{EdgeCount, Hamiltonian, MoveContext};
 use crate::measure::HoleTracker;
 use crate::snapshot::{self, SnapshotError};
 
@@ -33,6 +40,9 @@ pub enum ChainError {
     InvalidLambda(f64),
     /// The starting configuration must be connected (Section 3.1).
     NotConnected,
+    /// The Hamiltonian rejected the configuration (missing or out-of-range
+    /// per-particle state, or an unusable delta range).
+    Hamiltonian(String),
     /// The underlying configuration was invalid.
     System(SystemError),
 }
@@ -44,6 +54,7 @@ impl fmt::Display for ChainError {
                 write!(f, "bias parameter must be finite and positive, got {l}")
             }
             ChainError::NotConnected => write!(f, "starting configuration must be connected"),
+            ChainError::Hamiltonian(why) => write!(f, "hamiltonian rejected configuration: {why}"),
             ChainError::System(e) => write!(f, "invalid configuration: {e}"),
         }
     }
@@ -73,8 +84,9 @@ pub enum StepOutcome {
         id: usize,
         /// The direction it moved in.
         dir: Direction,
-        /// The resulting change in the configuration edge count.
-        edge_delta: i32,
+        /// The resulting change `Δ = H(σ′) − H(σ)` in the Hamiltonian
+        /// energy (the edge-count change for the default [`EdgeCount`]).
+        delta: i32,
     },
     /// The chosen location was occupied; no move (Step 3 guard).
     TargetOccupied,
@@ -156,17 +168,23 @@ pub struct TrajectoryPoint {
     pub beta: f64,
 }
 
-/// The Markov chain `M`, biased by `λ` toward configurations with more edges.
+/// The Markov chain `M`, biased by `λ` toward configurations with higher
+/// Hamiltonian energy (more edges, under the default [`EdgeCount`]).
 ///
-/// Generic over the random source; the [`CompressionChain::from_seed`]
-/// convenience constructor uses a seeded [`StdRng`] for exact
-/// reproducibility.
+/// Generic over the random source and the [`Hamiltonian`]; the
+/// [`CompressionChain::from_seed`] convenience constructor uses a seeded
+/// [`StdRng`] for exact reproducibility, and
+/// [`CompressionChain::with_hamiltonian`] selects a non-default energy.
 #[derive(Clone, Debug)]
-pub struct CompressionChain<R: Rng = StdRng> {
+pub struct CompressionChain<R: Rng = StdRng, H: Hamiltonian = EdgeCount> {
     sys: ParticleSystem,
     lambda: f64,
-    /// `lambda_pow[i]` = `λ^(i − 5)` for edge deltas in `[−5, 5]`.
-    lambda_pow: [f64; 11],
+    hamiltonian: H,
+    /// `bias[i]` = `λ^(delta_min + i)` for deltas in
+    /// `[delta_min, delta_max]` (the `λ^Δ` of the Metropolis filter).
+    bias: Vec<f64>,
+    /// Cached `hamiltonian.delta_min()` — the index offset into `bias`.
+    delta_min: i32,
     rng: R,
     steps: u64,
     counts: StepCounts,
@@ -179,7 +197,7 @@ pub struct CompressionChain<R: Rng = StdRng> {
 }
 
 impl CompressionChain<StdRng> {
-    /// Builds a chain with a [`StdRng`] seeded from `seed`.
+    /// Builds an edge-count chain with a [`StdRng`] seeded from `seed`.
     ///
     /// # Errors
     ///
@@ -191,13 +209,33 @@ impl CompressionChain<StdRng> {
     ) -> Result<CompressionChain<StdRng>, ChainError> {
         CompressionChain::new(sys, lambda, StdRng::seed_from_u64(seed))
     }
+}
+
+impl<H: Hamiltonian> CompressionChain<StdRng, H> {
+    /// Builds a chain over `hamiltonian` with a [`StdRng`] seeded from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CompressionChain::with_hamiltonian`].
+    pub fn from_seed_with(
+        sys: ParticleSystem,
+        lambda: f64,
+        seed: u64,
+        hamiltonian: H,
+    ) -> Result<CompressionChain<StdRng, H>, ChainError> {
+        CompressionChain::with_hamiltonian(sys, lambda, StdRng::seed_from_u64(seed), hamiltonian)
+    }
 
     /// Serializes the full chain state — configuration, λ, counters, crash
     /// set and exact RNG state — as a compact text snapshot.
     ///
     /// [`CompressionChain::restore`] rebuilds a chain whose continued
     /// trajectory is bitwise identical to running this one uninterrupted;
-    /// see [`crate::snapshot`] for the format and guarantees.
+    /// see [`crate::snapshot`] for the format and guarantees. The
+    /// `hamiltonian` and `orientations` lines appear only for non-default
+    /// Hamiltonians / oriented configurations, keeping default snapshots
+    /// byte-identical to the pre-trait format.
     #[must_use]
     pub fn snapshot(&self) -> String {
         use core::fmt::Write as _;
@@ -211,6 +249,10 @@ impl CompressionChain<StdRng> {
             .collect();
         let mut s = String::from("sops-chain-snapshot v1\n");
         let _ = writeln!(s, "lambda={}", snapshot::f64_to_hex(self.lambda));
+        let name = self.hamiltonian.name();
+        if name != "edges" {
+            let _ = writeln!(s, "hamiltonian={name}");
+        }
         let _ = writeln!(s, "steps={}", self.steps);
         let _ = writeln!(
             s,
@@ -226,24 +268,33 @@ impl CompressionChain<StdRng> {
             "positions={}",
             snapshot::points_to_string(self.sys.positions().iter().copied())
         );
+        if let Some(orientations) = self.sys.orientations() {
+            let _ = writeln!(s, "orientations={}", snapshot::u8s_to_string(orientations));
+        }
         s
     }
 
     /// Rebuilds a chain from a [`CompressionChain::snapshot`] text.
     ///
+    /// The snapshot's `hamiltonian` line (default: `edges`) must describe
+    /// an instance of `H` — restoring a snapshot under the wrong
+    /// Hamiltonian type is rejected rather than silently reinterpreted.
+    ///
     /// # Errors
     ///
     /// [`SnapshotError`] when the text is malformed or describes an invalid
     /// state (duplicate positions, disconnected configuration, out-of-range
-    /// crash ids, bad λ).
-    pub fn restore(text: &str) -> Result<CompressionChain<StdRng>, SnapshotError> {
+    /// crash ids, bad λ, a Hamiltonian `H` cannot parse).
+    pub fn restore(text: &str) -> Result<CompressionChain<StdRng, H>, SnapshotError> {
         let fields = snapshot::Fields::parse(text, "sops-chain-snapshot v1")?;
         let positions = snapshot::points_from_string("positions", fields.get("positions")?)?;
-        let sys = ParticleSystem::connected(positions)
+        let mut sys = ParticleSystem::connected(positions)
             .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        sys = snapshot::attach_orientations(sys, &fields)?;
+        let hamiltonian = snapshot::hamiltonian_from_fields::<H>(&fields)?;
         let lambda = fields.parse_f64_bits("lambda")?;
         let rng = snapshot::rng_from_string("rng", fields.get("rng")?)?;
-        let mut chain = CompressionChain::new(sys, lambda, rng)
+        let mut chain = CompressionChain::with_hamiltonian(sys, lambda, rng, hamiltonian)
             .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
         chain.steps = fields.parse_num("steps")?;
         let counts: Vec<u64> = fields.parse_list("counts")?;
@@ -282,8 +333,8 @@ impl CompressionChain<StdRng> {
 }
 
 impl<R: Rng> CompressionChain<R> {
-    /// Builds the chain from a connected starting configuration `σ₀` and
-    /// bias `λ`.
+    /// Builds the paper's edge-count chain from a connected starting
+    /// configuration `σ₀` and bias `λ`.
     ///
     /// `λ > 1` biases particles toward having more neighbors; the paper's
     /// main results require `λ > 2 + √2` for compression and show
@@ -299,22 +350,53 @@ impl<R: Rng> CompressionChain<R> {
         lambda: f64,
         rng: R,
     ) -> Result<CompressionChain<R>, ChainError> {
+        CompressionChain::with_hamiltonian(sys, lambda, rng, EdgeCount)
+    }
+}
+
+impl<R: Rng, H: Hamiltonian> CompressionChain<R, H> {
+    /// Builds the chain over an explicit [`Hamiltonian`]: the Metropolis
+    /// filter accepts with `min(1, λ^Δ)` for `Δ = H(σ′) − H(σ)`, so the
+    /// stationary distribution becomes `π(σ) ∝ λ^{H(σ)}` over the same
+    /// hole-free connected state space.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] for non-finite or non-positive `λ`,
+    /// [`ChainError::NotConnected`] for a disconnected start, and
+    /// [`ChainError::Hamiltonian`] when the Hamiltonian rejects the
+    /// configuration (e.g. [`crate::hamiltonian::Alignment`] without
+    /// orientations) or declares an unusable delta range.
+    pub fn with_hamiltonian(
+        sys: ParticleSystem,
+        lambda: f64,
+        rng: R,
+        hamiltonian: H,
+    ) -> Result<CompressionChain<R, H>, ChainError> {
         if !lambda.is_finite() || lambda <= 0.0 {
             return Err(ChainError::InvalidLambda(lambda));
         }
         if !sys.is_connected() {
             return Err(ChainError::NotConnected);
         }
-        let mut lambda_pow = [0.0; 11];
-        for (i, slot) in lambda_pow.iter_mut().enumerate() {
-            *slot = lambda.powi(i as i32 - 5);
+        hamiltonian
+            .validate(&sys)
+            .map_err(ChainError::Hamiltonian)?;
+        let (delta_min, delta_max) = (hamiltonian.delta_min(), hamiltonian.delta_max());
+        if delta_min > delta_max || delta_max.saturating_sub(delta_min) > 254 {
+            return Err(ChainError::Hamiltonian(format!(
+                "unusable delta range [{delta_min}, {delta_max}]"
+            )));
         }
+        let bias: Vec<f64> = (delta_min..=delta_max).map(|d| lambda.powi(d)).collect();
         let hole_free = sys.hole_count() == 0;
         let n = sys.len();
         Ok(CompressionChain {
             sys,
             lambda,
-            lambda_pow,
+            hamiltonian,
+            bias,
+            delta_min,
             rng,
             steps: 0,
             counts: StepCounts::default(),
@@ -329,6 +411,12 @@ impl<R: Rng> CompressionChain<R> {
     #[must_use]
     pub fn lambda(&self) -> f64 {
         self.lambda
+    }
+
+    /// The Hamiltonian driving the Metropolis filter.
+    #[must_use]
+    pub fn hamiltonian(&self) -> &H {
+        &self.hamiltonian
     }
 
     /// The current configuration.
@@ -435,9 +523,21 @@ impl<R: Rng> CompressionChain<R> {
         if !(validity.property1 || validity.property2) {
             return StepOutcome::PropertyViolated;
         }
-        // Condition (3): Metropolis filter with probability min(1, λ^(e′−e)).
-        let delta = validity.edge_delta();
-        let threshold = self.lambda_pow[(delta + 5) as usize];
+        // Condition (3): Metropolis filter with probability min(1, λ^Δ),
+        // Δ the Hamiltonian's local energy change (e′ − e by default).
+        let ctx = MoveContext {
+            sys: &self.sys,
+            id,
+            from,
+            dir,
+            validity,
+        };
+        let delta = self.hamiltonian.delta(&ctx);
+        debug_assert!(
+            (0..self.bias.len() as i32).contains(&(delta - self.delta_min)),
+            "hamiltonian delta {delta} violates its declared range"
+        );
+        let threshold = self.bias[(delta - self.delta_min) as usize];
         if threshold < 1.0 {
             let q: f64 = self.rng.gen();
             if q >= threshold {
@@ -453,11 +553,7 @@ impl<R: Rng> CompressionChain<R> {
                 assert_eq!(self.sys.hole_count(), 0, "Lemma 3.2 violated: hole");
             }
         }
-        StepOutcome::Moved {
-            id,
-            dir,
-            edge_delta: delta,
-        }
+        StepOutcome::Moved { id, dir, delta }
     }
 
     /// Runs `steps` steps and returns the number of accepted moves.
@@ -644,7 +740,7 @@ mod tests {
         let mut a = line_chain(12, 4.0, 99);
         a.run(3_333);
         let snap = a.snapshot();
-        let mut b = CompressionChain::restore(&snap).unwrap();
+        let mut b: CompressionChain = CompressionChain::restore(&snap).unwrap();
         assert_eq!(a.steps(), b.steps());
         assert_eq!(a.counts(), b.counts());
         a.run(5_000);
@@ -660,7 +756,7 @@ mod tests {
         a.crash(7);
         a.set_validation(true);
         a.run(1_000);
-        let b = CompressionChain::restore(&a.snapshot()).unwrap();
+        let b: CompressionChain = CompressionChain::restore(&a.snapshot()).unwrap();
         assert_eq!(b.crashed_count(), 2);
         assert!((b.lambda() - 3.0).abs() < 1e-15);
     }
@@ -669,7 +765,7 @@ mod tests {
     fn restore_rejects_malformed_snapshots() {
         use crate::snapshot::SnapshotError;
         assert!(matches!(
-            CompressionChain::restore("not a snapshot").unwrap_err(),
+            CompressionChain::<StdRng>::restore("not a snapshot").unwrap_err(),
             SnapshotError::WrongHeader { .. }
         ));
         let valid = line_chain(5, 2.0, 1).snapshot();
@@ -679,9 +775,46 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(matches!(
-            CompressionChain::restore(&truncated).unwrap_err(),
+            CompressionChain::<StdRng>::restore(&truncated).unwrap_err(),
             SnapshotError::MissingField("rng")
         ));
+    }
+
+    #[test]
+    fn alignment_chain_runs_validates_and_snapshots() {
+        use crate::hamiltonian::Alignment;
+        let sys = ParticleSystem::connected(shapes::line(12))
+            .unwrap()
+            .with_random_orientations(3, 5);
+        let mut a = CompressionChain::from_seed_with(sys, 4.0, 7, Alignment::new(3)).unwrap();
+        a.set_validation(true);
+        a.run(20_000);
+        assert!(a.system().is_connected());
+        assert!(a.counts().moved > 0);
+        let snap = a.snapshot();
+        assert!(snap.contains("hamiltonian=alignment:3"));
+        assert!(snap.contains("orientations="));
+        let mut b: CompressionChain<StdRng, Alignment> = CompressionChain::restore(&snap).unwrap();
+        assert_eq!(b.hamiltonian(), &Alignment::new(3));
+        a.run(5_000);
+        b.run(5_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.system().positions(), b.system().positions());
+        assert_eq!(a.system().orientations(), b.system().orientations());
+        // Restoring under the wrong Hamiltonian type is an error, not a
+        // silent reinterpretation.
+        assert!(matches!(
+            CompressionChain::<StdRng>::restore(&snap).unwrap_err(),
+            crate::snapshot::SnapshotError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn alignment_requires_orientations() {
+        use crate::hamiltonian::Alignment;
+        let sys = ParticleSystem::connected(shapes::line(5)).unwrap();
+        let err = CompressionChain::from_seed_with(sys, 2.0, 0, Alignment::new(3)).unwrap_err();
+        assert!(matches!(err, ChainError::Hamiltonian(_)));
     }
 
     #[test]

@@ -50,16 +50,24 @@
 //! dependency set actually touches a changed site. An O(1) neighborhood per
 //! accepted move.
 //!
-//! Masses take at most 11 distinct values `min(1, λ^δ)`, `δ = e′ − e ∈
-//! [−5, 5]`, so the table is a **bucketed tower**, not a float tree: each
-//! structurally valid pair `(P, d)` lives in the bucket of its `δ`, `S` is
-//! the exactly-maintained integer histogram folded against the 11 weights,
-//! and sampling is one weighted draw over 11 buckets followed by one uniform
-//! index draw. Buckets stay sorted by pair index — a canonical form that
-//! makes the table a pure function of the configuration (so snapshots can
-//! omit it and still continue bit-for-bit) — and no floating-point
-//! accumulator ever drifts: the histogram is integral, verified by a
-//! property test against a from-scratch recount.
+//! Masses take at most one distinct value `min(1, λ^Δ)` per energy delta
+//! `Δ` in the [`Hamiltonian`]'s declared range (`Δ = e′ − e ∈ [−5, 5]`,
+//! hence 11 classes, for the default edge count), so the table is a
+//! **bucketed tower**, not a float tree: each structurally valid pair
+//! `(P, d)` lives in the bucket of its `Δ`, `S` is the exactly-maintained
+//! integer histogram folded against the per-class weights, and sampling is
+//! one weighted draw over the classes followed by one uniform index draw.
+//! Buckets stay sorted by pair index — a canonical form that makes the
+//! table a pure function of the configuration (so snapshots can omit it and
+//! still continue bit-for-bit) — and no floating-point accumulator ever
+//! drifts: the histogram is integral, verified by a property test against a
+//! from-scratch recount.
+//!
+//! The tower works for *any* [`Hamiltonian`] honoring the locality contract
+//! of [`crate::hamiltonian`]: bounded integer deltas give the finitely many
+//! integral buckets, and bounded support makes the post-move revalidation
+//! plan (which only re-examines pairs whose ring touches the two changed
+//! sites) exact.
 
 use core::fmt;
 
@@ -69,14 +77,12 @@ use sops_lattice::{Direction, TriPoint};
 use sops_system::{metrics, moves, ParticleSystem};
 
 use crate::chain::{ChainError, TrajectoryPoint};
+use crate::hamiltonian::{EdgeCount, Hamiltonian, MoveContext};
 use crate::measure::HoleTracker;
 use crate::snapshot::{self, SnapshotError};
 
 /// Class index marking a pair with zero acceptance mass.
 const CLASS_NONE: u8 = u8::MAX;
-
-/// Number of mass classes: one per edge delta `δ ∈ [−5, 5]`.
-const CLASSES: usize = 11;
 
 /// Aggregate outcome counters of a [`KmcChain`].
 ///
@@ -96,7 +102,7 @@ pub struct KmcCounts {
 }
 
 /// The acceptance-mass table: every structurally valid pair `(P, d)`
-/// bucketed by its edge delta, supporting O(1) reclassification and
+/// bucketed by its energy delta, supporting O(1) reclassification and
 /// weighted sampling by class draw + rank/select.
 ///
 /// Each class is a **bitset over pair indices** (one bit per `(P, d)`).
@@ -109,6 +115,10 @@ pub struct KmcCounts {
 /// bumps; selecting the `j`-th member of a class is a popcount scan of that
 /// class's words (`6n/64` words — ~25 for the n = 1600 bench; a summary
 /// level can be added if systems grow to where this scan shows up).
+///
+/// The class count is the span of the [`Hamiltonian`]'s delta range (11
+/// for the default edge count; at most 255, since class indices live in a
+/// `u8` beside the [`CLASS_NONE`] sentinel).
 #[derive(Clone, Debug)]
 struct MassTable {
     /// Per pair index `P·6 + d`: its class (`CLASS_NONE` = zero mass).
@@ -119,17 +129,17 @@ struct MassTable {
     /// `[c·stride, (c+1)·stride)`; bit `k` of a bitset = pair `k`.
     bits: Vec<u64>,
     /// Member count per class.
-    count: [u32; CLASSES],
+    count: Vec<u32>,
 }
 
 impl MassTable {
-    fn new(pairs: usize) -> MassTable {
+    fn new(pairs: usize, classes: usize) -> MassTable {
         let stride = pairs.div_ceil(64);
         MassTable {
             class: vec![CLASS_NONE; pairs],
             stride,
-            bits: vec![0; stride * CLASSES],
-            count: [0; CLASSES],
+            bits: vec![0; stride * classes],
+            count: vec![0; classes],
         }
     }
 
@@ -152,17 +162,13 @@ impl MassTable {
     }
 
     /// Pairs per class — the integral state `S` is derived from.
-    fn histogram(&self) -> [u64; CLASSES] {
-        let mut h = [0u64; CLASSES];
-        for (c, &n) in self.count.iter().enumerate() {
-            h[c] = u64::from(n);
-        }
-        h
+    fn histogram(&self) -> Vec<u64> {
+        self.count.iter().map(|&n| u64::from(n)).collect()
     }
 
     /// Total acceptance mass `S`, folded in fixed class order so identical
     /// histograms always produce the identical float.
-    fn total(&self, weight: &[f64; CLASSES]) -> f64 {
+    fn total(&self, weight: &[f64]) -> f64 {
         self.count
             .iter()
             .zip(weight)
@@ -193,7 +199,7 @@ impl MassTable {
     ///
     /// `total` must be this table's positive total mass. Consumes one `f64`
     /// for the class and one bounded integer for the index.
-    fn sample<R: Rng>(&self, weight: &[f64; CLASSES], total: f64, rng: &mut R) -> u32 {
+    fn sample<R: Rng>(&self, weight: &[f64], total: f64, rng: &mut R) -> u32 {
         let mut target = rng.gen::<f64>() * total;
         let mut last_nonempty = usize::MAX;
         for (c, &n) in self.count.iter().enumerate() {
@@ -215,7 +221,7 @@ impl MassTable {
 
     /// Checks class/bitset agreement.
     fn assert_valid(&self) {
-        for c in 0..CLASSES {
+        for c in 0..self.count.len() {
             let base = c * self.stride;
             let mut members = 0u32;
             for (wi, &word) in self.bits[base..base + self.stride].iter().enumerate() {
@@ -235,26 +241,40 @@ impl MassTable {
     }
 }
 
-/// The acceptance class of a [`sops_system::MoveValidity`]: `δ + 5`, or
-/// [`CLASS_NONE`] when the move is structurally invalid.
-fn class_of_validity(v: sops_system::MoveValidity) -> u8 {
+/// The acceptance class of the move described by `ctx` under `hamiltonian`:
+/// `Δ − delta_min`, or [`CLASS_NONE`] when the move is structurally
+/// invalid. (Structural validity — and the energy delta only being
+/// evaluated on valid moves — is Hamiltonian-independent.)
+fn class_of_move<H: Hamiltonian>(hamiltonian: &H, delta_min: i32, ctx: &MoveContext<'_>) -> u8 {
+    let v = ctx.validity;
     if v.target_occupied || v.five_neighbor_blocked() || !(v.property1 || v.property2) {
         CLASS_NONE
     } else {
-        (v.edge_delta() + 5) as u8
+        let delta = hamiltonian.delta(ctx);
+        debug_assert!(
+            delta >= delta_min && delta <= hamiltonian.delta_max(),
+            "hamiltonian delta {delta} violates its declared range"
+        );
+        (delta - delta_min) as u8
     }
 }
 
 /// Recomputes the masses of particle `id` at `pos` for the directions in
 /// `dmask` (bit `i` = `Direction::from_index(i)`).
 ///
-/// One 5×5 window gather answers all requested directions (every pair ring
-/// of `pos` lies inside it) plus the interior fast path (six occupied
-/// neighbors ⇒ every move blocked). A free function over split borrows so
-/// the revalidation closure in [`KmcChain::accept_move`] can mutate the
-/// table while reading the configuration. Directions outside `dmask` are
-/// untouched — the caller guarantees their dependency sets did not change.
-fn refresh_masses(
+/// One 5×5 window gather answers the structural validity of all requested
+/// directions (every pair ring of `pos` lies inside it) plus the interior
+/// fast path (six occupied neighbors ⇒ every move blocked); the Hamiltonian
+/// then classifies each structurally valid move. A free function over split
+/// borrows so the revalidation closure in [`KmcChain::accept_move`] can
+/// mutate the table while reading the configuration. Directions outside
+/// `dmask` are untouched — the caller guarantees their dependency sets did
+/// not change (this is exactly where the locality contract of
+/// [`crate::hamiltonian`] is load-bearing).
+#[allow(clippy::too_many_arguments)]
+fn refresh_masses<H: Hamiltonian>(
+    hamiltonian: &H,
+    delta_min: i32,
     sys: &ParticleSystem,
     crashed: &[bool],
     masses: &mut MassTable,
@@ -277,10 +297,15 @@ fn refresh_masses(
         let class = if interior {
             CLASS_NONE
         } else {
-            class_of_validity(moves::check_move_in_window25(
-                window,
-                Direction::from_index(d),
-            ))
+            let dir = Direction::from_index(d);
+            let ctx = MoveContext {
+                sys,
+                id,
+                from: pos,
+                dir,
+                validity: moves::check_move_in_window25(window, dir),
+            };
+            class_of_move(hamiltonian, delta_min, &ctx)
         };
         masses.set(base + d, class);
     }
@@ -319,11 +344,15 @@ struct Dwell {
 /// assert!(accepted > 0 && kmc.system().is_connected());
 /// ```
 #[derive(Clone, Debug)]
-pub struct KmcChain<R: Rng = StdRng> {
+pub struct KmcChain<R: Rng = StdRng, H: Hamiltonian = EdgeCount> {
     sys: ParticleSystem,
     lambda: f64,
-    /// `weight[c]` = `min(1, λ^(c − 5))`: the acceptance mass of class `c`.
-    weight: [f64; CLASSES],
+    hamiltonian: H,
+    /// `weight[c]` = `min(1, λ^(delta_min + c))`: the acceptance mass of
+    /// class `c`.
+    weight: Vec<f64>,
+    /// Cached `hamiltonian.delta_min()` — the class-index offset.
+    delta_min: i32,
     masses: MassTable,
     rng: R,
     steps: u64,
@@ -339,7 +368,7 @@ pub struct KmcChain<R: Rng = StdRng> {
 }
 
 impl KmcChain<StdRng> {
-    /// Builds a sampler with a [`StdRng`] seeded from `seed`.
+    /// Builds an edge-count sampler with a [`StdRng`] seeded from `seed`.
     ///
     /// # Errors
     ///
@@ -351,6 +380,23 @@ impl KmcChain<StdRng> {
     ) -> Result<KmcChain<StdRng>, ChainError> {
         KmcChain::new(sys, lambda, StdRng::seed_from_u64(seed))
     }
+}
+
+impl<H: Hamiltonian> KmcChain<StdRng, H> {
+    /// Builds a sampler over `hamiltonian` with a [`StdRng`] seeded from
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`KmcChain::with_hamiltonian`].
+    pub fn from_seed_with(
+        sys: ParticleSystem,
+        lambda: f64,
+        seed: u64,
+        hamiltonian: H,
+    ) -> Result<KmcChain<StdRng, H>, ChainError> {
+        KmcChain::with_hamiltonian(sys, lambda, StdRng::seed_from_u64(seed), hamiltonian)
+    }
 
     /// Serializes the sampler state as a compact text snapshot.
     ///
@@ -358,7 +404,10 @@ impl KmcChain<StdRng> {
     /// the configuration and crash set, and [`KmcChain::restore`] rebuilds
     /// it deterministically — snapshots stay the size of the configuration.
     /// The pending dwell (if drawn) is stored, so restoring and continuing
-    /// reproduces the uninterrupted trajectory bit for bit.
+    /// reproduces the uninterrupted trajectory bit for bit. The
+    /// `hamiltonian` and `orientations` lines appear only for non-default
+    /// Hamiltonians / oriented configurations, keeping default snapshots
+    /// byte-identical to the pre-trait format.
     #[must_use]
     pub fn snapshot(&self) -> String {
         use core::fmt::Write as _;
@@ -374,6 +423,10 @@ impl KmcChain<StdRng> {
             .map_or_else(|| "none".into(), |d| format!("{},{}", d.at, d.skipped));
         let mut s = String::from("sops-kmc-snapshot v1\n");
         let _ = writeln!(s, "lambda={}", snapshot::f64_to_hex(self.lambda));
+        let name = self.hamiltonian.name();
+        if name != "edges" {
+            let _ = writeln!(s, "hamiltonian={name}");
+        }
         let _ = writeln!(s, "steps={}", self.steps);
         let _ = writeln!(s, "counts={},{}", self.counts.moved, self.counts.max_jump);
         let _ = writeln!(s, "pending={pending}");
@@ -386,24 +439,32 @@ impl KmcChain<StdRng> {
             "positions={}",
             snapshot::points_to_string(self.sys.positions().iter().copied())
         );
+        if let Some(orientations) = self.sys.orientations() {
+            let _ = writeln!(s, "orientations={}", snapshot::u8s_to_string(orientations));
+        }
         s
     }
 
     /// Rebuilds a sampler from a [`KmcChain::snapshot`] text.
     ///
+    /// The snapshot's `hamiltonian` line (default: `edges`) must describe
+    /// an instance of `H`.
+    ///
     /// # Errors
     ///
     /// [`SnapshotError`] when the text is malformed or describes an invalid
     /// state.
-    pub fn restore(text: &str) -> Result<KmcChain<StdRng>, SnapshotError> {
+    pub fn restore(text: &str) -> Result<KmcChain<StdRng, H>, SnapshotError> {
         let fields = snapshot::Fields::parse(text, "sops-kmc-snapshot v1")?;
         let positions = snapshot::points_from_string("positions", fields.get("positions")?)?;
-        let sys = ParticleSystem::connected(positions)
+        let mut sys = ParticleSystem::connected(positions)
             .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        sys = snapshot::attach_orientations(sys, &fields)?;
+        let hamiltonian = snapshot::hamiltonian_from_fields::<H>(&fields)?;
         let lambda = fields.parse_f64_bits("lambda")?;
         let rng = snapshot::rng_from_string("rng", fields.get("rng")?)?;
-        let mut kmc =
-            KmcChain::new(sys, lambda, rng).map_err(|e| SnapshotError::Invalid(e.to_string()))?;
+        let mut kmc = KmcChain::with_hamiltonian(sys, lambda, rng, hamiltonian)
+            .map_err(|e| SnapshotError::Invalid(e.to_string()))?;
         kmc.steps = fields.parse_num("steps")?;
         let counts: Vec<u64> = fields.parse_list("counts")?;
         let [moved, max_jump] = counts[..] else {
@@ -451,31 +512,64 @@ impl KmcChain<StdRng> {
 }
 
 impl<R: Rng> KmcChain<R> {
-    /// Builds the sampler from a connected starting configuration and bias
-    /// `λ`, computing the initial acceptance-mass table in O(n).
+    /// Builds the paper's edge-count sampler from a connected starting
+    /// configuration and bias `λ`, computing the initial acceptance-mass
+    /// table in O(n).
     ///
     /// # Errors
     ///
     /// [`ChainError::InvalidLambda`] for non-finite or non-positive `λ`,
     /// [`ChainError::NotConnected`] for a disconnected start.
     pub fn new(sys: ParticleSystem, lambda: f64, rng: R) -> Result<KmcChain<R>, ChainError> {
+        KmcChain::with_hamiltonian(sys, lambda, rng, EdgeCount)
+    }
+}
+
+impl<R: Rng, H: Hamiltonian> KmcChain<R, H> {
+    /// Builds the sampler over an explicit [`Hamiltonian`]; equal in law to
+    /// [`crate::chain::CompressionChain::with_hamiltonian`] with the same
+    /// Hamiltonian, at step granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] for non-finite or non-positive `λ`,
+    /// [`ChainError::NotConnected`] for a disconnected start, and
+    /// [`ChainError::Hamiltonian`] when the Hamiltonian rejects the
+    /// configuration or declares an unusable delta range.
+    pub fn with_hamiltonian(
+        sys: ParticleSystem,
+        lambda: f64,
+        rng: R,
+        hamiltonian: H,
+    ) -> Result<KmcChain<R, H>, ChainError> {
         if !lambda.is_finite() || lambda <= 0.0 {
             return Err(ChainError::InvalidLambda(lambda));
         }
         if !sys.is_connected() {
             return Err(ChainError::NotConnected);
         }
-        let mut weight = [0.0; CLASSES];
-        for (c, w) in weight.iter_mut().enumerate() {
-            *w = lambda.powi(c as i32 - 5).min(1.0);
+        hamiltonian
+            .validate(&sys)
+            .map_err(ChainError::Hamiltonian)?;
+        let (delta_min, delta_max) = (hamiltonian.delta_min(), hamiltonian.delta_max());
+        if delta_min > delta_max || delta_max.saturating_sub(delta_min) > 254 {
+            return Err(ChainError::Hamiltonian(format!(
+                "unusable delta range [{delta_min}, {delta_max}]"
+            )));
         }
+        let weight: Vec<f64> = (delta_min..=delta_max)
+            .map(|d| lambda.powi(d).min(1.0))
+            .collect();
+        let classes = weight.len();
         let hole_free = sys.hole_count() == 0;
         let n = sys.len();
         let mut kmc = KmcChain {
             sys,
             lambda,
+            hamiltonian,
             weight,
-            masses: MassTable::new(6 * n),
+            delta_min,
+            masses: MassTable::new(6 * n, classes),
             rng,
             steps: 0,
             pending: None,
@@ -495,6 +589,12 @@ impl<R: Rng> KmcChain<R> {
     #[must_use]
     pub fn lambda(&self) -> f64 {
         self.lambda
+    }
+
+    /// The Hamiltonian driving the acceptance masses.
+    #[must_use]
+    pub fn hamiltonian(&self) -> &H {
+        &self.hamiltonian
     }
 
     /// The current configuration.
@@ -569,12 +669,13 @@ impl<R: Rng> KmcChain<R> {
 
     /// The current per-class pair counts, as maintained incrementally.
     ///
-    /// Class `c` holds the structurally valid pairs with edge delta
-    /// `δ = c − 5`; the total acceptance mass is the histogram folded
-    /// against `min(1, λ^δ)`. Exposed for the incremental-vs-recomputed
-    /// property test and for diagnostics.
+    /// Class `c` holds the structurally valid pairs with energy delta
+    /// `Δ = delta_min + c` (`c − 5` for the default edge count); the total
+    /// acceptance mass is the histogram folded against `min(1, λ^Δ)`.
+    /// Exposed for the incremental-vs-recomputed property test and for
+    /// diagnostics.
     #[must_use]
-    pub fn mass_histogram(&self) -> [u64; 11] {
+    pub fn mass_histogram(&self) -> Vec<u64> {
         self.masses.histogram()
     }
 
@@ -582,8 +683,8 @@ impl<R: Rng> KmcChain<R> {
     /// configuration — the oracle [`KmcChain::mass_histogram`] must equal
     /// exactly (both are integral, so equality is not approximate).
     #[must_use]
-    pub fn recomputed_mass_histogram(&self) -> [u64; 11] {
-        let mut h = [0u64; 11];
+    pub fn recomputed_mass_histogram(&self) -> Vec<u64> {
+        let mut h = vec![0u64; self.weight.len()];
         for id in 0..self.sys.len() {
             if self.crashed[id] {
                 continue;
@@ -592,7 +693,14 @@ impl<R: Rng> KmcChain<R> {
             for dir in Direction::ALL {
                 // Deliberately through the grid-backed check_move, not the
                 // window gather: the recount is an independent oracle.
-                let c = class_of_validity(self.sys.check_move(from, dir));
+                let ctx = MoveContext {
+                    sys: &self.sys,
+                    id,
+                    from,
+                    dir,
+                    validity: self.sys.check_move(from, dir),
+                };
+                let c = class_of_move(&self.hamiltonian, self.delta_min, &ctx);
                 if c != CLASS_NONE {
                     h[c as usize] += 1;
                 }
@@ -621,7 +729,16 @@ impl<R: Rng> KmcChain<R> {
 
     /// Recomputes all six masses of the particle `id` at `pos`.
     fn refresh_particle(&mut self, id: usize, pos: TriPoint) {
-        refresh_masses(&self.sys, &self.crashed, &mut self.masses, id, pos, 0x3f);
+        refresh_masses(
+            &self.hamiltonian,
+            self.delta_min,
+            &self.sys,
+            &self.crashed,
+            &mut self.masses,
+            id,
+            pos,
+            0x3f,
+        );
     }
 
     /// The next accepted move's dwell, drawing it if none is pending.
@@ -675,8 +792,19 @@ impl<R: Rng> KmcChain<R> {
         let sys = &self.sys;
         let masses = &mut self.masses;
         let crashed = &self.crashed;
+        let hamiltonian = &self.hamiltonian;
+        let delta_min = self.delta_min;
         sys.for_each_particle_near_move(from, dir, |qid, qpos, dmask| {
-            refresh_masses(sys, crashed, masses, qid, qpos, dmask);
+            refresh_masses(
+                hamiltonian,
+                delta_min,
+                sys,
+                crashed,
+                masses,
+                qid,
+                qpos,
+                dmask,
+            );
         });
         if self.validate {
             assert!(self.sys.is_connected(), "Lemma 3.1 violated: disconnected");
@@ -775,7 +903,7 @@ impl<R: Rng> KmcChain<R> {
     }
 }
 
-impl<R: Rng> fmt::Display for KmcChain<R> {
+impl<R: Rng, H: Hamiltonian> fmt::Display for KmcChain<R, H> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -925,7 +1053,7 @@ mod tests {
         let mut a = line_kmc(12, 4.0, 99);
         a.run(3_333);
         let snap = a.snapshot();
-        let mut b = KmcChain::restore(&snap).unwrap();
+        let mut b: KmcChain = KmcChain::restore(&snap).unwrap();
         assert_eq!(a.steps(), b.steps());
         assert_eq!(a.counts(), b.counts());
         a.run(5_000);
@@ -941,7 +1069,7 @@ mod tests {
         a.crash(7);
         a.set_validation(true);
         a.run(1_000);
-        let b = KmcChain::restore(&a.snapshot()).unwrap();
+        let b: KmcChain = KmcChain::restore(&a.snapshot()).unwrap();
         assert_eq!(b.crashed_count(), 2);
         assert!((b.lambda() - 3.0).abs() < 1e-15);
         assert_eq!(b.mass_histogram(), a.mass_histogram());
@@ -950,7 +1078,7 @@ mod tests {
     #[test]
     fn restore_rejects_malformed_snapshots() {
         assert!(matches!(
-            KmcChain::restore("not a snapshot").unwrap_err(),
+            KmcChain::<StdRng>::restore("not a snapshot").unwrap_err(),
             SnapshotError::WrongHeader { .. }
         ));
         let valid = line_kmc(5, 2.0, 1).snapshot();
@@ -960,7 +1088,7 @@ mod tests {
             .collect::<Vec<_>>()
             .join("\n");
         assert!(matches!(
-            KmcChain::restore(&truncated).unwrap_err(),
+            KmcChain::<StdRng>::restore(&truncated).unwrap_err(),
             SnapshotError::MissingField("pending")
         ));
         // A pending acceptance at or before the restored step counter would
@@ -979,7 +1107,7 @@ mod tests {
             })
             .collect();
         assert!(matches!(
-            KmcChain::restore(&rewound).unwrap_err(),
+            KmcChain::<StdRng>::restore(&rewound).unwrap_err(),
             SnapshotError::Invalid(_)
         ));
     }
@@ -992,6 +1120,37 @@ mod tests {
         kmc.run(30_000);
         kmc.assert_invariants();
         assert!(kmc.counts().moved > 0);
+    }
+
+    #[test]
+    fn alignment_kmc_masses_stay_exact_and_snapshots_round_trip() {
+        use crate::hamiltonian::Alignment;
+        let sys = ParticleSystem::connected(shapes::line(14))
+            .unwrap()
+            .with_random_orientations(3, 9);
+        let mut a = KmcChain::from_seed_with(sys, 3.0, 11, Alignment::new(3)).unwrap();
+        // Validation re-checks the incremental mass table against a
+        // from-scratch recount after every accepted move — this is the
+        // locality contract of the alignment Hamiltonian under test.
+        a.set_validation(true);
+        a.run(20_000);
+        a.assert_invariants();
+        assert!(a.counts().moved > 0);
+        let snap = a.snapshot();
+        assert!(snap.contains("hamiltonian=alignment:3"));
+        assert!(snap.contains("orientations="));
+        let mut b: KmcChain<StdRng, Alignment> = KmcChain::restore(&snap).unwrap();
+        assert_eq!(b.mass_histogram(), a.mass_histogram());
+        a.run(5_000);
+        b.run(5_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.system().positions(), b.system().positions());
+        assert_eq!(a.system().orientations(), b.system().orientations());
+        // Wrong restore type is rejected.
+        assert!(matches!(
+            KmcChain::<StdRng>::restore(&snap).unwrap_err(),
+            SnapshotError::Invalid(_)
+        ));
     }
 
     #[test]

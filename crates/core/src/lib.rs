@@ -44,12 +44,14 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod hamiltonian;
 pub mod kmc;
 pub mod local;
 mod measure;
 pub mod snapshot;
 
 pub use chain::{ChainError, CompressionChain, StepCounts, StepOutcome, TrajectoryPoint};
+pub use hamiltonian::{Alignment, EdgeCount, Hamiltonian, HamiltonianSpec, MoveContext};
 pub use kmc::{KmcChain, KmcCounts};
 pub use local::LocalRunner;
 pub use snapshot::SnapshotError;

@@ -23,6 +23,9 @@ use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use sops_lattice::TriPoint;
+use sops_system::ParticleSystem;
+
+use crate::hamiltonian::Hamiltonian;
 
 /// Errors from parsing a snapshot text.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -205,6 +208,56 @@ pub fn points_from_string(
             ))
         })
         .collect()
+}
+
+/// Serializes per-particle orientations as a comma-joined list.
+#[must_use]
+pub fn u8s_to_string(values: &[u8]) -> String {
+    values
+        .iter()
+        .map(u8::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Attaches the optional `orientations` field of a snapshot to a restored
+/// configuration (absent field ⇒ configuration unchanged).
+///
+/// # Errors
+///
+/// [`SnapshotError`] on malformed values or a length mismatch.
+pub fn attach_orientations(
+    sys: ParticleSystem,
+    fields: &Fields<'_>,
+) -> Result<ParticleSystem, SnapshotError> {
+    match fields.parse_list::<u8>("orientations") {
+        Ok(orientations) => sys
+            .with_orientations(orientations)
+            .map_err(|e| SnapshotError::Invalid(e.to_string())),
+        Err(SnapshotError::MissingField(_)) => Ok(sys),
+        Err(e) => Err(e),
+    }
+}
+
+/// Parses the optional `hamiltonian` field of a snapshot (absent ⇒ the
+/// default `"edges"`) into an instance of `H`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Invalid`] when the recorded name does not describe `H`
+/// — restoring a snapshot under the wrong Hamiltonian type is an error, not
+/// a reinterpretation.
+pub fn hamiltonian_from_fields<H: Hamiltonian>(fields: &Fields<'_>) -> Result<H, SnapshotError> {
+    let name = match fields.get("hamiltonian") {
+        Ok(name) => name,
+        Err(SnapshotError::MissingField(_)) => "edges",
+        Err(e) => return Err(e),
+    };
+    H::parse(name).ok_or_else(|| {
+        SnapshotError::Invalid(format!(
+            "snapshot hamiltonian {name:?} does not match the restore type"
+        ))
+    })
 }
 
 /// Serializes a boolean-per-id vector as a `01…` string.

@@ -2,10 +2,11 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use sops_core::chain::{CompressionChain, StepOutcome};
 use sops_core::kmc::KmcChain;
 use sops_core::local::LocalRunner;
+use sops_lattice::Direction;
 use sops_system::{metrics, shapes, ParticleSystem};
 
 fn arb_start() -> impl Strategy<Value = ParticleSystem> {
@@ -15,8 +16,171 @@ fn arb_start() -> impl Strategy<Value = ParticleSystem> {
     })
 }
 
+/// The pre-Hamiltonian chain `M`, reimplemented from the paper as a test
+/// oracle: the hard-coded `λ^(e′−e)` Metropolis filter over the validity's
+/// neighbor counts, consuming randomness in exactly the original order
+/// (particle, direction, then `q` only when the threshold is below 1). The
+/// generic chain with the default [`sops_core::EdgeCount`] Hamiltonian must
+/// reproduce it bit for bit.
+struct LegacyChain {
+    sys: ParticleSystem,
+    /// `lambda_pow[i]` = `λ^(i − 5)`, the original 11-entry table.
+    lambda_pow: [f64; 11],
+    rng: StdRng,
+    crashed: Vec<bool>,
+}
+
+impl LegacyChain {
+    fn new(sys: ParticleSystem, lambda: f64, seed: u64) -> LegacyChain {
+        let mut lambda_pow = [0.0; 11];
+        for (i, slot) in lambda_pow.iter_mut().enumerate() {
+            *slot = lambda.powi(i as i32 - 5);
+        }
+        LegacyChain {
+            crashed: vec![false; sys.len()],
+            sys,
+            lambda_pow,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One legacy step, encoded as a comparable outcome string.
+    fn step(&mut self) -> String {
+        let n = self.sys.len();
+        let id = self.rng.gen_range(0..n);
+        let dir = Direction::ALL[self.rng.gen_range(0..6usize)];
+        if self.crashed[id] {
+            return "crashed".into();
+        }
+        let from = self.sys.position(id);
+        if self.sys.is_occupied(from + dir) {
+            return "occupied".into();
+        }
+        let validity = self.sys.check_move(from, dir);
+        if validity.five_neighbor_blocked() {
+            return "five".into();
+        }
+        if !(validity.property1 || validity.property2) {
+            return "prop".into();
+        }
+        let delta = validity.edge_delta();
+        let threshold = self.lambda_pow[(delta + 5) as usize];
+        if threshold < 1.0 {
+            let q: f64 = self.rng.gen();
+            if q >= threshold {
+                return "metropolis".into();
+            }
+        }
+        self.sys.move_particle(id, dir).unwrap();
+        format!("moved {id} {dir:?} {delta}")
+    }
+}
+
+fn outcome_string(outcome: StepOutcome) -> String {
+    match outcome {
+        StepOutcome::Moved { id, dir, delta } => format!("moved {id} {dir:?} {delta}"),
+        StepOutcome::TargetOccupied => "occupied".into(),
+        StepOutcome::CrashedParticle => "crashed".into(),
+        StepOutcome::FiveNeighborBlocked => "five".into(),
+        StepOutcome::PropertyViolated => "prop".into(),
+        StepOutcome::MetropolisRejected => "metropolis".into(),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential oracle for the Hamiltonian refactor: the generic chain
+    /// with the default edge-count Hamiltonian reproduces the legacy
+    /// hard-coded chain **bit for bit** — identical outcome per step
+    /// (including which particle/direction and the energy delta), identical
+    /// RNG consumption (a single divergence would desynchronize every later
+    /// step), identical final configuration — across random starts, biases
+    /// on both sides of 1, and crash injection. Snapshot round-trips
+    /// mid-stream must not perturb the stream either.
+    #[test]
+    fn default_hamiltonian_is_bit_identical_to_legacy_chain(
+        start in arb_start(),
+        lambda_pct in 30u32..700,
+        seed in any::<u64>(),
+        crash_one in any::<bool>(),
+    ) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let mut legacy = LegacyChain::new(start.clone(), lambda, seed);
+        let mut chain = CompressionChain::from_seed(start, lambda, seed).unwrap();
+        if crash_one {
+            legacy.crashed[0] = true;
+            chain.crash(0);
+        }
+        for step in 0..1_500u32 {
+            if step == 700 {
+                // Snapshot round-trip mid-stream: byte-stable format, and
+                // the restored chain continues the identical stream.
+                let snap = chain.snapshot();
+                prop_assert!(!snap.contains("hamiltonian="), "default snapshots carry no hamiltonian line");
+                prop_assert!(!snap.contains("orientations="), "default snapshots carry no orientations line");
+                chain = CompressionChain::restore(&snap).unwrap();
+            }
+            let expected = legacy.step();
+            let got = outcome_string(chain.step());
+            prop_assert_eq!(expected, got, "diverged at step {}", step);
+        }
+        prop_assert_eq!(legacy.sys.positions(), chain.system().positions());
+        prop_assert_eq!(legacy.sys.edge_count(), chain.system().edge_count());
+    }
+
+    /// The alignment Hamiltonian's local delta agrees with a global
+    /// recount of aligned pairs across random oriented configurations —
+    /// the correctness anchor for the KMC locality contract.
+    #[test]
+    fn alignment_delta_matches_global_recount_on_random_starts(
+        start in arb_start(),
+        oseed in any::<u64>(),
+        q in 2u8..6,
+    ) {
+        use sops_core::hamiltonian::{Hamiltonian, MoveContext};
+        let ham = sops_core::Alignment::new(q);
+        let sys = start.with_random_orientations(q, oseed);
+        let before = metrics::aligned_pairs(&sys);
+        for id in 0..sys.len() {
+            for dir in Direction::ALL {
+                let from = sys.position(id);
+                let validity = sys.check_move(from, dir);
+                if !validity.is_structurally_valid() {
+                    continue;
+                }
+                let ctx = MoveContext { sys: &sys, id, from, dir, validity };
+                let local = ham.delta(&ctx);
+                let mut moved = sys.clone();
+                moved.move_particle(id, dir).unwrap();
+                prop_assert_eq!(
+                    local,
+                    metrics::aligned_pairs(&moved) as i32 - before as i32
+                );
+            }
+        }
+    }
+
+    /// The alignment KMC sampler's incrementally maintained mass table
+    /// never drifts from a from-scratch recount, including under crashes —
+    /// the same exactness guarantee the edge-count tower has.
+    #[test]
+    fn alignment_kmc_masses_match_recount(
+        start in arb_start(),
+        seed in any::<u64>(),
+        lambda_pct in 50u32..500,
+    ) {
+        let lambda = lambda_pct as f64 / 100.0;
+        let sys = start.with_random_orientations(3, seed ^ 0xa11);
+        let mut kmc = KmcChain::from_seed_with(sys, lambda, seed, sops_core::Alignment::new(3)).unwrap();
+        kmc.run(2_000);
+        prop_assert_eq!(kmc.mass_histogram(), kmc.recomputed_mass_histogram());
+        if kmc.system().len() > 1 {
+            kmc.crash(1);
+            kmc.run(1_000);
+            prop_assert_eq!(kmc.mass_histogram(), kmc.recomputed_mass_histogram());
+        }
+    }
 
     /// Whatever happens, the chain's bookkeeping stays coherent: edge count
     /// matches a recount, outcome totals match the step count, positions and
@@ -113,7 +277,7 @@ proptest! {
         let mut full = CompressionChain::from_seed(start.clone(), lambda, seed).unwrap();
         let mut interrupted = CompressionChain::from_seed(start, lambda, seed).unwrap();
         interrupted.run(split);
-        let mut resumed = CompressionChain::restore(&interrupted.snapshot()).unwrap();
+        let mut resumed: CompressionChain = CompressionChain::restore(&interrupted.snapshot()).unwrap();
         full.run(split + 1_500);
         resumed.run(1_500);
         prop_assert_eq!(full.steps(), resumed.steps());
@@ -167,7 +331,7 @@ proptest! {
         let mut full = KmcChain::from_seed(start.clone(), lambda, seed).unwrap();
         let mut interrupted = KmcChain::from_seed(start, lambda, seed).unwrap();
         interrupted.run(split);
-        let mut resumed = KmcChain::restore(&interrupted.snapshot()).unwrap();
+        let mut resumed: KmcChain = KmcChain::restore(&interrupted.snapshot()).unwrap();
         full.run(split + 1_500);
         resumed.run(1_500);
         prop_assert_eq!(full.steps(), resumed.steps());

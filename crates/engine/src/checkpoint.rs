@@ -169,7 +169,7 @@ mod tests {
     #[test]
     fn done_records_round_trip_and_clear_ckpts() {
         let dir = tmp("done");
-        let specs = JobGrid::new(1).algorithms([Algorithm::Chain]).build();
+        let specs = JobGrid::new(1).algorithms([Algorithm::CHAIN]).build();
         let (store, _) = Store::open(&dir, &specs).unwrap();
         store.write_ckpt(0, "partial state").unwrap();
         assert_eq!(
@@ -184,6 +184,7 @@ mod tests {
             final_perimeter: 9,
             final_edges: 4,
             final_connected: true,
+            final_aligned: None,
             first_hit: None,
             violations: 0,
             counts: crate::result::StepRecord::None,

@@ -11,21 +11,37 @@ use core::str::FromStr;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sops::core::hamiltonian::HamiltonianSpec;
 use sops::system::{shapes, ParticleSystem, SystemError};
 
 use crate::ablation::Guards;
 use crate::seed::child_seed;
 
+/// Salt deriving a job's orientation-assignment seed from its seed —
+/// a dedicated stream, like the crash-victim salt `0xc4a5`, so attaching
+/// orientations never perturbs the simulation RNG. Public so `sops-cli
+/// simulate` can assign the same orientations a sweep job with the same
+/// seed would get.
+pub const ORIENT_SALT: u64 = 0x0413;
+
 /// Which simulator a job runs.
+///
+/// The two chain samplers carry a [`HamiltonianSpec`] selecting the local
+/// energy they sample (`π(σ) ∝ λ^{H(σ)}`); [`Algorithm::CHAIN`] and
+/// [`Algorithm::CHAIN_KMC`] are the default edge-count instances, whose
+/// string form stays the bare `"chain"` / `"chain-kmc"` (so sweep CSVs,
+/// JSONL events and checkpoint metadata are unchanged for default jobs).
+/// Non-default Hamiltonians render as `chain+alignment:3` and parse back.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Algorithm {
-    /// The centralized Markov chain `M`; work units are chain steps.
-    Chain,
+    /// The centralized Markov chain `M` over the given Hamiltonian; work
+    /// units are chain steps.
+    Chain(HamiltonianSpec),
     /// The rejection-free kinetic sampler of `M` (`sops_core::kmc`): equal
     /// in law to [`Algorithm::Chain`] at step granularity, but doing work
     /// per accepted move only. Work units are chain steps (including the
     /// skipped rejections).
-    ChainKmc,
+    ChainKmc(HamiltonianSpec),
     /// The asynchronous local algorithm `A`; work units are rounds.
     Local,
     /// The deliberately weakened chain (see [`crate::ablation`]); work
@@ -34,19 +50,54 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
+    /// The paper's chain: [`Algorithm::Chain`] over the edge-count
+    /// Hamiltonian.
+    pub const CHAIN: Algorithm = Algorithm::Chain(HamiltonianSpec::Edges);
+
+    /// The rejection-free sampler over the edge-count Hamiltonian.
+    pub const CHAIN_KMC: Algorithm = Algorithm::ChainKmc(HamiltonianSpec::Edges);
+
     /// Whether this algorithm samples chain `M` step-for-step — the family
     /// first-hit (`until_alpha`) mode applies to.
     #[must_use]
     pub fn is_chain_sampler(&self) -> bool {
-        matches!(self, Algorithm::Chain | Algorithm::ChainKmc)
+        matches!(self, Algorithm::Chain(_) | Algorithm::ChainKmc(_))
+    }
+
+    /// The Hamiltonian a chain-sampler job runs (`None` for the local
+    /// algorithm and the ablation chain, which are edge-count-only).
+    #[must_use]
+    pub fn hamiltonian(&self) -> Option<HamiltonianSpec> {
+        match self {
+            Algorithm::Chain(h) | Algorithm::ChainKmc(h) => Some(*h),
+            Algorithm::Local | Algorithm::Ablation(_) => None,
+        }
+    }
+
+    /// This algorithm with its Hamiltonian replaced — a no-op for the
+    /// algorithms that do not take one.
+    #[must_use]
+    pub fn with_hamiltonian(self, hamiltonian: HamiltonianSpec) -> Algorithm {
+        match self {
+            Algorithm::Chain(_) => Algorithm::Chain(hamiltonian),
+            Algorithm::ChainKmc(_) => Algorithm::ChainKmc(hamiltonian),
+            other => other,
+        }
     }
 }
 
 impl fmt::Display for Algorithm {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let chain = |f: &mut fmt::Formatter<'_>, base: &str, h: &HamiltonianSpec| {
+            if h.is_default() {
+                write!(f, "{base}")
+            } else {
+                write!(f, "{base}+{h}")
+            }
+        };
         match self {
-            Algorithm::Chain => write!(f, "chain"),
-            Algorithm::ChainKmc => write!(f, "chain-kmc"),
+            Algorithm::Chain(h) => chain(f, "chain", h),
+            Algorithm::ChainKmc(h) => chain(f, "chain-kmc", h),
             Algorithm::Local => write!(f, "local"),
             Algorithm::Ablation(g) => match (g.five_neighbor_rule, g.properties) {
                 (true, true) => write!(f, "ablation-full"),
@@ -62,22 +113,39 @@ impl FromStr for Algorithm {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Algorithm, String> {
-        match s {
-            "chain" => Ok(Algorithm::Chain),
-            "chain-kmc" | "kmc" => Ok(Algorithm::ChainKmc),
-            "local" => Ok(Algorithm::Local),
-            "ablation-full" | "ablation" => Ok(Algorithm::Ablation(Guards::full())),
-            "ablation-no-five" => Ok(Algorithm::Ablation(Guards::without_five_neighbor_rule())),
-            "ablation-no-prop" => Ok(Algorithm::Ablation(Guards::without_properties())),
-            "ablation-none" => Ok(Algorithm::Ablation(Guards {
+        // `chain+<hamiltonian>` / `chain-kmc+<hamiltonian>` select a
+        // non-default energy; the bare names are the edge-count defaults.
+        let (base, hamiltonian, explicit) = match s.split_once('+') {
+            Some((base, h)) => (base, h.parse::<HamiltonianSpec>()?, true),
+            None => (s, HamiltonianSpec::Edges, false),
+        };
+        let algorithm = match base {
+            "chain" => Algorithm::Chain(hamiltonian),
+            "chain-kmc" | "kmc" => Algorithm::ChainKmc(hamiltonian),
+            "local" => Algorithm::Local,
+            "ablation-full" | "ablation" => Algorithm::Ablation(Guards::full()),
+            "ablation-no-five" => Algorithm::Ablation(Guards::without_five_neighbor_rule()),
+            "ablation-no-prop" => Algorithm::Ablation(Guards::without_properties()),
+            "ablation-none" => Algorithm::Ablation(Guards {
                 five_neighbor_rule: false,
                 properties: false,
-            })),
-            other => Err(format!(
-                "unknown algorithm {other:?} \
-                 (try chain|chain-kmc|local|ablation-full|ablation-no-five|ablation-no-prop)"
-            )),
+            }),
+            other => {
+                return Err(format!(
+                    "unknown algorithm {other:?} \
+                     (try chain|chain-kmc|local|ablation-full|ablation-no-five|ablation-no-prop, \
+                     optionally with +<hamiltonian> on the chain samplers)"
+                ))
+            }
+        };
+        // Any `+` suffix on a non-chain algorithm is an error — even
+        // `local+edges` — rather than being silently discarded.
+        if explicit && !algorithm.is_chain_sampler() {
+            return Err(format!(
+                "algorithm {base:?} does not take a hamiltonian (only chain and chain-kmc do)"
+            ));
         }
+        Ok(algorithm)
     }
 }
 
@@ -272,7 +340,7 @@ pub fn assign_ids_and_seeds(jobs: &mut [JobSpec], base_seed: u64) {
 /// assert_eq!(jobs.len(), 4);
 /// assert_eq!(jobs[3].id, 3);
 /// assert_eq!((jobs[3].n, jobs[3].lambda), (40, 4.0));
-/// assert_eq!(jobs[0].algorithm, Algorithm::Chain);
+/// assert_eq!(jobs[0].algorithm, Algorithm::CHAIN);
 /// assert_eq!(jobs[0].shape, Shape::Line);
 /// assert_ne!(jobs[0].seed, jobs[1].seed);
 /// ```
@@ -282,6 +350,10 @@ pub struct JobGrid {
     lambdas: Vec<f64>,
     shapes: Vec<Shape>,
     algorithms: Vec<Algorithm>,
+    /// When set, expands every chain-sampler algorithm across these
+    /// Hamiltonians (the `--hamiltonian` axis); `None` leaves the
+    /// algorithms' own Hamiltonians untouched.
+    hamiltonians: Option<Vec<HamiltonianSpec>>,
     crashes: Vec<Option<CrashSpec>>,
     reps: u64,
     burnin: u64,
@@ -300,7 +372,8 @@ impl JobGrid {
             ns: vec![100],
             lambdas: vec![4.0],
             shapes: vec![Shape::Line],
-            algorithms: vec![Algorithm::Chain],
+            algorithms: vec![Algorithm::CHAIN],
+            hamiltonians: None,
             crashes: vec![None],
             reps: 1,
             burnin: 0,
@@ -336,6 +409,28 @@ impl JobGrid {
     #[must_use]
     pub fn algorithms(mut self, algorithms: impl IntoIterator<Item = Algorithm>) -> JobGrid {
         self.algorithms = algorithms.into_iter().collect();
+        self
+    }
+
+    /// Sets the Hamiltonian axis: every chain-sampler algorithm is expanded
+    /// across these energies (non-chain algorithms are unaffected and appear
+    /// once). Without this call the algorithms' own Hamiltonians are used.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty axis — it would silently delete every
+    /// chain-sampler job from the sweep.
+    #[must_use]
+    pub fn hamiltonians(
+        mut self,
+        hamiltonians: impl IntoIterator<Item = HamiltonianSpec>,
+    ) -> JobGrid {
+        let hamiltonians: Vec<HamiltonianSpec> = hamiltonians.into_iter().collect();
+        assert!(
+            !hamiltonians.is_empty(),
+            "the hamiltonians axis must not be empty"
+        );
+        self.hamiltonians = Some(hamiltonians);
         self
     }
 
@@ -382,12 +477,30 @@ impl JobGrid {
     }
 
     /// Materializes the cross product in the canonical order
-    /// algorithm → shape → n → λ → crash → rep, with ids and child seeds
-    /// assigned.
+    /// algorithm (× hamiltonian) → shape → n → λ → crash → rep, with ids
+    /// and child seeds assigned.
     #[must_use]
     pub fn build(&self) -> Vec<JobSpec> {
+        // Expand the optional Hamiltonian axis into the algorithm axis so
+        // the cross product below stays one loop nest. Chain samplers fan
+        // out per Hamiltonian; other algorithms appear once.
+        let algorithms: Vec<Algorithm> = match &self.hamiltonians {
+            None => self.algorithms.clone(),
+            Some(hams) => self
+                .algorithms
+                .iter()
+                .flat_map(|&a| {
+                    let hams: &[HamiltonianSpec] = if a.is_chain_sampler() {
+                        hams
+                    } else {
+                        &[HamiltonianSpec::Edges]
+                    };
+                    hams.iter().map(move |&h| a.with_hamiltonian(h))
+                })
+                .collect(),
+        };
         let mut jobs = Vec::new();
-        for &algorithm in &self.algorithms {
+        for &algorithm in &algorithms {
             for &shape in &self.shapes {
                 for &n in &self.ns {
                     for &lambda in &self.lambdas {
@@ -445,6 +558,8 @@ mod tests {
         for a in [
             "chain",
             "chain-kmc",
+            "chain+alignment:3",
+            "chain-kmc+alignment:5",
             "local",
             "ablation-full",
             "ablation-no-five",
@@ -455,6 +570,50 @@ mod tests {
         }
         assert!("triangle".parse::<Shape>().is_err());
         assert!("bogus".parse::<Algorithm>().is_err());
+        // Only the chain samplers take a Hamiltonian — even a redundant
+        // `+edges` suffix is rejected rather than silently discarded.
+        assert!("local+alignment:3".parse::<Algorithm>().is_err());
+        assert!("local+edges".parse::<Algorithm>().is_err());
+        assert!("ablation-full+edges".parse::<Algorithm>().is_err());
+        assert!("chain+ising".parse::<Algorithm>().is_err());
+        // `chain+edges` normalizes to the default display.
+        let explicit: Algorithm = "chain+edges".parse().unwrap();
+        assert_eq!(explicit, Algorithm::CHAIN);
+        assert_eq!(explicit.to_string(), "chain");
+    }
+
+    #[test]
+    fn hamiltonian_axis_expands_chain_samplers_only() {
+        let jobs = JobGrid::new(1)
+            .algorithms([Algorithm::CHAIN, Algorithm::CHAIN_KMC, Algorithm::Local])
+            .hamiltonians([HamiltonianSpec::Edges, HamiltonianSpec::Alignment { q: 3 }])
+            .build();
+        let algos: Vec<String> = jobs.iter().map(|j| j.algorithm.to_string()).collect();
+        assert_eq!(
+            algos,
+            [
+                "chain",
+                "chain+alignment:3",
+                "chain-kmc",
+                "chain-kmc+alignment:3",
+                "local"
+            ]
+        );
+        // Without the axis, the algorithms' own Hamiltonians survive.
+        let jobs = JobGrid::new(1)
+            .algorithms([Algorithm::Chain(HamiltonianSpec::Alignment { q: 4 })])
+            .build();
+        assert_eq!(
+            jobs[0].algorithm.hamiltonian(),
+            Some(HamiltonianSpec::Alignment { q: 4 })
+        );
+        assert_eq!(Algorithm::Local.hamiltonian(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_hamiltonian_axis_panics_instead_of_deleting_jobs() {
+        let _ = JobGrid::new(1).hamiltonians(Vec::new());
     }
 
     #[test]

@@ -13,13 +13,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use sops::core::hamiltonian::{Alignment, HamiltonianSpec};
 use sops::core::snapshot::{self, SnapshotError};
 use sops::core::{CompressionChain, KmcChain, LocalRunner};
-use sops::system::metrics;
+use sops::system::{metrics, ParticleSystem};
 
 use crate::ablation::AblationChain;
 use crate::checkpoint::Store;
-use crate::grid::{Algorithm, JobSpec};
+use crate::grid::{Algorithm, JobSpec, ORIENT_SALT};
 use crate::result::{JobResult, StepRecord};
 use crate::sink::{json_str, EventSink};
 
@@ -43,10 +44,14 @@ pub(crate) struct JobContext<'a> {
     pub(crate) stop_after: Option<u64>,
 }
 
-/// One of the four simulators, dispatched per job.
+/// One of the simulators, dispatched per job. The chain samplers come in
+/// one variant per supported Hamiltonian — the generic seam of `sops-core`
+/// is monomorphized here, at the edge where job specs are data.
 enum Sim {
     Chain(Box<CompressionChain>),
+    ChainAlign(Box<CompressionChain<StdRng, Alignment>>),
     Kmc(Box<KmcChain>),
+    KmcAlign(Box<KmcChain<StdRng, Alignment>>),
     Local(Box<LocalRunner>),
     Ablation(Box<AblationChain>),
 }
@@ -55,16 +60,55 @@ fn invalid(err: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidInput, err.to_string())
 }
 
+/// Attaches the per-particle state a Hamiltonian needs to a job's starting
+/// configuration (orientations for alignment; nothing for edge count). The
+/// assignment is a pure function of the spec, so fresh runs and
+/// checkpoint-resumed runs agree.
+fn prepare_start(start: ParticleSystem, hamiltonian: HamiltonianSpec, seed: u64) -> ParticleSystem {
+    match hamiltonian {
+        HamiltonianSpec::Edges => start,
+        HamiltonianSpec::Alignment { q } => start.with_random_orientations(q, seed ^ ORIENT_SALT),
+    }
+}
+
 impl Sim {
     fn fresh(spec: &JobSpec) -> io::Result<Sim> {
+        // Specs are plain data (public fields), so range invariants the
+        // string parser enforces must be re-checked here; a bad spec is an
+        // InvalidInput error like any other uninstantiable job, not a
+        // worker-thread panic.
+        if let Some(HamiltonianSpec::Alignment { q }) = spec.algorithm.hamiltonian() {
+            if !(2..=64).contains(&q) {
+                return Err(invalid(format!("alignment q must be in 2..=64, got {q}")));
+            }
+        }
         let start = spec.shape.build(spec.n, spec.seed).map_err(invalid)?;
         Ok(match spec.algorithm {
-            Algorithm::Chain => Sim::Chain(Box::new(
+            Algorithm::Chain(HamiltonianSpec::Edges) => Sim::Chain(Box::new(
                 CompressionChain::from_seed(start, spec.lambda, spec.seed).map_err(invalid)?,
             )),
-            Algorithm::ChainKmc => Sim::Kmc(Box::new(
+            Algorithm::Chain(h @ HamiltonianSpec::Alignment { q }) => {
+                let start = prepare_start(start, h, spec.seed);
+                Sim::ChainAlign(Box::new(
+                    CompressionChain::from_seed_with(
+                        start,
+                        spec.lambda,
+                        spec.seed,
+                        Alignment { q },
+                    )
+                    .map_err(invalid)?,
+                ))
+            }
+            Algorithm::ChainKmc(HamiltonianSpec::Edges) => Sim::Kmc(Box::new(
                 KmcChain::from_seed(start, spec.lambda, spec.seed).map_err(invalid)?,
             )),
+            Algorithm::ChainKmc(h @ HamiltonianSpec::Alignment { q }) => {
+                let start = prepare_start(start, h, spec.seed);
+                Sim::KmcAlign(Box::new(
+                    KmcChain::from_seed_with(start, spec.lambda, spec.seed, Alignment { q })
+                        .map_err(invalid)?,
+                ))
+            }
             Algorithm::Local => Sim::Local(Box::new(
                 LocalRunner::from_seed(&start, spec.lambda, spec.seed).map_err(invalid)?,
             )),
@@ -84,16 +128,23 @@ impl Sim {
     fn kind(&self) -> &'static str {
         match self {
             Sim::Chain(_) => "chain",
+            Sim::ChainAlign(_) => "chain-align",
             Sim::Kmc(_) => "kmc",
+            Sim::KmcAlign(_) => "kmc-align",
             Sim::Local(_) => "local",
             Sim::Ablation(_) => "ablation",
         }
     }
 
     fn restore(kind: &str, text: &str) -> Result<Sim, SnapshotError> {
+        // The align kinds carry their orientation count (and any future
+        // Hamiltonian parameters) inside the simulator snapshot's
+        // `hamiltonian=` line; the kind string only selects the type.
         match kind {
             "chain" => Ok(Sim::Chain(Box::new(CompressionChain::restore(text)?))),
+            "chain-align" => Ok(Sim::ChainAlign(Box::new(CompressionChain::restore(text)?))),
             "kmc" => Ok(Sim::Kmc(Box::new(KmcChain::restore(text)?))),
+            "kmc-align" => Ok(Sim::KmcAlign(Box::new(KmcChain::restore(text)?))),
             "local" => Ok(Sim::Local(Box::new(LocalRunner::restore(text)?))),
             "ablation" => Ok(Sim::Ablation(Box::new(AblationChain::restore(text)?))),
             other => Err(SnapshotError::Invalid(format!(
@@ -105,7 +156,9 @@ impl Sim {
     fn snapshot(&self) -> String {
         match self {
             Sim::Chain(c) => c.snapshot(),
+            Sim::ChainAlign(c) => c.snapshot(),
             Sim::Kmc(k) => k.snapshot(),
+            Sim::KmcAlign(k) => k.snapshot(),
             Sim::Local(l) => l.snapshot(),
             Sim::Ablation(a) => a.snapshot(),
         }
@@ -115,7 +168,9 @@ impl Sim {
     fn len(&self) -> usize {
         match self {
             Sim::Chain(c) => c.system().len(),
+            Sim::ChainAlign(c) => c.system().len(),
             Sim::Kmc(k) => k.system().len(),
+            Sim::KmcAlign(k) => k.system().len(),
             Sim::Local(l) => l.len(),
             Sim::Ablation(a) => a.system().len(),
         }
@@ -125,7 +180,9 @@ impl Sim {
     fn work(&self) -> u64 {
         match self {
             Sim::Chain(c) => c.steps(),
+            Sim::ChainAlign(c) => c.steps(),
             Sim::Kmc(k) => k.steps(),
+            Sim::KmcAlign(k) => k.steps(),
             Sim::Local(l) => l.rounds(),
             Sim::Ablation(a) => a.steps(),
         }
@@ -142,7 +199,13 @@ impl Sim {
             Sim::Chain(c) => {
                 c.run(delta);
             }
+            Sim::ChainAlign(c) => {
+                c.run(delta);
+            }
             Sim::Kmc(k) => {
+                k.run(delta);
+            }
+            Sim::KmcAlign(k) => {
                 k.run(delta);
             }
             Sim::Local(l) => l.run_rounds(delta),
@@ -153,7 +216,9 @@ impl Sim {
     fn perimeter(&mut self) -> u64 {
         match self {
             Sim::Chain(c) => c.perimeter(),
+            Sim::ChainAlign(c) => c.perimeter(),
             Sim::Kmc(k) => k.perimeter(),
+            Sim::KmcAlign(k) => k.perimeter(),
             Sim::Local(l) => l.tail_system().perimeter(),
             Sim::Ablation(a) => a.system().perimeter(),
         }
@@ -164,7 +229,13 @@ impl Sim {
             Sim::Chain(c) => {
                 c.crash(id);
             }
+            Sim::ChainAlign(c) => {
+                c.crash(id);
+            }
             Sim::Kmc(k) => {
+                k.crash(id);
+            }
+            Sim::KmcAlign(k) => {
                 k.crash(id);
             }
             Sim::Local(l) => l.crash(id),
@@ -185,12 +256,28 @@ impl Sim {
     fn step_record(&self) -> StepRecord {
         match self {
             Sim::Chain(c) => StepRecord::Chain(c.counts()),
+            Sim::ChainAlign(c) => StepRecord::Chain(c.counts()),
             Sim::Kmc(k) => StepRecord::Kmc {
                 moved: k.counts().moved,
                 total: k.steps(),
                 max_jump: k.counts().max_jump,
             },
+            Sim::KmcAlign(k) => StepRecord::Kmc {
+                moved: k.counts().moved,
+                total: k.steps(),
+                max_jump: k.counts().max_jump,
+            },
             Sim::Local(_) | Sim::Ablation(_) => StepRecord::None,
+        }
+    }
+
+    /// The final count of aligned neighbor pairs `a(σ)` — the alignment
+    /// Hamiltonian's energy — for the simulators that track orientations.
+    fn aligned(&self) -> Option<u64> {
+        match self {
+            Sim::ChainAlign(c) => Some(metrics::aligned_pairs(c.system())),
+            Sim::KmcAlign(k) => Some(metrics::aligned_pairs(k.system())),
+            _ => None,
         }
     }
 
@@ -201,7 +288,15 @@ impl Sim {
                 let p = c.perimeter();
                 (p, c.system().edge_count(), c.system().is_connected())
             }
+            Sim::ChainAlign(c) => {
+                let p = c.perimeter();
+                (p, c.system().edge_count(), c.system().is_connected())
+            }
             Sim::Kmc(k) => {
+                let p = k.perimeter();
+                (p, k.system().edge_count(), k.system().is_connected())
+            }
+            Sim::KmcAlign(k) => {
                 let p = k.perimeter();
                 (p, k.system().edge_count(), k.system().is_connected())
             }
@@ -480,6 +575,7 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
         final_perimeter,
         final_edges,
         final_connected,
+        final_aligned: state.sim.aligned(),
         first_hit: state.first_hit,
         violations: state.sim.violations(),
         counts: state.sim.step_record(),
@@ -497,6 +593,9 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
     }
     if let Some(max_jump) = result.counts.max_jump() {
         extra.push_str(&format!(",\"max_jump\":{max_jump}"));
+    }
+    if let Some(aligned) = result.final_aligned {
+        extra.push_str(&format!(",\"aligned\":{aligned}"));
     }
     ctx.sink.emit(&format!(
         "\"event\":\"job_done\",\"job\":{},\"work\":{},\"final_perimeter\":{final_perimeter}{extra}",

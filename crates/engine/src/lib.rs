@@ -9,7 +9,8 @@
 //!
 //! * **Sweep model** ([`grid`]) — a sweep is a list of independent
 //!   [`grid::JobSpec`]s; [`grid::JobGrid`] builds cross products over
-//!   (algorithm × shape × n × λ × crash scenario × repetition).
+//!   (algorithm (× Hamiltonian) × shape × n × λ × crash scenario ×
+//!   repetition).
 //! * **Worker pool** ([`pool`]) — a fixed-size `std::thread` pool draining
 //!   a shared queue. No external dependencies.
 //! * **Checkpoint/resume** ([`checkpoint`], plus the snapshot APIs in
@@ -80,8 +81,9 @@ pub mod seed;
 pub mod sink;
 
 pub use checkpoint::CheckpointConfig;
-pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape};
+pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape, ORIENT_SALT};
 pub use pool::{default_threads, map_parallel};
 pub use result::{JobResult, StepRecord};
 pub use run::{run_grid, run_sweep, EngineConfig, SweepReport};
 pub use sink::EventSink;
+pub use sops::core::hamiltonian::HamiltonianSpec;

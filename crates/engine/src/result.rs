@@ -135,6 +135,10 @@ pub struct JobResult {
     pub final_edges: u64,
     /// Whether the final configuration is connected.
     pub final_connected: bool,
+    /// Aligned neighbor pairs `a(σ)` of the final configuration —
+    /// `Some` only for alignment-Hamiltonian jobs (the alignment order
+    /// parameter is `final_aligned / final_edges`).
+    pub final_aligned: Option<u64>,
     /// First-hit work (first-hit mode only).
     pub first_hit: Option<u64>,
     /// Invariant violations observed (ablation jobs only).
@@ -164,6 +168,11 @@ impl JobResult {
         let _ = writeln!(s, "final_perimeter={}", self.final_perimeter);
         let _ = writeln!(s, "final_edges={}", self.final_edges);
         let _ = writeln!(s, "connected={}", u8::from(self.final_connected));
+        // Only alignment jobs carry the field; records of default jobs stay
+        // byte-identical to the pre-Hamiltonian format.
+        if let Some(aligned) = self.final_aligned {
+            let _ = writeln!(s, "aligned={aligned}");
+        }
         let _ = writeln!(
             s,
             "first_hit={}",
@@ -191,6 +200,12 @@ impl JobResult {
             Err(SnapshotError::MissingField(_)) => StepRecord::None,
             Err(e) => return Err(e),
         };
+        // Absent for non-alignment jobs (and all pre-Hamiltonian records).
+        let final_aligned = match fields.parse_num::<u64>("aligned") {
+            Ok(v) => Some(v),
+            Err(SnapshotError::MissingField(_)) => None,
+            Err(e) => return Err(e),
+        };
         Ok(JobResult {
             job: fields.parse_num("job")?,
             particles: fields.parse_num("particles")?,
@@ -199,6 +214,7 @@ impl JobResult {
             final_perimeter: fields.parse_num("final_perimeter")?,
             final_edges: fields.parse_num("final_edges")?,
             final_connected: fields.parse_num::<u8>("connected")? != 0,
+            final_aligned,
             first_hit,
             violations: fields.parse_num("violations")?,
             counts,
@@ -220,6 +236,7 @@ mod tests {
             final_perimeter: 40,
             final_edges: 77,
             final_connected: true,
+            final_aligned: None,
             first_hit: Some(99_999),
             violations: 0,
             counts: StepRecord::Chain(StepCounts {
@@ -248,6 +265,7 @@ mod tests {
             final_perimeter: 4,
             final_edges: 8,
             final_connected: true,
+            final_aligned: None,
             first_hit: None,
             violations: 0,
             counts: StepRecord::Kmc {
@@ -281,6 +299,7 @@ mod tests {
             final_perimeter: 10,
             final_edges: 5,
             final_connected: false,
+            final_aligned: None,
             first_hit: None,
             violations: 12,
             counts: StepRecord::None,
@@ -298,6 +317,7 @@ mod tests {
             final_perimeter: 1,
             final_edges: 1,
             final_connected: true,
+            final_aligned: None,
             first_hit: None,
             violations: 0,
             counts: StepRecord::None,

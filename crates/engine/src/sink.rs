@@ -2,9 +2,27 @@
 //!
 //! Every worker thread shares one [`EventSink`]; each event is a single
 //! JSON object on its own line, flushed immediately so an interrupted
-//! process leaves a complete prefix on disk. Event order between *jobs*
-//! depends on scheduling (events stream as they happen); the final CSV —
-//! built from per-job results in job-id order — does not.
+//! process leaves a complete prefix on disk.
+//!
+//! # Contract: line order is nondeterministic at `--threads > 1`
+//!
+//! Events stream as they happen, so lines from concurrently running jobs
+//! interleave by scheduling: **the JSONL file's line order is not
+//! reproducible across runs with more than one worker** (the line *set* is
+//! — every event is still emitted exactly once, and on one thread the whole
+//! file is byte-reproducible). This is a stated contract, not a bug; see
+//! `ARCHITECTURE.md`. Two rules make the interleaving harmless, and
+//! [`EventSink::emit`] debug-asserts them:
+//!
+//! 1. every event line is **self-describing** — it starts with an `"event"`
+//!    field and carries its own `"job"` id where applicable, so a consumer
+//!    can group by job instead of relying on adjacency, and
+//! 2. every event is a **single line** — no embedded newlines, so
+//!    interleaving can reorder lines but never corrupt one.
+//!
+//! Consumers needing a deterministic artifact read the final CSV, which is
+//! built from per-job results in job-id order and is byte-identical at any
+//! thread count.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
@@ -53,6 +71,17 @@ impl EventSink {
     /// than aborting the sweep — events are diagnostics, the authoritative
     /// outputs are the done-records and the final CSV.
     pub fn emit(&self, body: &str) {
+        // The line-order-nondeterminism contract (module docs): because
+        // lines from different jobs interleave at --threads > 1, every
+        // event must identify itself and fit on one line.
+        debug_assert!(
+            body.starts_with("\"event\":"),
+            "JSONL events must lead with their event field (got {body:?})"
+        );
+        debug_assert!(
+            !body.contains('\n'),
+            "JSONL events must be single lines (got {body:?})"
+        );
         if let Some(writer) = &self.writer {
             let mut writer = writer.lock().expect("event sink poisoned");
             let _ = writeln!(writer, "{{{body}}}");

@@ -20,8 +20,8 @@ fn mixed_grid() -> JobGrid {
         .ns([12])
         .lambdas([2.0, 4.0])
         .algorithms([
-            Algorithm::Chain,
-            Algorithm::ChainKmc,
+            Algorithm::CHAIN,
+            Algorithm::CHAIN_KMC,
             Algorithm::Local,
             Algorithm::Ablation(Guards::without_properties()),
         ])
@@ -200,7 +200,7 @@ fn kmc_first_hit_mode_matches_run_until_compressed() {
     let grid = JobGrid::new(5)
         .ns([15])
         .lambdas([5.0])
-        .algorithms([Algorithm::ChainKmc])
+        .algorithms([Algorithm::CHAIN_KMC])
         .steps(2_000_000)
         .samples(0)
         .until_alpha(2.5);
@@ -239,13 +239,13 @@ fn step_counters_reach_the_results_layer() {
     assert!(csv.contains("accept rate"), "CSV must carry acceptance");
     for (spec, result) in report.iter() {
         match spec.algorithm {
-            Algorithm::Chain => {
+            Algorithm::Chain(_) => {
                 let total = result.counts.total().expect("chain counts");
                 assert_eq!(total, result.work_done);
                 assert!(result.counts.accepted().unwrap() > 0);
                 assert!(result.counts.max_jump().is_none());
             }
-            Algorithm::ChainKmc => {
+            Algorithm::ChainKmc(_) => {
                 assert_eq!(result.counts.total(), Some(result.work_done));
                 assert!(result.counts.accepted().unwrap() > 0);
                 let rate = result.counts.acceptance_rate().unwrap();

@@ -83,7 +83,7 @@ const fn cache_index(tx: i32, ty: i32) -> usize {
 }
 
 /// A sparse site → `u32` map over the triangular lattice, bit-packed into
-/// 8×8-site `u64` tiles (see the [module docs](self) for the encoding).
+/// 8×8-site `u64` tiles (see the module docs in `grid.rs` for the encoding).
 ///
 /// This is the occupancy substrate behind `sops_system::ParticleSystem` and
 /// the local-algorithm simulator: `contains`/`get`/`insert`/`remove` are

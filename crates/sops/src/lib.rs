@@ -19,7 +19,7 @@
 //! |--------|----------|
 //! | [`lattice`] | triangular lattice `G∆`, directions, hexagonal dual |
 //! | [`system`] | configurations, edges/perimeter/holes, Properties 1 & 2, shapes |
-//! | [`core`] | the Markov chain `M` and the asynchronous local algorithm `A` |
+//! | [`core`] | the Markov chain `M` (pluggable Hamiltonians, rejection-free sampler) and the asynchronous local algorithm `A` |
 //! | [`enumerate`] | exact enumeration, exact transition matrices, SAW counts |
 //! | [`analysis`] | statistics toolkit for the experiment harness |
 //! | [`render`] | ASCII/SVG rendering of configurations |
@@ -50,10 +50,58 @@ pub use sops_render as render;
 pub use sops_system as system;
 
 /// One-line imports for the common workflow.
+///
+/// # Quickstart: the paper's chain
+///
+/// ```
+/// use sops::prelude::*;
+///
+/// let start = ParticleSystem::connected(shapes::line(20)).unwrap();
+/// let mut chain = CompressionChain::from_seed(start, 4.0, 1).unwrap();
+/// chain.run(50_000);
+/// assert!(chain.perimeter() < 38); // λ = 4 > 2 + √2 compresses
+/// ```
+///
+/// # Quickstart: a different Hamiltonian
+///
+/// The samplers are generic over the local energy they bias toward — see
+/// [`sops_core::hamiltonian`]. Alignment needs per-particle orientations:
+///
+/// ```
+/// use sops::prelude::*;
+///
+/// let start = ParticleSystem::connected(shapes::spiral(24))
+///     .unwrap()
+///     .with_random_orientations(3, 7);
+/// let mut chain =
+///     CompressionChain::from_seed_with(start, 4.0, 1, Alignment::new(3)).unwrap();
+/// chain.run(50_000);
+/// // Like-oriented particles cluster: well above the 1/q random baseline.
+/// assert!(metrics::alignment_order(chain.system()) > 1.0 / 3.0);
+/// ```
+///
+/// # Quickstart: rejection-free sampling
+///
+/// [`KmcChain`](sops_core::KmcChain) is equal in law to
+/// [`CompressionChain`](sops_core::CompressionChain) at step granularity
+/// but does work per *accepted* move only:
+///
+/// ```
+/// use sops::prelude::*;
+///
+/// let start = ParticleSystem::connected(shapes::spiral(50)).unwrap();
+/// let mut kmc = KmcChain::from_seed(start, 6.0, 1).unwrap();
+/// let accepted = kmc.run(100_000);
+/// assert_eq!(kmc.steps(), 100_000);
+/// assert!(accepted > 0 && accepted < 100_000);
+/// ```
 pub mod prelude {
     pub use rand::rngs::StdRng;
     pub use rand::SeedableRng;
     pub use sops_core::chain::{ChainError, CompressionChain, StepOutcome, TrajectoryPoint};
+    pub use sops_core::hamiltonian::{
+        Alignment, EdgeCount, Hamiltonian, HamiltonianSpec, MoveContext,
+    };
     pub use sops_core::kmc::{KmcChain, KmcCounts};
     pub use sops_core::local::LocalRunner;
     pub use sops_core::{LAMBDA_COMPRESSION, LAMBDA_EXPANSION};

@@ -51,6 +51,10 @@ pub struct ParticleSystem {
     grid: TileGrid,
     pos: Vec<TriPoint>,
     edges: u64,
+    /// Optional per-particle orientation (indexed by id, like `pos`).
+    /// Quenched state for Hamiltonians beyond edge count — moves relocate a
+    /// particle but never change its orientation.
+    orientation: Option<Vec<u8>>,
 }
 
 impl ParticleSystem {
@@ -76,6 +80,7 @@ impl ParticleSystem {
             grid,
             pos,
             edges: 0,
+            orientation: None,
         };
         sys.edges = sys.recount_edges();
         Ok(sys)
@@ -165,6 +170,68 @@ impl ParticleSystem {
     /// Iterates over the occupied lattice locations (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = TriPoint> + '_ {
         self.pos.iter().copied()
+    }
+
+    /// Attaches per-particle orientations (indexed by particle id).
+    ///
+    /// Orientations are *quenched* state for Hamiltonians beyond edge count
+    /// (e.g. alignment): a move relocates a particle but never changes its
+    /// orientation, so the vector stays id-indexed across any number of
+    /// moves. Configurations without orientations (the default) behave
+    /// exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// [`SystemError::OrientationCount`] when the vector length differs
+    /// from the particle count.
+    pub fn with_orientations(
+        mut self,
+        orientations: Vec<u8>,
+    ) -> Result<ParticleSystem, SystemError> {
+        if orientations.len() != self.pos.len() {
+            return Err(SystemError::OrientationCount {
+                expected: self.pos.len(),
+                got: orientations.len(),
+            });
+        }
+        self.orientation = Some(orientations);
+        Ok(self)
+    }
+
+    /// Attaches uniformly random orientations in `0..q`, drawn from a
+    /// dedicated [`rand::rngs::StdRng`] seeded with `seed` (so the
+    /// assignment is a pure function of `(q, seed)`, independent of any
+    /// simulation RNG stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q == 0`.
+    #[must_use]
+    pub fn with_random_orientations(self, q: u8, seed: u64) -> ParticleSystem {
+        use rand::{Rng as _, SeedableRng as _};
+        assert!(q > 0, "orientation count must be positive");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let orientations = (0..self.pos.len()).map(|_| rng.gen_range(0..q)).collect();
+        self.with_orientations(orientations)
+            .expect("generated vector has the right length")
+    }
+
+    /// The orientation of particle `id`, when orientations are attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= n` while orientations are attached.
+    #[inline]
+    #[must_use]
+    pub fn orientation(&self, id: ParticleId) -> Option<u8> {
+        self.orientation.as_ref().map(|o| o[id])
+    }
+
+    /// All per-particle orientations (id-indexed), when attached.
+    #[inline]
+    #[must_use]
+    pub fn orientations(&self) -> Option<&[u8]> {
+        self.orientation.as_deref()
     }
 
     /// The number of occupied neighbors of location `p`, answered from at
@@ -392,7 +459,8 @@ impl ParticleSystem {
 
 impl PartialEq for ParticleSystem {
     /// Configurations compare equal when they occupy the same locations
-    /// (particle ids are anonymous, as in the paper).
+    /// (particle ids are anonymous, as in the paper; orientations are
+    /// auxiliary per-particle state and do not participate).
     fn eq(&self, other: &Self) -> bool {
         self.pos.len() == other.pos.len() && self.pos.iter().all(|p| other.is_occupied(*p))
     }
@@ -496,6 +564,43 @@ mod tests {
         assert_eq!(a, b);
         let c = ParticleSystem::new([TriPoint::new(0, 0), TriPoint::new(0, 1)]).unwrap();
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn orientations_attach_and_survive_moves() {
+        let sys = ParticleSystem::connected(shapes::line(4)).unwrap();
+        assert_eq!(sys.orientations(), None);
+        assert_eq!(sys.orientation(0), None);
+        let mut sys = sys.with_orientations(vec![0, 1, 2, 1]).unwrap();
+        assert_eq!(sys.orientation(3), Some(1));
+        let id = sys.particle_at(TriPoint::new(3, 0)).unwrap();
+        sys.move_particle(id, Direction::NW).unwrap();
+        // Orientations are id-indexed; the move changes nothing.
+        assert_eq!(sys.orientations(), Some(&[0, 1, 2, 1][..]));
+    }
+
+    #[test]
+    fn orientation_length_mismatch_is_rejected() {
+        let sys = ParticleSystem::connected(shapes::line(4)).unwrap();
+        assert_eq!(
+            sys.with_orientations(vec![0, 1]).unwrap_err(),
+            SystemError::OrientationCount {
+                expected: 4,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn random_orientations_are_a_function_of_seed() {
+        let build = |seed| {
+            ParticleSystem::connected(shapes::line(30))
+                .unwrap()
+                .with_random_orientations(4, seed)
+        };
+        assert_eq!(build(7).orientations(), build(7).orientations());
+        assert_ne!(build(7).orientations(), build(8).orientations());
+        assert!(build(7).orientations().unwrap().iter().all(|&o| o < 4));
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum SystemError {
         /// The requested destination.
         to: TriPoint,
     },
+    /// An orientation vector's length disagreed with the particle count.
+    OrientationCount {
+        /// The particle count `n`.
+        expected: usize,
+        /// The supplied vector length.
+        got: usize,
+    },
 }
 
 impl fmt::Display for SystemError {
@@ -37,6 +44,9 @@ impl fmt::Display for SystemError {
             SystemError::NoSuchParticle(id) => write!(f, "no particle with id {id}"),
             SystemError::NotAdjacent { from, to } => {
                 write!(f, "locations {from} and {to} are not adjacent")
+            }
+            SystemError::OrientationCount { expected, got } => {
+                write!(f, "expected {expected} orientations, got {got}")
             }
         }
     }

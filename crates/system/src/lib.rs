@@ -13,7 +13,7 @@
 //!   vertices, backed by the bit-packed [`sops_lattice::TileGrid`]: O(1)
 //!   occupancy queries, word-level neighbor counts and ring masks, and an
 //!   incrementally maintained edge count.
-//! * [`reference`] — the retained hash-map-backed implementation, used as a
+//! * [`mod@reference`] — the retained hash-map-backed implementation, used as a
 //!   differential-testing oracle for the grid.
 //! * [`moves`] — O(1) move validity from the 8-bit occupancy mask of the
 //!   [`sops_lattice::PairRing`], with first-principles reference

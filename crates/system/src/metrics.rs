@@ -14,6 +14,8 @@
 //! against the explicit spiral construction of [`crate::shapes::spiral`] for
 //! larger `n`.
 
+use sops_lattice::Direction;
+
 use crate::ParticleSystem;
 
 /// Integer ceiling of `√v`.
@@ -107,6 +109,46 @@ pub fn expansion_ratio(sys: &ParticleSystem) -> f64 {
         return f64::NAN;
     }
     sys.perimeter() as f64 / denom as f64
+}
+
+/// The number of *aligned* configuration edges `a(σ)`: edges whose two
+/// endpoint particles carry the same orientation.
+///
+/// This is the energy of the alignment Hamiltonian in `sops-core`
+/// (`H(σ) = a(σ)`, bias `λ^{a(σ)}`). Zero when the configuration carries no
+/// orientations ([`ParticleSystem::orientations`]).
+#[must_use]
+pub fn aligned_pairs(sys: &ParticleSystem) -> u64 {
+    let Some(orientations) = sys.orientations() else {
+        return 0;
+    };
+    let mut twice = 0u64;
+    for (id, &p) in sys.positions().iter().enumerate() {
+        for d in Direction::ALL {
+            if let Some(nb) = sys.particle_at(p + d) {
+                if orientations[nb] == orientations[id] {
+                    twice += 1;
+                }
+            }
+        }
+    }
+    // Each aligned edge was counted once from each endpoint.
+    twice / 2
+}
+
+/// The alignment order parameter `a(σ) / e(σ)`: the fraction of
+/// configuration edges whose endpoints share an orientation.
+///
+/// `1/q` in a well-mixed random assignment of `q` orientations, approaching
+/// 1 as like-oriented particles separate into single-orientation domains.
+/// Returns `f64::NAN` when the configuration has no edges.
+#[must_use]
+pub fn alignment_order(sys: &ParticleSystem) -> f64 {
+    let edges = sys.edge_count();
+    if edges == 0 {
+        return f64::NAN;
+    }
+    aligned_pairs(sys) as f64 / edges as f64
 }
 
 /// Verifies the hole-free geometry identities of Lemmas 2.3 and 2.4 on a
@@ -217,6 +259,31 @@ mod tests {
             assert_hole_free_identities(&ParticleSystem::connected(shapes::line(n)).unwrap());
             assert_hole_free_identities(&ParticleSystem::connected(shapes::spiral(n)).unwrap());
         }
+    }
+
+    #[test]
+    fn aligned_pairs_counts_matching_edges() {
+        // A line 0-1-2-3 with orientations [0, 0, 1, 1]: edges (0,1) and
+        // (2,3) are aligned, edge (1,2) is not.
+        let sys = ParticleSystem::connected(shapes::line(4))
+            .unwrap()
+            .with_orientations(vec![0, 0, 1, 1])
+            .unwrap();
+        assert_eq!(aligned_pairs(&sys), 2);
+        assert!((alignment_order(&sys) - 2.0 / 3.0).abs() < 1e-12);
+        // No orientations ⇒ no aligned pairs by definition.
+        let plain = ParticleSystem::connected(shapes::line(4)).unwrap();
+        assert_eq!(aligned_pairs(&plain), 0);
+        // Uniform orientations ⇒ every edge aligned.
+        let uniform = plain.with_orientations(vec![2; 4]).unwrap();
+        assert_eq!(aligned_pairs(&uniform), uniform.edge_count());
+        assert!((alignment_order(&uniform) - 1.0).abs() < 1e-12);
+        // A single particle has no edges.
+        let single = ParticleSystem::new([sops_lattice::TriPoint::ORIGIN])
+            .unwrap()
+            .with_orientations(vec![0])
+            .unwrap();
+        assert!(alignment_order(&single).is_nan());
     }
 
     #[test]

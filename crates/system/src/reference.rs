@@ -1,5 +1,5 @@
 //! The retained hash-map-backed configuration model, kept as a
-//! differential-testing oracle for the grid-backed [`ParticleSystem`].
+//! differential-testing oracle for the grid-backed [`crate::ParticleSystem`].
 //!
 //! [`RefSystem`] is the pre-grid implementation of the configuration layer:
 //! a [`TriMap`] from location to particle id, per-site occupancy probes for

@@ -192,7 +192,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::*;
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,

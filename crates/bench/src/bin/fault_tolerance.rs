@@ -22,12 +22,16 @@
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::tail_mean;
 use sops::prelude::*;
-use sops_bench::{out, Args};
-use sops_engine::grid::assign_ids_and_seeds;
-use sops_engine::{run_sweep, Algorithm, CrashSpec, EngineConfig, JobSpec, Shape};
+use sops_bench::{help, out, Args};
+use sops_engine::{run_sweep, Algorithm, CrashSpec, EngineConfig, ExperimentSpec, GridSpec};
+
+const USAGE: &str = "\
+fault_tolerance — E11: compression despite crash failures
+  --n N --lambda L --steps S --seed S --threads T --quick";
 
 fn main() {
     let args = Args::from_env();
+    help::maybe_help(&args, USAGE);
     let quick = args.flag("quick");
     let n = args.get_usize("n", 100);
     let lambda = args.get_f64("lambda", 4.0);
@@ -60,48 +64,57 @@ fn main() {
             ]
         })
         .collect();
+    let crashes: Vec<Option<CrashSpec>> = scenarios.iter().map(|(_, crash)| Some(*crash)).collect();
 
-    // One job per (scenario × algorithm); chain budgets are in steps, local
-    // budgets in rounds, so the specs are built by hand rather than as a
-    // grid cross product.
-    let mut specs = Vec::new();
-    for (_, crash) in &scenarios {
-        for algorithm in [Algorithm::CHAIN, Algorithm::Local] {
-            let budget = match algorithm {
-                Algorithm::Chain(_) => steps,
-                _ => rounds,
-            };
-            let mut spec = JobSpec::new(algorithm, Shape::Line, n, lambda, budget / 2);
-            spec.burnin = budget / 2;
-            spec.samples = 50;
-            spec.crash = Some(*crash);
-            specs.push(spec);
-        }
-    }
-    assign_ids_and_seeds(&mut specs, args.get_u64("seed", 50));
+    // Chain budgets are in steps, local budgets in rounds, so the sweep is
+    // two grids of one algorithm each — the same two-[[grid]] structure as
+    // examples/experiments/crash_fault_tolerance.toml.
+    let per_algorithm = |algorithm: Algorithm, budget: u64| GridSpec {
+        algorithms: vec![algorithm],
+        ns: vec![n],
+        lambdas: vec![lambda],
+        crashes: crashes.clone(),
+        burnin: budget / 2,
+        steps: budget / 2,
+        samples: 50,
+        ..GridSpec::default()
+    };
+    let mut spec = ExperimentSpec::new("fault-tolerance", args.get_u64("seed", 50));
+    spec.grids = vec![
+        per_algorithm(Algorithm::CHAIN, steps),
+        per_algorithm(Algorithm::Local, rounds),
+    ];
 
     let report = run_sweep(
-        specs,
+        spec.jobs(),
         &EngineConfig {
             threads: args.threads(),
+            experiment: Some(spec.name.clone()),
             ..EngineConfig::default()
         },
     )
     .expect("sweep");
 
-    // α over the stable tail (last 50% of the sampled window).
-    let alpha_of = |id: usize| {
-        let result = report.result_for(id).expect("complete sweep");
-        assert!(result.final_connected, "must stay connected (job {id})");
+    // α over the stable tail (last 50% of the sampled window), looked up by
+    // the (algorithm, crash) cell rather than job-id arithmetic.
+    let alpha_of = |algorithm: Algorithm, crash: CrashSpec| {
+        let (_, result) = report
+            .iter()
+            .find(|(spec, _)| spec.algorithm == algorithm && spec.crash == Some(crash))
+            .expect("complete sweep");
+        assert!(
+            result.final_connected,
+            "must stay connected ({algorithm}, {crash})"
+        );
         tail_mean(&result.samples, 0.5) / metrics::pmin(n) as f64
     };
 
     let mut table = Table::new(["scenario", "α under chain M", "α under local A"]);
-    for (i, (name, _)) in scenarios.iter().enumerate() {
+    for (name, crash) in &scenarios {
         table.row([
             name.clone(),
-            fmt_f64(alpha_of(2 * i), 2),
-            fmt_f64(alpha_of(2 * i + 1), 2),
+            fmt_f64(alpha_of(Algorithm::CHAIN, *crash), 2),
+            fmt_f64(alpha_of(Algorithm::Local, *crash), 2),
         ]);
     }
     out::emit("fault_tolerance", &table).expect("write results");

@@ -16,11 +16,16 @@
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::{block_means, integrated_autocorrelation_time};
 use sops::prelude::*;
-use sops_bench::{out, Args};
-use sops_engine::{run_grid, Algorithm, EngineConfig, JobGrid};
+use sops_bench::{help, out, Args};
+use sops_engine::{run_sweep, Algorithm, EngineConfig, ExperimentSpec};
+
+const USAGE: &str = "\
+mixing_diagnostics — E15: IAT / effective-sample diagnostics of chain M
+  --n N --sweeps S --algo A --hamiltonian H --threads T --quick";
 
 fn main() {
     let args = Args::from_env();
+    help::maybe_help(&args, USAGE);
     let quick = args.flag("quick");
     let n = args.get_usize("n", 50);
     let sweeps = args.get_u64("sweeps", if quick { 4_000 } else { 40_000 });
@@ -39,17 +44,18 @@ fn main() {
     println!("n = {n}, {sweeps} sweeps (1 sweep = n iterations), perimeter observable\n");
 
     let lambdas = [1.5, 2.0, 3.0, 4.0, 6.0];
-    let grid = JobGrid::new(77)
-        .ns([n])
-        .lambdas(lambdas)
-        .algorithms([algo])
-        .burnin(sweeps / 3 * n as u64)
-        .steps(sweeps * n as u64)
-        .samples(sweeps);
-    let report = run_grid(
-        &grid,
+    let mut spec = ExperimentSpec::new("mixing-diagnostics", 77);
+    spec.grids[0].ns = vec![n];
+    spec.grids[0].lambdas = lambdas.to_vec();
+    spec.grids[0].algorithms = vec![algo];
+    spec.grids[0].burnin = sweeps / 3 * n as u64;
+    spec.grids[0].steps = sweeps * n as u64;
+    spec.grids[0].samples = sweeps;
+    let report = run_sweep(
+        spec.jobs(),
         &EngineConfig {
             threads: args.threads(),
+            experiment: Some(spec.name.clone()),
             ..EngineConfig::default()
         },
     )

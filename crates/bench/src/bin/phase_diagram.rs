@@ -15,11 +15,16 @@ use sops::analysis::plot::sparkline;
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::timeseries::tail_mean;
 use sops::prelude::*;
-use sops_bench::{out, Args};
-use sops_engine::{run_grid, EngineConfig, JobGrid};
+use sops_bench::{help, out, Args};
+use sops_engine::{run_sweep, EngineConfig, ExperimentSpec};
+
+const USAGE: &str = "\
+phase_diagram — E6: long-run perimeter vs the bias lambda
+  --n N --steps S --seed S --threads T --quick";
 
 fn main() {
     let args = Args::from_env();
+    help::maybe_help(&args, USAGE);
     let quick = args.flag("quick");
     let n = args.get_usize("n", 100);
     let steps = args.get_u64("steps", if quick { 200_000 } else { 4_000_000 });
@@ -36,16 +41,19 @@ fn main() {
         LAMBDA_EXPANSION, LAMBDA_COMPRESSION
     );
 
-    // Independent chains, one job per λ, on the shared engine pool.
-    let grid = JobGrid::new(seed)
-        .ns([n])
-        .lambdas(lambdas)
-        .steps(steps)
-        .samples(100);
-    let report = run_grid(
-        &grid,
+    // Independent chains, one job per λ — the same sweep
+    // `examples/experiments/` expresses as a file, built here as an
+    // ExperimentSpec so flags and files share one grid-construction path.
+    let mut spec = ExperimentSpec::new("phase-diagram", seed);
+    spec.grids[0].ns = vec![n];
+    spec.grids[0].lambdas = lambdas.to_vec();
+    spec.grids[0].steps = steps;
+    spec.grids[0].samples = 100;
+    let report = run_sweep(
+        spec.jobs(),
         &EngineConfig {
             threads: args.threads(),
+            experiment: Some(spec.name.clone()),
             ..EngineConfig::default()
         },
     )

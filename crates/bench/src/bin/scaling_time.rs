@@ -16,11 +16,17 @@
 use sops::analysis::stats::Summary;
 use sops::analysis::table::{fmt_f64, Table};
 use sops::analysis::LinearFit;
-use sops_bench::{out, Args};
-use sops_engine::{run_grid, Algorithm, EngineConfig, JobGrid};
+use sops_bench::{help, out, Args};
+use sops_engine::{run_sweep, Algorithm, EngineConfig, ExperimentSpec};
+
+const USAGE: &str = "\
+scaling_time — E7: first-hit iterations until alpha-compression vs n
+  --lambda L --alpha A --reps R --max-steps S --seed S --algo A
+  --hamiltonian H --threads T --quick";
 
 fn main() {
     let args = Args::from_env();
+    help::maybe_help(&args, USAGE);
     let quick = args.flag("quick");
     let lambda = args.get_f64("lambda", 4.0);
     let alpha = args.get_f64("alpha", 2.0);
@@ -46,17 +52,18 @@ fn main() {
     println!("λ = {lambda}, target α = {alpha}, {reps} repetitions per n\n");
 
     // One engine job per (n, repetition), all racing on the shared pool.
-    let grid = JobGrid::new(args.get_u64("seed", 1000))
-        .ns(sizes.iter().copied())
-        .lambdas([lambda])
-        .algorithms([algo])
-        .reps(reps)
-        .steps(max_steps)
-        .until_alpha(alpha);
-    let report = run_grid(
-        &grid,
+    let mut spec = ExperimentSpec::new("scaling-time", args.get_u64("seed", 1000));
+    spec.grids[0].ns = sizes.clone();
+    spec.grids[0].lambdas = vec![lambda];
+    spec.grids[0].algorithms = vec![algo];
+    spec.grids[0].reps = reps;
+    spec.grids[0].steps = max_steps;
+    spec.grids[0].until_alpha = Some(alpha);
+    let report = run_sweep(
+        spec.jobs(),
         &EngineConfig {
             threads: args.threads(),
+            experiment: Some(spec.name.clone()),
             ..EngineConfig::default()
         },
     )

@@ -4,6 +4,10 @@ use std::collections::BTreeMap;
 
 /// Parsed command-line arguments: `--key value` pairs plus bare flags.
 ///
+/// A flag may repeat (`--override a=1 --override b=2`): the scalar getters
+/// return the **last** value, [`Args::get_strings`] returns all of them in
+/// order.
+///
 /// # Example
 ///
 /// ```
@@ -16,7 +20,7 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct Args {
-    values: BTreeMap<String, String>,
+    values: BTreeMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
@@ -43,7 +47,11 @@ impl Args {
             match iter.peek() {
                 Some(next) if !next.starts_with("--") => {
                     let value = iter.next().expect("peeked");
-                    parsed.values.insert(key.to_string(), value);
+                    parsed
+                        .values
+                        .entry(key.to_string())
+                        .or_default()
+                        .push(value);
                 }
                 _ => parsed.flags.push(key.to_string()),
             }
@@ -64,8 +72,7 @@ impl Args {
     /// Panics when the value does not parse.
     #[must_use]
     pub fn get_usize(&self, name: &str, default: usize) -> usize {
-        self.values
-            .get(name)
+        self.get_string(name)
             .map(|v| {
                 v.parse()
                     .unwrap_or_else(|_| panic!("--{name} expects an integer"))
@@ -80,8 +87,7 @@ impl Args {
     /// Panics when the value does not parse.
     #[must_use]
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
-        self.values
-            .get(name)
+        self.get_string(name)
             .map(|v| {
                 v.parse()
                     .unwrap_or_else(|_| panic!("--{name} expects an integer"))
@@ -89,10 +95,19 @@ impl Args {
             .unwrap_or(default)
     }
 
-    /// A string value, if present.
+    /// A string value, if present (the last one when the flag repeats).
     #[must_use]
     pub fn get_string(&self, name: &str) -> Option<String> {
-        self.values.get(name).cloned()
+        self.values
+            .get(name)
+            .and_then(|values| values.last().cloned())
+    }
+
+    /// Every value passed for a repeatable flag, in order (empty when the
+    /// flag was never passed) — e.g. `sops-cli run`'s `--override`.
+    #[must_use]
+    pub fn get_strings(&self, name: &str) -> Vec<String> {
+        self.values.get(name).cloned().unwrap_or_default()
     }
 
     /// The shared `--threads N` flag: worker-thread count for parallel
@@ -148,8 +163,7 @@ impl Args {
     /// Panics when the value does not parse.
     #[must_use]
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
-        self.values
-            .get(name)
+        self.get_string(name)
             .map(|v| {
                 v.parse()
                     .unwrap_or_else(|_| panic!("--{name} expects a number"))
@@ -176,6 +190,19 @@ mod tests {
     fn defaults_apply() {
         let args = Args::from_iter(std::iter::empty());
         assert_eq!(args.get_usize("n", 42), 42);
+    }
+
+    #[test]
+    fn repeated_flags_keep_every_value_in_order() {
+        let args = Args::from_iter(
+            ["--override", "a=1", "--n", "5", "--override", "b=2"].map(String::from),
+        );
+        assert_eq!(args.get_strings("override"), ["a=1", "b=2"]);
+        assert_eq!(args.get_string("override").as_deref(), Some("b=2"));
+        assert_eq!(args.get_strings("absent"), Vec::<String>::new());
+        // Scalar getters see the last value of a repeated flag.
+        let args = Args::from_iter(["--n", "5", "--n", "9"].map(String::from));
+        assert_eq!(args.get_usize("n", 0), 9);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! The shared `--help` text: one source of truth for the algorithm and
+//! Hamiltonian descriptions.
+//!
+//! Before this module the four experiment binaries and `sops-cli` each
+//! carried their own (drifting) copies of what `chain`, `chain-kmc`,
+//! `local` and the Hamiltonians mean. These consts are now the single
+//! copy: every binary's `--help` prints them via [`maybe_help`],
+//! `sops-cli help` embeds them, and `docs/EXPERIMENTS.md` quotes them
+//! verbatim (pinned by a docs-sync test).
+
+use crate::Args;
+
+/// The algorithm axis, as spelled in `--algo` flags and the `algorithms`
+/// key of experiment files.
+pub const ALGO_HELP: &str =
+    "  chain          the paper's Markov chain M over the selected Hamiltonian;
+                 work units are chain steps
+  chain-kmc      rejection-free kinetic sampler of M: the same distribution
+                 step-for-step, but work per accepted move only — fastest in
+                 strongly-rejecting regimes (high lambda equilibrium)
+  local          the asynchronous local algorithm A; work units are rounds
+  ablation-full / ablation-no-five / ablation-no-prop
+                 deliberately weakened chain variants demonstrating why the
+                 paper's move conditions are necessary";
+
+/// The Hamiltonian axis, as spelled in `--hamiltonian` flags, `chain+<h>`
+/// algorithm suffixes, and the `hamiltonians` key of experiment files.
+pub const HAMILTONIAN_HELP: &str =
+    "  edges          the paper's compression bias: H counts nearest-neighbor
+                 edges and pi(sigma) is proportional to lambda^H(sigma)
+  alignment[:q]  bias toward like-oriented neighbors over q quenched
+                 orientations (default q = 3); an alignment job's lambda
+                 drives the alignment order parameter a/e, reported as
+                 \"aligned\" in JSONL job_done events";
+
+/// Prints a binary's usage plus the shared axis descriptions and exits
+/// when `--help` was passed; a no-op otherwise. Call first thing in every
+/// experiment binary's `main`.
+pub fn maybe_help(args: &Args, usage: &str) {
+    if args.flag("help") {
+        println!(
+            "{usage}\n\nALGORITHMS (--algo / algorithms =):\n{ALGO_HELP}\n\n\
+             HAMILTONIANS (--hamiltonian / hamiltonians =):\n{HAMILTONIAN_HELP}"
+        );
+        std::process::exit(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_text_names_every_algorithm_and_hamiltonian() {
+        for name in ["chain", "chain-kmc", "local", "ablation-full"] {
+            assert!(ALGO_HELP.contains(name), "ALGO_HELP must mention {name}");
+        }
+        for name in ["edges", "alignment"] {
+            assert!(
+                HAMILTONIAN_HELP.contains(name),
+                "HAMILTONIAN_HELP must mention {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn maybe_help_is_a_no_op_without_the_flag() {
+        let args = Args::from_iter(["--n", "5"].map(String::from));
+        maybe_help(&args, "usage"); // must not exit
+    }
+}

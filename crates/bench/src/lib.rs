@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod help;
 pub mod out;
 
 /// The ablation chain now lives in the execution engine (so it can be

@@ -1,0 +1,55 @@
+//! Keeps `docs/EXPERIMENTS.md` in sync with the shared `--help` consts.
+//!
+//! The algorithm and Hamiltonian vocabularies have exactly one prose
+//! description each (`sops_bench::help`); the experiment-format reference
+//! quotes them verbatim. If either const changes, this test fails until
+//! the docs are updated — the documentation cannot silently drift from
+//! what `--help` prints.
+
+use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP};
+
+fn experiments_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/EXPERIMENTS.md");
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn experiments_doc_quotes_algo_help_verbatim() {
+    let docs = experiments_md();
+    assert!(
+        docs.contains(ALGO_HELP),
+        "docs/EXPERIMENTS.md must contain sops_bench::help::ALGO_HELP verbatim;\n\
+         update the ALGORITHMS code block to:\n{ALGO_HELP}"
+    );
+}
+
+#[test]
+fn experiments_doc_quotes_hamiltonian_help_verbatim() {
+    let docs = experiments_md();
+    assert!(
+        docs.contains(HAMILTONIAN_HELP),
+        "docs/EXPERIMENTS.md must contain sops_bench::help::HAMILTONIAN_HELP verbatim;\n\
+         update the HAMILTONIANS code block to:\n{HAMILTONIAN_HELP}"
+    );
+}
+
+#[test]
+fn experiments_doc_names_every_checked_in_example() {
+    let docs = experiments_md();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/experiments");
+    let mut count = 0;
+    for entry in std::fs::read_dir(dir).expect("examples/experiments exists") {
+        let name = entry.unwrap().file_name().into_string().unwrap();
+        if name.ends_with(".toml") {
+            assert!(
+                docs.contains(&name),
+                "docs/EXPERIMENTS.md must mention example {name}"
+            );
+            count += 1;
+        }
+    }
+    assert!(
+        count >= 4,
+        "expected at least 4 example files, found {count}"
+    );
+}

@@ -1,10 +1,11 @@
-//! Shared helpers for the CLI subcommands, plus the `sweep` command.
+//! Shared helpers for the CLI subcommands, plus the `sweep` and `run`
+//! commands.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sops::prelude::*;
 use sops_bench::{out, Args};
-use sops_engine::{CheckpointConfig, EngineConfig, JobGrid};
+use sops_engine::{CheckpointConfig, EngineConfig, ExperimentSpec, JobGrid, JobSpec};
 
 /// Builds the starting configuration from `--shape` (default: line).
 ///
@@ -153,9 +154,17 @@ pub fn sweep(args: &Args) {
                 std::process::exit(2);
             })
         }),
+        // Flag-driven sweeps carry no experiment provenance — artifacts stay
+        // byte-identical to pre-experiment-file versions.
+        experiment: None,
     };
 
-    let jobs = grid.build();
+    execute_sweep(grid.build(), &cfg, seed, &out_name);
+}
+
+/// Runs a resolved job list on the engine and emits the final table —
+/// shared by `sweep` (flag-built grids) and `run` (experiment files).
+fn execute_sweep(jobs: Vec<JobSpec>, cfg: &EngineConfig, seed: u64, out_name: &str) {
     println!(
         "sweep: {} jobs on {} threads (seed {seed}){}",
         jobs.len(),
@@ -169,7 +178,7 @@ pub fn sweep(args: &Args) {
             ))
             .unwrap_or_default()
     );
-    let report = match sops_engine::run_sweep(jobs, &cfg) {
+    let report = match sops_engine::run_sweep(jobs, cfg) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("sweep failed: {err}");
@@ -187,7 +196,7 @@ pub fn sweep(args: &Args) {
         );
         return;
     }
-    match out::emit(&out_name, &report.to_table()) {
+    match out::emit(out_name, &report.to_table()) {
         Ok(_) => println!("sweep complete: {} jobs", report.results.len()),
         Err(err) => {
             eprintln!("failed to write results: {err}");
@@ -196,7 +205,89 @@ pub fn sweep(args: &Args) {
     }
 }
 
-/// Prints the top-level usage text.
+/// `sops-cli run <experiment.toml>` — execute a declarative experiment file
+/// (see `docs/EXPERIMENTS.md` for the format reference).
+///
+/// `--override key=value` (repeatable) tweaks the file without editing it;
+/// `--print-grid` dumps the resolved job list instead of running. The CLI
+/// flags `--threads`, `--out`, `--checkpoint`, `--checkpoint-every` and
+/// `--stop-after` take precedence over the file's sections.
+pub fn run(path: &str, args: &Args) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let overrides = args.get_strings("override");
+    let spec = match ExperimentSpec::parse_with_overrides(&text, &overrides) {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("{path}: {err}");
+            std::process::exit(2);
+        }
+    };
+    let jobs = spec.jobs();
+    if args.flag("print-grid") {
+        // The resolved grid, one canonical line per job — the exact lines a
+        // checkpoint meta.txt for this sweep would hold.
+        println!("experiment={}", spec.name);
+        for job in &jobs {
+            println!("{}", job.describe());
+        }
+        return;
+    }
+
+    let out_name = args
+        .get_string("out")
+        .unwrap_or_else(|| spec.output.clone());
+    let events_path = match out::path(&format!("{out_name}.jsonl")) {
+        Ok(path) => path,
+        Err(err) => {
+            eprintln!("cannot prepare results directory: {err}");
+            std::process::exit(1);
+        }
+    };
+    // CLI checkpoint flags beat the file's [checkpoint] section.
+    let checkpoint = match args.get_string("checkpoint") {
+        Some(dir) => {
+            let default_every = spec.checkpoint.as_ref().map_or(1000, |ck| ck.every);
+            Some(CheckpointConfig::new(
+                dir,
+                args.get_u64("checkpoint-every", default_every),
+            ))
+        }
+        None => spec
+            .checkpoint
+            .as_ref()
+            .map(|ck| CheckpointConfig::new(&ck.dir, args.get_u64("checkpoint-every", ck.every))),
+    };
+    if checkpoint.is_none() && args.get_string("stop-after").is_some() {
+        eprintln!(
+            "--stop-after requires a checkpoint (a [checkpoint] section or --checkpoint DIR)"
+        );
+        std::process::exit(2);
+    }
+    let cfg = EngineConfig {
+        threads: args.threads(),
+        checkpoint,
+        events_path: Some(events_path),
+        stop_after_checkpoints: args.get_string("stop-after").map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--stop-after expects an integer");
+                std::process::exit(2);
+            })
+        }),
+        experiment: Some(spec.name.clone()),
+    };
+    println!("experiment {} ({path})", spec.name);
+    execute_sweep(jobs, &cfg, spec.seed, &out_name);
+}
+
+/// Prints the top-level usage text. The algorithm and Hamiltonian
+/// descriptions come from the shared consts in [`sops_bench::help`], so
+/// every binary's `--help` and `docs/EXPERIMENTS.md` say the same thing.
 pub fn print_usage() {
     println!(
         "sops-cli — compression in self-organizing particle systems
@@ -205,6 +296,10 @@ USAGE:
   sops-cli <command> [--key value]...
 
 COMMANDS:
+  run        execute a declarative experiment file (docs/EXPERIMENTS.md)
+             <experiment.toml> --override key=value ... --print-grid
+             --threads T --out NAME --checkpoint DIR --checkpoint-every W
+             --stop-after K
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
                                        --hamiltonian edges|alignment[:q]
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
@@ -213,20 +308,21 @@ COMMANDS:
              --hamiltonian edges,alignment[:q]
              --steps --burnin --samples --reps --until-alpha --seed --threads
              --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
-             (chain-kmc = rejection-free sampler of M; same distribution,
-             work per accepted move only — fastest at high λ equilibrium.
-             --hamiltonian swaps the Metropolis energy on the chain samplers:
-             edges = the paper's compression bias, alignment:q = bias toward
-             like-oriented neighbors over q quenched orientations; an
-             alignment job's λ drives the alignment order parameter a/e,
-             reported as \"aligned\" in the JSONL job_done events)
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg
   witness    show the Figure-3 witness configuration
   help       this text
 
+ALGORITHMS (--algo / algorithms =):
+{}
+
+HAMILTONIANS (--hamiltonian / hamiltonians =):
+{}
+
 EXAMPLES:
+  sops-cli run examples/experiments/kmc_vs_chain.toml --threads 8
+  sops-cli run examples/experiments/fig2_compression.toml --override steps=500000
   sops-cli simulate --n 100 --lambda 4 --steps 5000000 --svg compressed.svg
   sops-cli simulate --n 100 --lambda 5 --steps 2000000 --hamiltonian alignment:3
   sops-cli local --n 64 --lambda 2 --rounds 20000
@@ -234,6 +330,8 @@ EXAMPLES:
                  --checkpoint results/sweep-ckpt
   sops-cli sweep --n 50 --lambda 1,3,5 --algo chain-kmc --hamiltonian alignment \\
                  --steps 400000
-  sops-cli render --shape annulus --radius 4"
+  sops-cli render --shape annulus --radius 4",
+        sops_bench::help::ALGO_HELP,
+        sops_bench::help::HAMILTONIAN_HELP
     );
 }

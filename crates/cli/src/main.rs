@@ -1,6 +1,8 @@
 //! `sops-cli` — run compression simulations from the command line.
 //!
 //! ```text
+//! sops-cli run      experiment.toml [--override key=value]... [--print-grid] [--threads T]
+//!                   [--out NAME] [--checkpoint DIR [--checkpoint-every W]] [--stop-after K]
 //! sops-cli simulate --n 100 --lambda 4 --steps 1000000 [--shape line|spiral|annulus|random]
 //!                   [--hamiltonian edges|alignment[:q]] [--seed S] [--svg out.svg] [--every K]
 //! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S]
@@ -29,6 +31,15 @@ fn main() {
         print_usage();
         std::process::exit(2);
     };
+    // `run` takes a positional file path before the flags.
+    if command == "run" {
+        let Some(path) = argv.next().filter(|p| !p.starts_with("--")) else {
+            eprintln!("usage: sops-cli run <experiment.toml> [--override key=value]...");
+            std::process::exit(2);
+        };
+        commands::run(&path, &Args::from_iter(argv));
+        return;
+    }
     let args = Args::from_iter(argv);
     match command.as_str() {
         "simulate" => simulate(&args),

@@ -55,14 +55,28 @@ impl Store {
     /// Opens (or initializes) `dir` for the given sweep. Returns the store
     /// and whether the directory already existed (i.e. this is a resume).
     ///
+    /// When the sweep carries experiment provenance (it was launched from an
+    /// experiment file, see [`crate::experiment`]), `meta.txt` leads with an
+    /// `experiment=<name>` line; provenance participates in the
+    /// foreign-sweep check like every other line.
+    ///
     /// # Errors
     ///
     /// I/O errors, or `InvalidData` when the directory belongs to a
     /// different sweep.
-    pub(crate) fn open(dir: &Path, specs: &[JobSpec]) -> io::Result<(Store, bool)> {
+    pub(crate) fn open(
+        dir: &Path,
+        specs: &[JobSpec],
+        experiment: Option<&str>,
+    ) -> io::Result<(Store, bool)> {
         fs::create_dir_all(dir.join("done"))?;
         fs::create_dir_all(dir.join("ckpt"))?;
-        let meta: String = specs.iter().map(|s| s.describe() + "\n").collect();
+        let provenance = experiment.map_or(String::new(), |name| format!("experiment={name}\n"));
+        let meta: String = provenance
+            + &specs
+                .iter()
+                .map(|s| s.describe() + "\n")
+                .collect::<String>();
         let meta_path = dir.join("meta.txt");
         let resuming = meta_path.exists();
         if resuming {
@@ -156,13 +170,32 @@ mod tests {
     fn open_initializes_and_detects_foreign_sweeps() {
         let dir = tmp("meta");
         let specs = JobGrid::new(1).ns([5]).build();
-        let (_, resumed) = Store::open(&dir, &specs).unwrap();
+        let (_, resumed) = Store::open(&dir, &specs, None).unwrap();
         assert!(!resumed);
-        let (_, resumed) = Store::open(&dir, &specs).unwrap();
+        let (_, resumed) = Store::open(&dir, &specs, None).unwrap();
         assert!(resumed);
         let other = JobGrid::new(2).ns([6]).lambdas([3.0]).build();
-        let err = Store::open(&dir, &other).unwrap_err();
+        let err = Store::open(&dir, &other, None).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn experiment_provenance_leads_meta_and_guards_resume() {
+        let dir = tmp("provenance");
+        let specs = JobGrid::new(1).ns([5]).build();
+        let _ = Store::open(&dir, &specs, Some("fig2-compression")).unwrap();
+        let meta = fs::read_to_string(dir.join("meta.txt")).unwrap();
+        assert!(
+            meta.starts_with("experiment=fig2-compression\n"),
+            "meta must lead with the provenance line, got:\n{meta}"
+        );
+        // Same provenance resumes; different (or missing) provenance is a
+        // different sweep.
+        let (_, resumed) = Store::open(&dir, &specs, Some("fig2-compression")).unwrap();
+        assert!(resumed);
+        assert!(Store::open(&dir, &specs, Some("other")).is_err());
+        assert!(Store::open(&dir, &specs, None).is_err());
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -170,7 +203,7 @@ mod tests {
     fn done_records_round_trip_and_clear_ckpts() {
         let dir = tmp("done");
         let specs = JobGrid::new(1).algorithms([Algorithm::CHAIN]).build();
-        let (store, _) = Store::open(&dir, &specs).unwrap();
+        let (store, _) = Store::open(&dir, &specs, None).unwrap();
         store.write_ckpt(0, "partial state").unwrap();
         assert_eq!(
             store.load_ckpt(0).unwrap().as_deref(),

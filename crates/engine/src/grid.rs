@@ -233,6 +233,32 @@ impl fmt::Display for CrashSpec {
     }
 }
 
+impl FromStr for CrashSpec {
+    type Err = String;
+
+    /// Parses the [`fmt::Display`] form back: `<pct>%@start` (adversarial,
+    /// before any work) or `<pct>%@mid` (the paper's after-burn-in
+    /// scenario). The `"none"` spelling of an absent crash is handled by the
+    /// axis parsers (`Option<CrashSpec>`), not here.
+    fn from_str(s: &str) -> Result<CrashSpec, String> {
+        let bad = || format!("bad crash spec {s:?} (try none|<pct>%@start|<pct>%@mid)");
+        let (percent, when) = s.split_once("%@").ok_or_else(bad)?;
+        let percent: usize = percent.parse().map_err(|_| bad())?;
+        if percent > 100 {
+            return Err(format!("crash percentage must be 0..=100, got {percent}"));
+        }
+        let after_burnin = match when {
+            "start" => false,
+            "mid" => true,
+            _ => return Err(bad()),
+        };
+        Ok(CrashSpec {
+            percent,
+            after_burnin,
+        })
+    }
+}
+
 /// One independent unit of sweep work.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct JobSpec {
@@ -546,6 +572,18 @@ mod tests {
         assert_eq!(a[1].rep, 1);
         assert_eq!(a[2].lambda, 3.0);
         assert_eq!(a[4].n, 20);
+    }
+
+    #[test]
+    fn crash_spec_parse_round_trip() {
+        for text in ["0%@start", "5%@mid", "100%@start"] {
+            let crash: CrashSpec = text.parse().unwrap();
+            assert_eq!(crash.to_string(), text);
+        }
+        assert!("5%".parse::<CrashSpec>().is_err());
+        assert!("5%@sometime".parse::<CrashSpec>().is_err());
+        assert!("x%@mid".parse::<CrashSpec>().is_err());
+        assert!("101%@mid".parse::<CrashSpec>().is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * **Streaming sinks** ([`sink`], [`result`]) — JSONL events while the
 //!   sweep runs, durable per-job done-records, and a final CSV-able table
 //!   with online mean/variance aggregation from `sops_analysis`.
+//! * **Declarative experiments** ([`experiment`]) — sweeps as *data*: a
+//!   documented TOML-subset file format (`sops-cli run experiment.toml`)
+//!   that round-trips losslessly into [`grid::JobGrid`]. The format
+//!   reference is `docs/EXPERIMENTS.md`.
 //!
 //! # Determinism: the seeding design
 //!
@@ -72,6 +76,7 @@
 
 pub mod ablation;
 pub mod checkpoint;
+pub mod experiment;
 pub mod grid;
 mod job;
 pub mod pool;
@@ -81,6 +86,7 @@ pub mod seed;
 pub mod sink;
 
 pub use checkpoint::CheckpointConfig;
+pub use experiment::{CheckpointSpec, ExperimentSpec, GridSpec};
 pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape, ORIENT_SALT};
 pub use pool::{default_threads, map_parallel};
 pub use result::{JobResult, StepRecord};

@@ -29,6 +29,12 @@ pub struct EngineConfig {
     /// been written — deterministic "kill" injection for tests and CI
     /// resume drills.
     pub stop_after_checkpoints: Option<u64>,
+    /// Experiment provenance (the name from an experiment file, see
+    /// [`crate::experiment`]). When set, the sweep announces itself with a
+    /// JSONL `sweep_start` event and the checkpoint directory's `meta.txt`
+    /// records an `experiment=` line. `None` (flag-driven sweeps) emits
+    /// neither, keeping pre-experiment artifacts byte-identical.
+    pub experiment: Option<String>,
 }
 
 impl Default for EngineConfig {
@@ -38,6 +44,7 @@ impl Default for EngineConfig {
             checkpoint: None,
             events_path: None,
             stop_after_checkpoints: None,
+            experiment: None,
         }
     }
 }
@@ -186,9 +193,16 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
         Some(path) => EventSink::to_path(path)?,
         None => EventSink::disabled(),
     };
+    if let Some(experiment) = &cfg.experiment {
+        sink.emit(&format!(
+            "\"event\":\"sweep_start\",\"experiment\":{},\"jobs\":{}",
+            crate::sink::json_str(experiment),
+            specs.len()
+        ));
+    }
     let store_every = match &cfg.checkpoint {
         Some(ck) => {
-            let (store, _resumed) = Store::open(&ck.dir, &specs)?;
+            let (store, _resumed) = Store::open(&ck.dir, &specs, cfg.experiment.as_deref())?;
             Some((store, ck.every))
         }
         None => None,

@@ -76,6 +76,7 @@ fn interrupted_and_resumed_sweep_matches_uninterrupted() {
         checkpoint: Some(CheckpointConfig::new(dir.join("ckpt"), 700)),
         events_path: Some(events.clone()),
         stop_after_checkpoints: stop,
+        experiment: None,
     };
 
     // "Kill" the sweep deterministically after two checkpoints, possibly
@@ -187,6 +188,7 @@ fn first_hit_mode_survives_interrupt_resume() {
         checkpoint: Some(CheckpointConfig::new(dir.join("ckpt"), 333)),
         events_path: None,
         stop_after_checkpoints: stop,
+        experiment: None,
     };
     let first = run_grid(&grid, &cfg(Some(3))).unwrap();
     assert!(first.interrupted);

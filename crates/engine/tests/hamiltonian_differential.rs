@@ -220,6 +220,7 @@ fn engine_sweep_csv_and_jsonl_match_pre_refactor_bytes_at_any_thread_count() {
             checkpoint: None,
             events_path: Some(events.clone()),
             stop_after_checkpoints: None,
+            experiment: None,
         },
     )
     .unwrap();

@@ -90,6 +90,7 @@ fn main() {
         &EngineConfig {
             threads: args.threads(),
             experiment: Some(spec.name.clone()),
+            telemetry: args.telemetry(),
             ..EngineConfig::default()
         },
     )
@@ -118,6 +119,9 @@ fn main() {
         ]);
     }
     out::emit("fault_tolerance", &table).expect("write results");
+    if args.flag("metrics") {
+        out::write_metrics("fault_tolerance", &report.metrics_json()).expect("write metrics");
+    }
 
     println!("\npaper's claim: crashed particles act as fixed points and healthy");
     println!("particles continue to compress around them. Mid-run crashes barely");

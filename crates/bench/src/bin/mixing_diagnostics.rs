@@ -56,6 +56,7 @@ fn main() {
         &EngineConfig {
             threads: args.threads(),
             experiment: Some(spec.name.clone()),
+            telemetry: args.telemetry(),
             ..EngineConfig::default()
         },
     )
@@ -85,6 +86,9 @@ fn main() {
         ]);
     }
     out::emit("mixing_diagnostics", &table).expect("write results");
+    if args.flag("metrics") {
+        out::write_metrics("mixing_diagnostics", &report.metrics_json()).expect("write metrics");
+    }
 
     let peak = iats
         .iter()

@@ -54,6 +54,7 @@ fn main() {
         &EngineConfig {
             threads: args.threads(),
             experiment: Some(spec.name.clone()),
+            telemetry: args.telemetry(),
             ..EngineConfig::default()
         },
     )
@@ -78,6 +79,9 @@ fn main() {
         ]);
     }
     out::emit("phase_diagram", &table).expect("write results");
+    if args.flag("metrics") {
+        out::write_metrics("phase_diagram", &report.metrics_json()).expect("write metrics");
+    }
 
     // Shape check matching the paper: proven-expanded λ keep β large;
     // proven-compressed λ reach small α; the trend is monotone overall.

@@ -64,6 +64,7 @@ fn main() {
         &EngineConfig {
             threads: args.threads(),
             experiment: Some(spec.name.clone()),
+            telemetry: args.telemetry(),
             ..EngineConfig::default()
         },
     )
@@ -105,6 +106,9 @@ fn main() {
         prev_median = Some(summary.median);
     }
     out::emit("scaling_time", &table).expect("write results");
+    if args.flag("metrics") {
+        out::write_metrics("scaling_time", &report.metrics_json()).expect("write metrics");
+    }
 
     if medians.len() >= 3 {
         let xs: Vec<f64> = medians.iter().map(|&(n, _)| n).collect();

@@ -156,6 +156,25 @@ impl Args {
         }
     }
 
+    /// The shared telemetry flags, shaped into an engine
+    /// [`sops_engine::TelemetryConfig`]:
+    ///
+    /// * `--progress` — live progress heartbeat: a `jobs · steps · steps/s
+    ///   · eta` line on **stderr** plus periodic `progress` JSONL events;
+    /// * `--quiet` — suppress the heartbeat and status chatter (and wins
+    ///   over `--progress`).
+    ///
+    /// Metric *collection* stays on either way — it is free on the hot path
+    /// and `--metrics` (checked separately, see [`crate::out::write_metrics`])
+    /// only controls whether the `metrics.json` artifact is written.
+    #[must_use]
+    pub fn telemetry(&self) -> sops_engine::TelemetryConfig {
+        sops_engine::TelemetryConfig {
+            progress: self.flag("progress") && !self.flag("quiet"),
+            ..sops_engine::TelemetryConfig::default()
+        }
+    }
+
     /// An `f64` value with a default.
     ///
     /// # Panics

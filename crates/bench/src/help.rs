@@ -33,6 +33,18 @@ pub const HAMILTONIAN_HELP: &str =
                  drives the alignment order parameter a/e, reported as
                  \"aligned\" in JSONL job_done events";
 
+/// The shared telemetry flags on every engine-backed binary (`sops-cli
+/// sweep|run` and the experiment binaries). All of them are pure side
+/// channels: simulation artifacts are byte-identical at any setting (see
+/// `docs/OBSERVABILITY.md`).
+pub const TELEMETRY_HELP: &str =
+    "  --metrics      write a metrics.json summary (counters, histograms, phase
+                 timers, rates) next to the CSV under results/
+  --progress     live heartbeat on stderr (jobs, steps/s, eta) plus periodic
+                 \"progress\" events in the JSONL stream
+  --quiet        suppress status chatter and the progress heartbeat; stdout
+                 carries only the result table";
+
 /// Prints a binary's usage plus the shared axis descriptions and exits
 /// when `--help` was passed; a no-op otherwise. Call first thing in every
 /// experiment binary's `main`.
@@ -40,7 +52,8 @@ pub fn maybe_help(args: &Args, usage: &str) {
     if args.flag("help") {
         println!(
             "{usage}\n\nALGORITHMS (--algo / algorithms =):\n{ALGO_HELP}\n\n\
-             HAMILTONIANS (--hamiltonian / hamiltonians =):\n{HAMILTONIAN_HELP}"
+             HAMILTONIANS (--hamiltonian / hamiltonians =):\n{HAMILTONIAN_HELP}\n\n\
+             TELEMETRY:\n{TELEMETRY_HELP}"
         );
         std::process::exit(0);
     }

@@ -23,14 +23,43 @@ pub fn results_dir() -> io::Result<PathBuf> {
 /// Prints a table to stdout (Markdown) and writes it as CSV under
 /// `results/<name>.csv`.
 ///
+/// Stdout carries only the table itself, so output pipes cleanly into
+/// Markdown tooling; the CSV-path notice goes to stderr.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from writing the CSV.
 pub fn emit(name: &str, table: &Table) -> io::Result<PathBuf> {
-    print!("{}", table.to_markdown());
+    emit_with(name, table, false)
+}
+
+/// [`emit`] with a `quiet` switch: when set, neither the Markdown echo nor
+/// the CSV-path notice is printed — the CSV is still written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the CSV.
+pub fn emit_with(name: &str, table: &Table, quiet: bool) -> io::Result<PathBuf> {
+    if !quiet {
+        print!("{}", table.to_markdown());
+    }
     let path = results_dir()?.join(format!("{name}.csv"));
     table.write_csv(&path)?;
-    println!("(csv: {})", path.display());
+    if !quiet {
+        eprintln!("(csv: {})", path.display());
+    }
+    Ok(path)
+}
+
+/// Writes a sweep's telemetry summary under `results/<name>.metrics.json`
+/// (pass the document from `SweepReport::metrics_json`).
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_metrics(name: &str, json: &str) -> io::Result<PathBuf> {
+    let path = results_dir()?.join(format!("{name}.metrics.json"));
+    std::fs::write(&path, json)?;
     Ok(path)
 }
 

@@ -1,16 +1,21 @@
-//! Keeps `docs/EXPERIMENTS.md` in sync with the shared `--help` consts.
+//! Keeps `docs/EXPERIMENTS.md` and `docs/OBSERVABILITY.md` in sync with
+//! the shared `--help` consts.
 //!
-//! The algorithm and Hamiltonian vocabularies have exactly one prose
-//! description each (`sops_bench::help`); the experiment-format reference
-//! quotes them verbatim. If either const changes, this test fails until
-//! the docs are updated — the documentation cannot silently drift from
-//! what `--help` prints.
+//! The algorithm, Hamiltonian and telemetry vocabularies have exactly one
+//! prose description each (`sops_bench::help`); the docs quote them
+//! verbatim. If a const changes, these tests fail until the docs are
+//! updated — the documentation cannot silently drift from what `--help`
+//! prints.
 
-use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP};
+use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP, TELEMETRY_HELP};
+
+fn doc(name: &str) -> String {
+    let path = format!("{}/../../docs/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
 
 fn experiments_md() -> String {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/EXPERIMENTS.md");
-    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+    doc("EXPERIMENTS.md")
 }
 
 #[test]
@@ -30,6 +35,16 @@ fn experiments_doc_quotes_hamiltonian_help_verbatim() {
         docs.contains(HAMILTONIAN_HELP),
         "docs/EXPERIMENTS.md must contain sops_bench::help::HAMILTONIAN_HELP verbatim;\n\
          update the HAMILTONIANS code block to:\n{HAMILTONIAN_HELP}"
+    );
+}
+
+#[test]
+fn observability_doc_quotes_telemetry_help_verbatim() {
+    let docs = doc("OBSERVABILITY.md");
+    assert!(
+        docs.contains(TELEMETRY_HELP),
+        "docs/OBSERVABILITY.md must contain sops_bench::help::TELEMETRY_HELP verbatim;\n\
+         update the Flags code block to:\n{TELEMETRY_HELP}"
     );
 }
 

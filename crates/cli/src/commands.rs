@@ -157,49 +157,98 @@ pub fn sweep(args: &Args) {
         // Flag-driven sweeps carry no experiment provenance — artifacts stay
         // byte-identical to pre-experiment-file versions.
         experiment: None,
+        telemetry: args.telemetry(),
     };
 
-    execute_sweep(grid.build(), &cfg, seed, &out_name);
+    execute_sweep(grid.build(), &cfg, seed, &out_name, args);
 }
 
 /// Runs a resolved job list on the engine and emits the final table —
 /// shared by `sweep` (flag-built grids) and `run` (experiment files).
-fn execute_sweep(jobs: Vec<JobSpec>, cfg: &EngineConfig, seed: u64, out_name: &str) {
-    println!(
-        "sweep: {} jobs on {} threads (seed {seed}){}",
-        jobs.len(),
-        cfg.threads,
-        cfg.checkpoint
-            .as_ref()
-            .map(|ck| format!(
-                ", checkpointing to {} every {} work units",
-                ck.dir.display(),
-                ck.every
-            ))
-            .unwrap_or_default()
-    );
-    let report = match sops_engine::run_sweep(jobs, cfg) {
+///
+/// Stdout carries only the result table (Markdown); every status line goes
+/// to stderr so sweep output pipes cleanly. `--quiet` silences both, and
+/// `--metrics` writes the telemetry summary to
+/// `results/<out>.metrics.json`.
+fn execute_sweep(jobs: Vec<JobSpec>, cfg: &EngineConfig, seed: u64, out_name: &str, args: &Args) {
+    let quiet = args.flag("quiet");
+    if !quiet {
+        eprintln!(
+            "sweep: {} jobs on {} threads (seed {seed}){}",
+            jobs.len(),
+            cfg.threads,
+            cfg.checkpoint
+                .as_ref()
+                .map(|ck| format!(
+                    ", checkpointing to {} every {} work units",
+                    ck.dir.display(),
+                    ck.every
+                ))
+                .unwrap_or_default()
+        );
+    }
+    let mut report = match sops_engine::run_sweep(jobs, cfg) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("sweep failed: {err}");
             std::process::exit(1);
         }
     };
-    if report.reused > 0 {
-        println!("resumed: {} job(s) reused from done-records", report.reused);
+    if report.sink_errors > 0 {
+        // Always surfaced, even under --quiet: a lossy event stream is a
+        // warning, not chatter.
+        eprintln!(
+            "warning: {} event line(s) dropped by I/O errors — the JSONL stream is incomplete \
+             (CSV and done-records are unaffected)",
+            report.sink_errors
+        );
+    }
+    if !quiet && report.reused > 0 {
+        eprintln!("resumed: {} job(s) reused from done-records", report.reused);
     }
     if report.interrupted {
-        println!(
-            "sweep interrupted with {}/{} jobs complete; run the same command again to resume",
-            report.results.len(),
-            report.specs.len()
-        );
+        write_metrics(&report, out_name, args);
+        if !quiet {
+            eprintln!(
+                "sweep interrupted with {}/{} jobs complete; run the same command again to resume",
+                report.results.len(),
+                report.specs.len()
+            );
+        }
         return;
     }
-    match out::emit(out_name, &report.to_table()) {
-        Ok(_) => println!("sweep complete: {} jobs", report.results.len()),
+    let finalize_started = std::time::Instant::now();
+    let emitted = out::emit_with(out_name, &report.to_table(), quiet);
+    let ns = u64::try_from(finalize_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    report.metrics.add("phase.csv_finalize_ns", ns);
+    report.metrics.add("phase.csv_finalize_calls", 1);
+    write_metrics(&report, out_name, args);
+    match emitted {
+        Ok(_) => {
+            if !quiet {
+                eprintln!("sweep complete: {} jobs", report.results.len());
+            }
+        }
         Err(err) => {
             eprintln!("failed to write results: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes `results/<out>.metrics.json` when `--metrics` was passed.
+fn write_metrics(report: &sops_engine::SweepReport, out_name: &str, args: &Args) {
+    if !args.flag("metrics") {
+        return;
+    }
+    match out::write_metrics(out_name, &report.metrics_json()) {
+        Ok(path) => {
+            if !args.flag("quiet") {
+                eprintln!("(metrics: {})", path.display());
+            }
+        }
+        Err(err) => {
+            eprintln!("failed to write metrics: {err}");
             std::process::exit(1);
         }
     }
@@ -280,9 +329,12 @@ pub fn run(path: &str, args: &Args) {
             })
         }),
         experiment: Some(spec.name.clone()),
+        telemetry: args.telemetry(),
     };
-    println!("experiment {} ({path})", spec.name);
-    execute_sweep(jobs, &cfg, spec.seed, &out_name);
+    if !args.flag("quiet") {
+        eprintln!("experiment {} ({path})", spec.name);
+    }
+    execute_sweep(jobs, &cfg, spec.seed, &out_name, args);
 }
 
 /// Prints the top-level usage text. The algorithm and Hamiltonian
@@ -299,7 +351,7 @@ COMMANDS:
   run        execute a declarative experiment file (docs/EXPERIMENTS.md)
              <experiment.toml> --override key=value ... --print-grid
              --threads T --out NAME --checkpoint DIR --checkpoint-every W
-             --stop-after K
+             --stop-after K --metrics --progress --quiet
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
                                        --hamiltonian edges|alignment[:q]
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
@@ -308,6 +360,7 @@ COMMANDS:
              --hamiltonian edges,alignment[:q]
              --steps --burnin --samples --reps --until-alpha --seed --threads
              --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
+             --metrics --progress --quiet
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg
@@ -318,6 +371,9 @@ ALGORITHMS (--algo / algorithms =):
 {}
 
 HAMILTONIANS (--hamiltonian / hamiltonians =):
+{}
+
+TELEMETRY (sweep / run):
 {}
 
 EXAMPLES:
@@ -332,6 +388,7 @@ EXAMPLES:
                  --steps 400000
   sops-cli render --shape annulus --radius 4",
         sops_bench::help::ALGO_HELP,
-        sops_bench::help::HAMILTONIAN_HELP
+        sops_bench::help::HAMILTONIAN_HELP,
+        sops_bench::help::TELEMETRY_HELP
     );
 }

@@ -74,7 +74,7 @@ fn simulate(args: &Args) {
         });
     let start = build_shape(args, n, seed);
 
-    println!(
+    eprintln!(
         "chain M ({hamiltonian}): n = {n}, λ = {lambda}, {steps} steps, seed {seed} \
          (pmin = {}, pmax = {})",
         metrics::pmin(n),
@@ -142,7 +142,7 @@ fn local(args: &Args) {
     let seed = args.get_u64("seed", 0);
     let start = build_shape(args, n, seed);
 
-    println!("local algorithm A: n = {n}, λ = {lambda}, {rounds} rounds, seed {seed}");
+    eprintln!("local algorithm A: n = {n}, λ = {lambda}, {rounds} rounds, seed {seed}");
     let mut runner = match LocalRunner::from_seed(&start, lambda, seed) {
         Ok(runner) => runner,
         Err(err) => {
@@ -224,7 +224,7 @@ fn witness() {
 fn maybe_svg(args: &Args, sys: &ParticleSystem) {
     if let Some(path) = args.get_string("svg") {
         match svg::write_svg(sys, &path) {
-            Ok(()) => println!("svg written to {path}"),
+            Ok(()) => eprintln!("svg written to {path}"),
             Err(err) => eprintln!("failed to write {path}: {err}"),
         }
     }

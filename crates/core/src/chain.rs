@@ -30,6 +30,7 @@ use sops_system::{metrics, ParticleSystem, SystemError};
 
 use crate::hamiltonian::{EdgeCount, Hamiltonian, MoveContext};
 use crate::measure::HoleTracker;
+use crate::probes::ChainProbes;
 use crate::snapshot::{self, SnapshotError};
 
 /// Errors from constructing a [`CompressionChain`].
@@ -188,6 +189,9 @@ pub struct CompressionChain<R: Rng = StdRng, H: Hamiltonian = EdgeCount> {
     rng: R,
     steps: u64,
     counts: StepCounts,
+    /// Telemetry side channel: never serialized, never read by the
+    /// algorithm (see [`crate::probes`] for the determinism contract).
+    probes: ChainProbes,
     /// Hole-free latch + reusable trace scratch (shared implementation
     /// with the KMC sampler; scratch is transient, not part of snapshots).
     measure: HoleTracker,
@@ -400,6 +404,7 @@ impl<R: Rng, H: Hamiltonian> CompressionChain<R, H> {
             rng,
             steps: 0,
             counts: StepCounts::default(),
+            probes: ChainProbes::default(),
             measure: HoleTracker::new(hole_free),
             crashed: vec![false; n],
             crashed_count: 0,
@@ -441,6 +446,13 @@ impl<R: Rng, H: Hamiltonian> CompressionChain<R, H> {
     #[must_use]
     pub fn counts(&self) -> StepCounts {
         self.counts
+    }
+
+    /// Telemetry probes accumulated since construction (or since the last
+    /// restore — probes are not part of snapshots).
+    #[must_use]
+    pub fn probes(&self) -> &ChainProbes {
+        &self.probes
     }
 
     /// Enables per-move invariant validation (connectivity and
@@ -553,6 +565,9 @@ impl<R: Rng, H: Hamiltonian> CompressionChain<R, H> {
                 assert_eq!(self.sys.hole_count(), 0, "Lemma 3.2 violated: hole");
             }
         }
+        self.probes
+            .accepted_delta
+            .record((delta - self.delta_min) as u64);
         StepOutcome::Moved { id, dir, delta }
     }
 

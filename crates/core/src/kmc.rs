@@ -79,6 +79,7 @@ use sops_system::{metrics, moves, ParticleSystem};
 use crate::chain::{ChainError, TrajectoryPoint};
 use crate::hamiltonian::{EdgeCount, Hamiltonian, MoveContext};
 use crate::measure::HoleTracker;
+use crate::probes::KmcProbes;
 use crate::snapshot::{self, SnapshotError};
 
 /// Class index marking a pair with zero acceptance mass.
@@ -359,6 +360,9 @@ pub struct KmcChain<R: Rng = StdRng, H: Hamiltonian = EdgeCount> {
     /// The next accepted move, when its dwell is already drawn.
     pending: Option<Dwell>,
     counts: KmcCounts,
+    /// Telemetry side channel: never serialized, never read by the
+    /// algorithm (see [`crate::probes`] for the determinism contract).
+    probes: KmcProbes,
     /// Hole-free latch + reusable trace scratch (shared implementation
     /// with the naive chain; scratch is transient, not part of snapshots).
     measure: HoleTracker,
@@ -574,6 +578,7 @@ impl<R: Rng, H: Hamiltonian> KmcChain<R, H> {
             steps: 0,
             pending: None,
             counts: KmcCounts::default(),
+            probes: KmcProbes::default(),
             measure: HoleTracker::new(hole_free),
             crashed: vec![false; n],
             crashed_count: 0,
@@ -620,6 +625,13 @@ impl<R: Rng, H: Hamiltonian> KmcChain<R, H> {
     #[must_use]
     pub fn counts(&self) -> KmcCounts {
         self.counts
+    }
+
+    /// Telemetry probes accumulated since construction (or since the last
+    /// restore — probes are not part of snapshots).
+    #[must_use]
+    pub fn probes(&self) -> &KmcProbes {
+        &self.probes
     }
 
     /// Fraction of simulated steps that moved a particle.
@@ -794,7 +806,9 @@ impl<R: Rng, H: Hamiltonian> KmcChain<R, H> {
         let crashed = &self.crashed;
         let hamiltonian = &self.hamiltonian;
         let delta_min = self.delta_min;
+        let mut fanout = 0u64;
         sys.for_each_particle_near_move(from, dir, |qid, qpos, dmask| {
+            fanout += u64::from(dmask.count_ones());
             refresh_masses(
                 hamiltonian,
                 delta_min,
@@ -806,6 +820,7 @@ impl<R: Rng, H: Hamiltonian> KmcChain<R, H> {
                 dmask,
             );
         });
+        self.probes.revalidation_fanout.record(fanout);
         if self.validate {
             assert!(self.sys.is_connected(), "Lemma 3.1 violated: disconnected");
             if self.measure.latched() {
@@ -837,6 +852,7 @@ impl<R: Rng, H: Hamiltonian> KmcChain<R, H> {
             self.pending = None;
             // The dwell is realized — only now does it count.
             self.counts.max_jump = self.counts.max_jump.max(dwell.skipped);
+            self.probes.dwell.record(dwell.skipped);
             self.accept_move();
         }
         self.counts.moved - before

@@ -48,12 +48,14 @@ pub mod hamiltonian;
 pub mod kmc;
 pub mod local;
 mod measure;
+pub mod probes;
 pub mod snapshot;
 
 pub use chain::{ChainError, CompressionChain, StepCounts, StepOutcome, TrajectoryPoint};
 pub use hamiltonian::{Alignment, EdgeCount, Hamiltonian, HamiltonianSpec, MoveContext};
 pub use kmc::{KmcChain, KmcCounts};
 pub use local::LocalRunner;
+pub use probes::{ChainProbes, KmcProbes, LocalProbes};
 pub use snapshot::SnapshotError;
 
 /// The compression threshold `2 + √2 ≈ 3.414`: Theorem 4.5 proves

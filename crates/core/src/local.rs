@@ -33,6 +33,7 @@ use sops_lattice::{Direction, PairRing, TileGrid, TriPoint};
 use sops_system::{moves::MoveValidity, ParticleSystem};
 
 use crate::chain::ChainError;
+use crate::probes::LocalProbes;
 use crate::snapshot::{self, SnapshotError};
 
 /// What happened during one particle activation.
@@ -161,6 +162,9 @@ pub struct LocalRunner<R: Rng = StdRng> {
     activations: u64,
     moves_completed: u64,
     rounds: u64,
+    /// Telemetry side channel: never serialized, never read by the
+    /// algorithm (see [`crate::probes`] for the determinism contract).
+    probes: LocalProbes,
     activated_in_round: Vec<bool>,
     remaining_in_round: usize,
     crashed: Vec<bool>,
@@ -332,6 +336,7 @@ impl LocalRunner<StdRng> {
             activations: fields.parse_num("activations")?,
             moves_completed: fields.parse_num("moves")?,
             rounds: fields.parse_num("rounds")?,
+            probes: LocalProbes::default(),
             activated_in_round: snapshot::bools_from_string(
                 "activated",
                 fields.get("activated")?,
@@ -396,6 +401,7 @@ impl<R: Rng> LocalRunner<R> {
             activations: 0,
             moves_completed: 0,
             rounds: 0,
+            probes: LocalProbes::default(),
             activated_in_round: vec![false; n],
             remaining_in_round: n,
             crashed: vec![false; n],
@@ -432,6 +438,13 @@ impl<R: Rng> LocalRunner<R> {
     #[must_use]
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Telemetry probes accumulated since construction (or since the last
+    /// restore — probes are not part of snapshots).
+    #[must_use]
+    pub fn probes(&self) -> &LocalProbes {
+        &self.probes
     }
 
     /// Number of particles.
@@ -487,6 +500,13 @@ impl<R: Rng> LocalRunner<R> {
         }
         self.activations += 1;
         let outcome = self.activate(id);
+        match outcome {
+            Activation::Expanded { .. } => self.probes.expanded += 1,
+            Activation::ContractedForward { .. } => self.probes.contracted_forward += 1,
+            Activation::ContractedBack { .. } => self.probes.contracted_back += 1,
+            Activation::Idle { .. } => self.probes.idle += 1,
+            Activation::Crashed { .. } => {}
+        }
         // Reschedule with a fresh Exp(1) delay.
         let next = Event {
             time: self.time + exp1(&mut self.rng),

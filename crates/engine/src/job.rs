@@ -10,13 +10,15 @@
 
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sops::core::hamiltonian::{Alignment, HamiltonianSpec};
 use sops::core::snapshot::{self, SnapshotError};
-use sops::core::{CompressionChain, KmcChain, LocalRunner};
+use sops::core::{ChainProbes, CompressionChain, KmcChain, KmcProbes, LocalRunner};
 use sops::system::{metrics, ParticleSystem};
+use sops_telemetry::{Live, Registry, Sheet};
 
 use crate::ablation::AblationChain;
 use crate::checkpoint::Store;
@@ -42,6 +44,11 @@ pub(crate) struct JobContext<'a> {
     pub(crate) stop: &'a AtomicBool,
     pub(crate) checkpoints: &'a AtomicU64,
     pub(crate) stop_after: Option<u64>,
+    /// Sweep telemetry (`None` when collection and progress are both off).
+    /// Workers record into a private per-job [`Sheet`] and fold it here at
+    /// session end; only the [`Live`] progress counters are touched
+    /// mid-job.
+    pub(crate) registry: Option<&'a Registry>,
 }
 
 /// One of the simulators, dispatched per job. The chain samplers come in
@@ -322,6 +329,14 @@ struct JobState {
     crashed_applied: bool,
     first_hit: Option<u64>,
     last_ckpt_work: u64,
+    /// Per-job telemetry scratch (`Some` while the sweep registry is
+    /// active). Never serialized: checkpoints carry simulation state only,
+    /// so telemetry can never leak into resume behavior.
+    sheet: Option<Sheet>,
+    /// `sim.work()` when this session began (0 fresh, the checkpoint's work
+    /// on resume). Telemetry counts session deltas because the probes reset
+    /// on restore; summing sessions across resume cycles recovers totals.
+    session_start_work: u64,
 }
 
 const SIM_SEPARATOR: &str = "\n--sim--\n";
@@ -367,6 +382,8 @@ fn parse_ckpt(spec: &JobSpec, text: &str) -> Result<JobState, SnapshotError> {
         crashed_applied: fields.parse_num::<u8>("crashed_applied")? != 0,
         first_hit,
         last_ckpt_work,
+        sheet: None,
+        session_start_work: last_ckpt_work,
     })
 }
 
@@ -418,7 +435,12 @@ fn maybe_checkpoint(
     if work == state.last_ckpt_work || (!force && work < state.last_ckpt_work + ctx.every) {
         return Ok(());
     }
+    let t0 = state.sheet.as_ref().map(|_| Instant::now());
     store.write_ckpt(spec.id, &ckpt_text(state, spec))?;
+    if let (Some(t0), Some(sheet)) = (t0, state.sheet.as_mut()) {
+        sheet.add("phase.checkpoint_write_ns", elapsed_ns(t0));
+        sheet.add("phase.checkpoint_write_calls", 1);
+    }
     state.last_ckpt_work = work;
     ctx.sink.emit(&format!(
         "\"event\":\"checkpoint\",\"job\":{},\"work\":{work}",
@@ -445,7 +467,17 @@ fn advance_checkpointed(
             next = target;
         }
         let before = state.sim.work();
+        let t0 = state.sheet.as_ref().map(|_| Instant::now());
         state.sim.advance_to(next);
+        if let (Some(t0), Some(sheet)) = (t0, state.sheet.as_mut()) {
+            sheet.add(
+                &format!("time.step.{}_ns", state.sim.kind()),
+                elapsed_ns(t0),
+            );
+        }
+        if let Some(reg) = ctx.registry {
+            Live::add(&reg.live.work_done, state.sim.work() - before);
+        }
         if state.sim.work() == before {
             break; // the simulator can make no further progress
         }
@@ -458,12 +490,74 @@ fn advance_checkpointed(
     Ok(false)
 }
 
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn drain_chain_probes(sheet: &mut Sheet, kind: &str, probes: &ChainProbes) {
+    sheet.add(&format!("{kind}.accepted"), probes.accepted_delta.count());
+    sheet.observe_hist(&format!("{kind}.accepted_delta"), &probes.accepted_delta);
+}
+
+fn drain_kmc_probes(sheet: &mut Sheet, kind: &str, probes: &KmcProbes) {
+    sheet.add(&format!("{kind}.accepted"), probes.dwell.count());
+    sheet.observe_hist(&format!("{kind}.dwell"), &probes.dwell);
+    sheet.observe_hist(
+        &format!("{kind}.revalidation_fanout"),
+        &probes.revalidation_fanout,
+    );
+}
+
+/// Folds the session's telemetry — phase timers, per-family work counters,
+/// and the simulator probes — into the sweep registry. Called exactly once
+/// per job session: on completion and on every interrupted return.
+fn drain_telemetry(state: &mut JobState, ctx: &JobContext<'_>, completed: bool) {
+    let Some(reg) = ctx.registry else { return };
+    let Some(mut sheet) = state.sheet.take() else {
+        return;
+    };
+    let kind = state.sim.kind();
+    sheet.add(
+        &format!("{kind}.work"),
+        state.sim.work() - state.session_start_work,
+    );
+    if completed {
+        sheet.add(&format!("{kind}.jobs"), 1);
+        Live::add(&reg.live.jobs_done, 1);
+    }
+    match &state.sim {
+        Sim::Chain(c) => drain_chain_probes(&mut sheet, kind, c.probes()),
+        Sim::ChainAlign(c) => drain_chain_probes(&mut sheet, kind, c.probes()),
+        Sim::Kmc(k) => drain_kmc_probes(&mut sheet, kind, k.probes()),
+        Sim::KmcAlign(k) => drain_kmc_probes(&mut sheet, kind, k.probes()),
+        Sim::Local(l) => {
+            let p = l.probes();
+            sheet.add("local.expanded", p.expanded);
+            sheet.add("local.contracted_forward", p.contracted_forward);
+            sheet.add("local.contracted_back", p.contracted_back);
+            sheet.add("local.idle", p.idle);
+            sheet.add("local.activations", p.total());
+            // Simulated (continuous Poisson-clock) elapsed time, summed
+            // over the sweep's local-algorithm jobs. Unlike the probes,
+            // `time()` is simulation state that survives restore, so it is
+            // recorded once per *job* (at completion), not per session.
+            if completed {
+                sheet.gauge_add("local.sim_time", l.time());
+            }
+        }
+        Sim::Ablation(_) => {}
+    }
+    reg.fold(&sheet);
+}
+
 /// Runs one job to completion or interruption.
 pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOutcome> {
+    let session_started = Instant::now();
     let ckpt = match ctx.store {
         Some(store) => store.load_ckpt(spec.id)?,
         None => None,
     };
+    let resumed = ckpt.is_some();
     let mut state = match ckpt {
         Some(text) => {
             let state = parse_ckpt(spec, &text).map_err(|e| {
@@ -497,9 +591,25 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
                 crashed_applied: false,
                 first_hit: None,
                 last_ckpt_work: 0,
+                sheet: None,
+                session_start_work: 0,
             }
         }
     };
+    if let Some(reg) = ctx.registry {
+        let mut sheet = Sheet::new();
+        let phase = if resumed {
+            "phase.resume"
+        } else {
+            "phase.setup"
+        };
+        sheet.add(&format!("{phase}_ns"), elapsed_ns(session_started));
+        sheet.add(&format!("{phase}_calls"), 1);
+        state.sheet = Some(sheet);
+        // Credit a resumed checkpoint's prior work to the live counters:
+        // the sweep's work_total includes it, the stepping below won't.
+        Live::add(&reg.live.work_done, state.session_start_work);
+    }
 
     // Phase 1: at-start crashes (adversarial scenario).
     if spec.crash.is_some_and(|c| !c.after_burnin) {
@@ -507,6 +617,7 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
     }
     // Phase 2: burn-in.
     if advance_checkpointed(&mut state, spec, ctx, spec.burnin)? {
+        drain_telemetry(&mut state, ctx, false);
         return Ok(JobOutcome::Interrupted);
     }
     // Phase 3: mid-run crashes (the paper's Section 3.3 scenario).
@@ -538,6 +649,7 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
             }
             let next = spec.burnin + ((work - spec.burnin) / chunk + 1) * chunk;
             if advance_checkpointed(&mut state, spec, ctx, next)? {
+                drain_telemetry(&mut state, ctx, false);
                 return Ok(JobOutcome::Interrupted);
             }
             if state.sim.work() == work {
@@ -550,6 +662,7 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
             let offset =
                 (u128::from(spec.steps) * u128::from(i) / u128::from(spec.samples.max(1))) as u64;
             if advance_checkpointed(&mut state, spec, ctx, spec.burnin + offset)? {
+                drain_telemetry(&mut state, ctx, false);
                 return Ok(JobOutcome::Interrupted);
             }
             let perimeter = state.sim.perimeter();
@@ -562,11 +675,13 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
             ));
         }
         if spec.samples == 0 && advance_checkpointed(&mut state, spec, ctx, total)? {
+            drain_telemetry(&mut state, ctx, false);
             return Ok(JobOutcome::Interrupted);
         }
     }
 
     let (final_perimeter, final_edges, final_connected) = state.sim.final_state();
+    drain_telemetry(&mut state, ctx, true);
     let result = JobResult {
         job: spec.id,
         particles: state.sim.len(),

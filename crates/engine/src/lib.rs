@@ -84,6 +84,7 @@ pub mod result;
 mod run;
 pub mod seed;
 pub mod sink;
+pub mod telemetry;
 
 pub use checkpoint::CheckpointConfig;
 pub use experiment::{CheckpointSpec, ExperimentSpec, GridSpec};
@@ -93,3 +94,4 @@ pub use result::{JobResult, StepRecord};
 pub use run::{run_grid, run_sweep, EngineConfig, SweepReport};
 pub use sink::EventSink;
 pub use sops::core::hamiltonian::HamiltonianSpec;
+pub use telemetry::TelemetryConfig;

@@ -4,9 +4,11 @@
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
 
 use sops::analysis::table::{fmt_f64, Table};
 use sops::system::metrics;
+use sops_telemetry::{Live, Registry, Sheet};
 
 use crate::checkpoint::{CheckpointConfig, Store};
 use crate::grid::{JobGrid, JobSpec};
@@ -14,6 +16,7 @@ use crate::job::{run_job, JobContext, JobOutcome};
 use crate::pool::{default_threads, map_parallel};
 use crate::result::JobResult;
 use crate::sink::EventSink;
+use crate::telemetry::{finalize_rates, heartbeat, TelemetryConfig};
 
 /// How a sweep executes.
 #[derive(Clone, Debug)]
@@ -35,6 +38,11 @@ pub struct EngineConfig {
     /// records an `experiment=` line. `None` (flag-driven sweeps) emits
     /// neither, keeping pre-experiment artifacts byte-identical.
     pub experiment: Option<String>,
+    /// Telemetry policy: metric collection (on by default) and the live
+    /// progress heartbeat (opt-in). A pure side channel either way — every
+    /// simulation artifact (CSV, snapshots, done-records, job JSONL lines)
+    /// is byte-identical at any setting; see `crate::telemetry`.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -45,6 +53,7 @@ impl Default for EngineConfig {
             events_path: None,
             stop_after_checkpoints: None,
             experiment: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -62,9 +71,24 @@ pub struct SweepReport {
     /// `true` when the sweep stopped early (stop flag); resume by running
     /// again with the same checkpoint directory.
     pub interrupted: bool,
+    /// JSONL event lines dropped by I/O errors (0 without an event sink).
+    /// Nonzero means the event stream on disk is incomplete — the CSV and
+    /// done-records are still authoritative.
+    pub sink_errors: u64,
+    /// The sweep's merged telemetry (empty when collection is disabled):
+    /// per-family counters and probe histograms, phase timers, and the
+    /// derived rate gauges. Render with [`SweepReport::metrics_json`].
+    pub metrics: Sheet,
 }
 
 impl SweepReport {
+    /// Renders [`SweepReport::metrics`] as the canonical `metrics.json`
+    /// document (schema `sops-metrics-v1`, sorted keys, trailing newline).
+    #[must_use]
+    pub fn metrics_json(&self) -> String {
+        sops_telemetry::metrics_json(&self.metrics)
+    }
+
     /// `true` when every job has a result.
     #[must_use]
     pub fn is_complete(&self) -> bool {
@@ -219,6 +243,17 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
         .copied()
         .collect();
 
+    // Telemetry is a pure side channel: the registry and live counters are
+    // written beside the sweep, never read by it, so enabling either knob
+    // cannot perturb any simulation artifact.
+    let registry = Registry::new();
+    if cfg.telemetry.is_active() {
+        Live::add(&registry.live.jobs_total, specs.len() as u64);
+        Live::add(&registry.live.jobs_done, reused as u64);
+        let work_total: u64 = pending.iter().map(JobSpec::total_work).sum();
+        Live::add(&registry.live.work_total, work_total);
+    }
+
     let stop = AtomicBool::new(false);
     let checkpoints = AtomicU64::new(0);
     let ctx = JobContext {
@@ -228,14 +263,36 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
         stop: &stop,
         checkpoints: &checkpoints,
         stop_after: cfg.stop_after_checkpoints,
+        registry: cfg.telemetry.is_active().then_some(&registry),
     };
 
-    let outcomes = map_parallel(cfg.threads, pending, |_, spec| {
+    let worker = |_: usize, spec: JobSpec| {
         if ctx.stop.load(Ordering::SeqCst) {
             return Ok(JobOutcome::Interrupted);
         }
         run_job(&spec, &ctx)
-    });
+    };
+    let outcomes = if cfg.telemetry.progress {
+        let started = Instant::now();
+        let hb_stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let hb = scope.spawn(|| {
+                heartbeat(
+                    &registry,
+                    &sink,
+                    cfg.telemetry.heartbeat_ms,
+                    &hb_stop,
+                    started,
+                );
+            });
+            let outcomes = map_parallel(cfg.threads, pending, worker);
+            hb_stop.store(true, Ordering::SeqCst);
+            hb.join().expect("heartbeat thread panicked");
+            outcomes
+        })
+    } else {
+        map_parallel(cfg.threads, pending, worker)
+    };
 
     let mut results = done;
     let mut interrupted = false;
@@ -253,11 +310,33 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
             specs.len()
         ));
     }
+    // Dropped event writes are surfaced, not swallowed: counted into the
+    // report and announced with a trailing event (which may itself fail —
+    // the count was captured first, so the report stays truthful).
+    let sink_errors = sink.error_count();
+    if sink_errors > 0 {
+        sink.emit(&format!(
+            "\"event\":\"sink_errors\",\"count\":{sink_errors}"
+        ));
+    }
+    let metrics = if cfg.telemetry.collect {
+        let mut m = registry.snapshot();
+        m.add("sweep.jobs", specs.len() as u64);
+        m.add("sweep.jobs_reused", reused as u64);
+        m.add("sink.events", sink.event_count());
+        m.add("sink.errors", sink_errors);
+        finalize_rates(&mut m);
+        m
+    } else {
+        Sheet::new()
+    };
     Ok(SweepReport {
         specs,
         results,
         reused,
         interrupted,
+        sink_errors,
+        metrics,
     })
 }
 

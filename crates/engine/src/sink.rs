@@ -27,12 +27,19 @@
 use std::fs::{File, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// A shared, thread-safe JSONL event stream (possibly disabled).
 #[derive(Debug, Default)]
 pub struct EventSink {
     writer: Option<Mutex<BufWriter<File>>>,
+    /// Events successfully written.
+    events: AtomicU64,
+    /// Events dropped by an I/O error (write or flush). Surfaced in
+    /// `SweepReport::sink_errors` and as a final `sink_errors` JSONL event
+    /// rather than silently swallowed.
+    errors: AtomicU64,
 }
 
 impl EventSink {
@@ -56,6 +63,8 @@ impl EventSink {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(EventSink {
             writer: Some(Mutex::new(BufWriter::new(file))),
+            events: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
         })
     }
 
@@ -65,11 +74,25 @@ impl EventSink {
         self.writer.is_some()
     }
 
+    /// Events successfully written so far.
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped by I/O errors so far.
+    #[must_use]
+    pub fn error_count(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
     /// Appends one event line (the `{}` braces are added here).
     ///
-    /// Best-effort: an I/O error on an individual event is swallowed rather
-    /// than aborting the sweep — events are diagnostics, the authoritative
-    /// outputs are the done-records and the final CSV.
+    /// Best-effort: an I/O error on an individual event does not abort the
+    /// sweep — events are diagnostics, the authoritative outputs are the
+    /// done-records and the final CSV — but it is *counted*, and the count
+    /// surfaces in `SweepReport::sink_errors` plus a trailing `sink_errors`
+    /// event.
     pub fn emit(&self, body: &str) {
         // The line-order-nondeterminism contract (module docs): because
         // lines from different jobs interleave at --threads > 1, every
@@ -84,8 +107,11 @@ impl EventSink {
         );
         if let Some(writer) = &self.writer {
             let mut writer = writer.lock().expect("event sink poisoned");
-            let _ = writeln!(writer, "{{{body}}}");
-            let _ = writer.flush();
+            let outcome = writeln!(writer, "{{{body}}}").and_then(|()| writer.flush());
+            match outcome {
+                Ok(()) => self.events.fetch_add(1, Ordering::Relaxed),
+                Err(_) => self.errors.fetch_add(1, Ordering::Relaxed),
+            };
         }
     }
 }
@@ -142,5 +168,33 @@ mod tests {
         let sink = EventSink::disabled();
         assert!(!sink.is_enabled());
         sink.emit("\"event\":\"ignored\"");
+        assert_eq!(sink.event_count(), 0);
+        assert_eq!(sink.error_count(), 0);
+    }
+
+    #[test]
+    fn sink_counts_written_events() {
+        let dir = std::env::temp_dir().join("sops_engine_sink_count_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sink = EventSink::to_path(&dir.join("events.jsonl")).unwrap();
+        sink.emit("\"event\":\"a\"");
+        sink.emit("\"event\":\"b\"");
+        assert_eq!(sink.event_count(), 2);
+        assert_eq!(sink.error_count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sink_counts_dropped_events_instead_of_swallowing() {
+        // /dev/full accepts the open but fails every write with ENOSPC —
+        // the canonical way to exercise the I/O-error path for real.
+        let Ok(sink) = EventSink::to_path(Path::new("/dev/full")) else {
+            return; // sandboxed environments may forbid opening device files
+        };
+        sink.emit("\"event\":\"doomed\"");
+        sink.emit("\"event\":\"doomed\"");
+        assert_eq!(sink.error_count(), 2);
+        assert_eq!(sink.event_count(), 0);
     }
 }

@@ -77,6 +77,7 @@ fn interrupted_and_resumed_sweep_matches_uninterrupted() {
         events_path: Some(events.clone()),
         stop_after_checkpoints: stop,
         experiment: None,
+        ..EngineConfig::default()
     };
 
     // "Kill" the sweep deterministically after two checkpoints, possibly
@@ -189,6 +190,7 @@ fn first_hit_mode_survives_interrupt_resume() {
         events_path: None,
         stop_after_checkpoints: stop,
         experiment: None,
+        ..EngineConfig::default()
     };
     let first = run_grid(&grid, &cfg(Some(3))).unwrap();
     assert!(first.interrupted);

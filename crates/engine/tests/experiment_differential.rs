@@ -60,6 +60,7 @@ fn run_to_artifacts(
             events_path: Some(events.clone()),
             stop_after_checkpoints: None,
             experiment: Some(spec.name.clone()),
+            ..EngineConfig::default()
         },
     )
     .expect("sweep");
@@ -89,6 +90,7 @@ fn run_flag_grid(grid: &JobGrid, threads: usize, tag: &str) -> (String, BTreeSet
             events_path: Some(events.clone()),
             stop_after_checkpoints: None,
             experiment: None,
+            ..EngineConfig::default()
         },
     )
     .expect("sweep");
@@ -198,6 +200,7 @@ fn provenance_reaches_jsonl_and_checkpoint_meta() {
             events_path: Some(events.clone()),
             stop_after_checkpoints: None,
             experiment: Some(spec.name.clone()),
+            ..EngineConfig::default()
         },
     )
     .unwrap();

@@ -221,6 +221,7 @@ fn engine_sweep_csv_and_jsonl_match_pre_refactor_bytes_at_any_thread_count() {
             events_path: Some(events.clone()),
             stop_after_checkpoints: None,
             experiment: None,
+            ..EngineConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,335 @@
+//! A hand-rolled log-linear (HDR-style) histogram over `u64` values.
+//!
+//! Values below 16 get one exact bucket each; every higher power-of-two
+//! range `[2^(h−1), 2^h)` is split into 16 linear sub-buckets, so the
+//! relative quantization error is at most 1/16 ≈ 6.25% everywhere while the
+//! whole `u64` range fits in 976 buckets. Recording is branch-light — a
+//! `leading_zeros`, a shift and one array increment — cheap enough to sit in
+//! simulator hot loops (one record per *accepted* move, never per step).
+//!
+//! The histogram is plain (non-atomic) data: each worker records into its
+//! own instance and instances are [`Histogram::merge`]d under a coarse lock
+//! at job boundaries (see `Registry` in [`crate::registry`]).
+
+/// Sub-buckets per power-of-two range (and the size of the exact region).
+const SUBS: u64 = 16;
+/// Total bucket count: 16 exact + 60 ranges × 16 sub-buckets.
+pub const BUCKETS: usize = 976;
+
+/// A mergeable log-linear histogram of `u64` samples with exact count, sum,
+/// min and max.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket counts, grown lazily to the highest index touched.
+    buckets: Vec<u64>,
+    count: u64,
+    /// Exact sum of all recorded values (`u128`: 2^64 samples of `u64::MAX`
+    /// cannot overflow it).
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// Bucket index of a value.
+#[inline]
+fn index_of(v: u64) -> usize {
+    if v < SUBS {
+        v as usize
+    } else {
+        // Bit length h ≥ 5: range (h − 4), sub-bucket = the 4 bits after
+        // the leading 1.
+        let h = 64 - v.leading_zeros() as usize;
+        (h - 4) * 16 + ((v >> (h - 5)) & 15) as usize
+    }
+}
+
+/// Lowest value mapping to bucket `i`.
+fn bucket_lo(i: usize) -> u64 {
+    if i < SUBS as usize {
+        i as u64
+    } else {
+        let (range, sub) = (i / 16, (i % 16) as u64);
+        (SUBS + sub) << (range - 1)
+    }
+}
+
+/// Highest value mapping to bucket `i` (inclusive).
+fn bucket_hi(i: usize) -> u64 {
+    if i < SUBS as usize {
+        i as u64
+    } else {
+        let range = i / 16;
+        let span = 1u64 << (range - 1);
+        bucket_lo(i) + (span - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` samples of the same value.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = index_of(v);
+        if i >= self.buckets.len() {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += n;
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`q` clamped to `[0, 1]`): the
+    /// inclusive upper edge of the bucket holding the ⌈q·count⌉-th sample,
+    /// clamped to the recorded max. Exact for values below 16; within 1/16
+    /// relative error elsewhere. Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_hi(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, ascending.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lo(i), bucket_hi(i), c))
+    }
+}
+
+impl core::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Compact: the 976-bucket vector would drown derived-Debug output.
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_exact() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!((h.count(), h.min(), h.max()), (1, 0, 0));
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!((h.count(), h.min(), h.max()), (0, 0, 0));
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn u64_max_lands_in_the_last_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(index_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_hi(BUCKETS - 1), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        assert_eq!(h.sum(), u128::from(u64::MAX));
+    }
+
+    #[test]
+    fn values_below_sixteen_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for v in 0..16u64 {
+            assert_eq!(index_of(v), v as usize);
+            let (lo, hi) = (bucket_lo(v as usize), bucket_hi(v as usize));
+            assert_eq!((lo, hi), (v, v));
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), 120);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_tight_and_contiguous() {
+        // Every bucket's bounds map back to itself, and bucket i+1 starts
+        // exactly one past bucket i's end — no gaps, no overlaps, over the
+        // whole u64 range.
+        for i in 0..BUCKETS {
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            assert!(lo <= hi, "bucket {i}");
+            assert_eq!(index_of(lo), i, "lo of bucket {i}");
+            assert_eq!(index_of(hi), i, "hi of bucket {i}");
+            if i + 1 < BUCKETS {
+                assert_eq!(bucket_lo(i + 1), hi + 1, "gap after bucket {i}");
+            }
+        }
+        assert_eq!(bucket_lo(0), 0);
+        assert_eq!(bucket_hi(BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn power_of_two_boundaries_round_trip() {
+        for h in 4..64 {
+            let v = 1u64 << h;
+            // 2^h starts a fresh range: it is its bucket's lower edge.
+            assert_eq!(bucket_lo(index_of(v)), v, "2^{h}");
+            // 2^h − 1 ends the previous range.
+            assert_eq!(bucket_hi(index_of(v - 1)), v - 1, "2^{h}-1");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut x = 1u64;
+        while x < u64::MAX / 3 {
+            let i = index_of(x);
+            let (lo, hi) = (bucket_lo(i), bucket_hi(i));
+            assert!(lo <= x && x <= hi);
+            assert!((hi - lo) as f64 <= lo.max(1) as f64 / 15.0, "x = {x}");
+            x = x.saturating_mul(3) / 2 + 1;
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 9, 100, 1000, 1_000_000, 12] {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        assert!(h.quantile(0.0) >= h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let values_a = [0u64, 3, 17, 99, 1 << 40, u64::MAX];
+        let values_b = [15u64, 16, 31, 32, 7, 7, 7];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &values_a {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &values_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_n(42, 5);
+        a.record_n(9, 0);
+        for _ in 0..5 {
+            b.record(42);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! Dependency-free telemetry for the SOPS stack: counters, log-linear
+//! histograms, phase timers, progress rendering and the `metrics.json`
+//! artifact.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Pure side channel.** Nothing in this crate feeds back into
+//!    simulation state: no RNG draws, no effect on step ordering, no bytes
+//!    in snapshots or CSV/JSONL job lines. Runs are byte-identical with
+//!    telemetry on or off (the engine's differential tests pin this).
+//! 2. **Cheap enough to stay on.** Hot-loop probes are plain-data updates
+//!    on thread-local [`Sheet`]s — no atomics or locks per step. Shared
+//!    state is touched once per job ([`Registry::fold`]) plus a few relaxed
+//!    atomic adds for the live progress counters.
+//! 3. **No dependencies.** Histograms, JSON rendering and the JSON parser
+//!    used by the CI schema checker are hand-rolled here.
+//!
+//! The crate is deliberately policy-free: it does not know about jobs,
+//! sweeps or event sinks. The engine decides what to record and when to
+//! fold; the CLI and bench binaries decide where `metrics.json` goes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod progress;
+pub mod registry;
+
+pub use hist::Histogram;
+pub use json::{metrics_json, parse, validate_metrics, Value, SCHEMA};
+pub use progress::Progress;
+pub use registry::{Live, Registry, Sheet};

@@ -1,0 +1,172 @@
+//! Progress rendering: turning live sweep counters into a one-line status
+//! and an ETA.
+//!
+//! This module is pure formatting — the heartbeat *thread* lives in the
+//! engine (it needs the event sink), and calls in here with a snapshot of
+//! the [`crate::registry::Live`] counters. Keeping the rendering here makes
+//! it unit-testable without spinning threads.
+
+/// A point-in-time view of sweep progress.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Progress {
+    /// Jobs finished (completed or reused).
+    pub jobs_done: u64,
+    /// Total jobs in the sweep.
+    pub jobs_total: u64,
+    /// Work units (steps/activations) executed so far.
+    pub work_done: u64,
+    /// Total work units the sweep will execute (0 when unknown).
+    pub work_total: u64,
+    /// Wall-clock seconds since the sweep started.
+    pub elapsed_secs: f64,
+}
+
+impl Progress {
+    /// Work units per second since start (0 when no time has passed).
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.work_done as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Estimated seconds remaining, extrapolating the observed rate.
+    /// `None` until there is both a rate and a known total.
+    #[must_use]
+    pub fn eta_secs(&self) -> Option<f64> {
+        let remaining = self.work_total.checked_sub(self.work_done)?;
+        let rate = self.rate();
+        if rate > 0.0 && self.work_total > 0 {
+            Some(remaining as f64 / rate)
+        } else {
+            None
+        }
+    }
+
+    /// The status line shown on stderr, without trailing newline, e.g.
+    /// `sweep: 3/12 jobs · 1.5M/6.0M steps · 210.3k steps/s · eta 21s`.
+    #[must_use]
+    pub fn line(&self) -> String {
+        let mut out = format!(
+            "sweep: {}/{} jobs · {}/{} steps",
+            self.jobs_done,
+            self.jobs_total,
+            si(self.work_done),
+            si(self.work_total),
+        );
+        let rate = self.rate();
+        if rate > 0.0 {
+            out.push_str(&format!(" · {} steps/s", si_f(rate)));
+        }
+        match self.eta_secs() {
+            Some(eta) if self.jobs_done < self.jobs_total => {
+                out.push_str(&format!(" · eta {}", human_duration(eta)));
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+/// `1234567` → `"1.2M"`; exact below 10k.
+#[must_use]
+pub fn si(n: u64) -> String {
+    if n < 10_000 {
+        n.to_string()
+    } else {
+        si_f(n as f64)
+    }
+}
+
+/// Formats a rate/count with an SI suffix and one decimal.
+#[must_use]
+pub fn si_f(x: f64) -> String {
+    let ax = x.abs();
+    if ax >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if ax >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if ax >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else {
+        format!("{x:.1}")
+    }
+}
+
+/// Seconds → `"45s"`, `"3m12s"`, `"2h05m"`.
+#[must_use]
+pub fn human_duration(secs: f64) -> String {
+    let s = secs.max(0.0).round() as u64;
+    if s < 60 {
+        format!("{s}s")
+    } else if s < 3600 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(jobs_done: u64, jobs_total: u64, work_done: u64, work_total: u64, t: f64) -> Progress {
+        Progress {
+            jobs_done,
+            jobs_total,
+            work_done,
+            work_total,
+            elapsed_secs: t,
+        }
+    }
+
+    #[test]
+    fn rate_and_eta() {
+        let pr = p(1, 4, 1000, 4000, 2.0);
+        assert!((pr.rate() - 500.0).abs() < 1e-9);
+        assert!((pr.eta_secs().unwrap() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eta_absent_without_rate_or_total() {
+        assert_eq!(p(0, 4, 0, 4000, 0.0).eta_secs(), None);
+        assert_eq!(p(0, 4, 100, 0, 2.0).eta_secs(), None);
+        // work_done overshooting work_total (estimate was low) must not panic.
+        assert_eq!(p(3, 4, 5000, 4000, 2.0).eta_secs(), None);
+    }
+
+    #[test]
+    fn line_is_stable_and_complete() {
+        let line = p(3, 12, 1_500_000, 6_000_000, 10.0).line();
+        assert!(line.starts_with("sweep: 3/12 jobs"), "{line}");
+        assert!(line.contains("1.5M/6.0M steps"), "{line}");
+        assert!(line.contains("steps/s"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn finished_sweep_has_no_eta() {
+        let line = p(4, 4, 4000, 4000, 8.0).line();
+        assert!(!line.contains("eta"), "{line}");
+    }
+
+    #[test]
+    fn si_formatting() {
+        assert_eq!(si(0), "0");
+        assert_eq!(si(9_999), "9999");
+        assert_eq!(si(10_000), "10.0k");
+        assert_eq!(si(1_234_567), "1.2M");
+        assert_eq!(si_f(2.5e9), "2.5G");
+        assert_eq!(si_f(42.0), "42.0");
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(human_duration(0.4), "0s");
+        assert_eq!(human_duration(59.6), "1m00s");
+        assert_eq!(human_duration(192.0), "3m12s");
+        assert_eq!(human_duration(7500.0), "2h05m");
+    }
+}

@@ -1,0 +1,279 @@
+//! Sharded metric collection: per-worker [`Sheet`]s merged into a shared
+//! [`Registry`].
+//!
+//! The design keeps the hot path lock-free and allocation-free: a worker
+//! records into its own plain-data `Sheet` (no atomics, no locks) and folds
+//! the whole sheet into the `Registry` once per job under a single coarse
+//! mutex. The only concurrently-written state is a handful of relaxed
+//! [`AtomicU64`]s ([`Live`]) that the progress heartbeat reads — those are
+//! monotone counters where staleness is harmless.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::hist::Histogram;
+
+/// One worker's (or one job's) private scratch metrics. Plain data: records
+/// are just `BTreeMap` upserts, merged into the [`Registry`] at job
+/// boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct Sheet {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Sheet {
+    /// An empty sheet.
+    #[must_use]
+    pub fn new() -> Sheet {
+        Sheet::default()
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        match self.counters.get_mut(name) {
+            Some(c) => *c += n,
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Adds `v` to gauge `name`. Gauges are additive on merge (use them for
+    /// accumulated quantities like simulated elapsed time, not for
+    /// last-write-wins readings).
+    pub fn gauge_add(&mut self, name: &str, v: f64) {
+        *self.gauges.entry(name.to_string()).or_insert(0.0) += v;
+    }
+
+    /// Records one sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.observe_n(name, v, 1);
+    }
+
+    /// Records `n` samples of the same value into histogram `name`.
+    pub fn observe_n(&mut self, name: &str, v: u64, n: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record_n(v, n);
+    }
+
+    /// Folds a pre-built histogram into histogram `name`.
+    pub fn observe_hist(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// Runs `f`, adds its wall-clock duration in nanoseconds to counter
+    /// `{name}_ns` and bumps `{name}_calls`, and returns `f`'s result.
+    ///
+    /// Wall-clock only ever feeds telemetry — simulation state never
+    /// observes it, so timers cannot perturb determinism.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.add(&format!("{name}_ns"), ns);
+        self.add(&format!("{name}_calls"), 1);
+        out
+    }
+
+    /// Folds another sheet into this one.
+    pub fn merge(&mut self, other: &Sheet) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_add(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.observe_hist(k, h);
+        }
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter value (0 when absent).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 when absent).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges, sorted by name.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+}
+
+/// Live sweep-progress counters read by the heartbeat thread. All relaxed:
+/// each field is a monotone counter and the reporter tolerates torn
+/// *cross-field* views (it only ever renders a snapshot line).
+#[derive(Debug, Default)]
+pub struct Live {
+    /// Jobs finished (completed or reused) so far.
+    pub jobs_done: AtomicU64,
+    /// Total jobs in the sweep.
+    pub jobs_total: AtomicU64,
+    /// Work units (steps/activations) executed so far, including work
+    /// credited from resumed checkpoints.
+    pub work_done: AtomicU64,
+    /// Total work units the sweep will execute.
+    pub work_total: AtomicU64,
+}
+
+impl Live {
+    /// Adds `n` to a live counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reads a live counter.
+    #[must_use]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// The sweep-wide metric store: a mutex-guarded master [`Sheet`] plus the
+/// [`Live`] atomics. Workers call [`Registry::fold`] once per job; the
+/// mutex is therefore uncontended in any realistic sweep.
+#[derive(Debug, Default)]
+pub struct Registry {
+    master: Mutex<Sheet>,
+    /// Live counters for the progress reporter.
+    pub live: Live,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Folds a worker sheet into the master sheet.
+    pub fn fold(&self, sheet: &Sheet) {
+        if sheet.is_empty() {
+            return;
+        }
+        self.master
+            .lock()
+            .expect("telemetry registry poisoned")
+            .merge(sheet);
+    }
+
+    /// A snapshot of the merged master sheet.
+    #[must_use]
+    pub fn snapshot(&self) -> Sheet {
+        self.master
+            .lock()
+            .expect("telemetry registry poisoned")
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sheet_counters_accumulate() {
+        let mut s = Sheet::new();
+        s.add("a", 2);
+        s.add("a", 3);
+        s.add("b", 0); // no-op: zero adds must not create keys
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.counter("b"), 0);
+        assert_eq!(s.counters().count(), 1);
+    }
+
+    #[test]
+    fn sheet_merge_is_additive() {
+        let mut a = Sheet::new();
+        a.add("steps", 10);
+        a.gauge_add("sim_time", 1.5);
+        a.observe("dwell", 4);
+        let mut b = Sheet::new();
+        b.add("steps", 5);
+        b.gauge_add("sim_time", 0.5);
+        b.observe("dwell", 8);
+        b.observe("fanout", 3);
+        a.merge(&b);
+        assert_eq!(a.counter("steps"), 15);
+        assert!((a.gauge("sim_time") - 2.0).abs() < 1e-12);
+        assert_eq!(a.histogram("dwell").unwrap().count(), 2);
+        assert_eq!(a.histogram("fanout").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn sheet_time_records_duration_and_calls() {
+        let mut s = Sheet::new();
+        let out = s.time("phase.setup", || 7);
+        assert_eq!(out, 7);
+        assert_eq!(s.counter("phase.setup_calls"), 1);
+        // Duration is nonneg by construction; key must exist even if 0 ns.
+        assert!(s.counters().any(|(k, _)| k == "phase.setup_ns"));
+    }
+
+    #[test]
+    fn registry_folds_sheets_from_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut s = Sheet::new();
+                    s.add("jobs", 1);
+                    s.observe("x", 100);
+                    reg.fold(&s);
+                    Live::add(&reg.live.jobs_done, 1);
+                });
+            }
+        });
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("jobs"), 4);
+        assert_eq!(snap.histogram("x").unwrap().count(), 4);
+        assert_eq!(Live::get(&reg.live.jobs_done), 4);
+    }
+
+    #[test]
+    fn empty_fold_skips_the_lock_path() {
+        let reg = Registry::new();
+        reg.fold(&Sheet::new());
+        assert!(reg.snapshot().is_empty());
+    }
+}

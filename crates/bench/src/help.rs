@@ -45,6 +45,18 @@ pub const TELEMETRY_HELP: &str =
   --quiet        suppress status chatter and the progress heartbeat; stdout
                  carries only the result table";
 
+/// The robustness flags on `sops-cli sweep|run`. Failures are job-local by
+/// default: a panicking or I/O-failing job is quarantined and the sweep
+/// finishes every healthy job, exiting 3 (see `docs/ROBUSTNESS.md`).
+pub const ROBUSTNESS_HELP: &str =
+    "  --strict-io    treat a lossy JSONL event stream (dropped lines counted in
+                 sink_errors) as a failure: exit 4 instead of a warning
+  --retry-failed re-run jobs quarantined by a previous run of this checkpoint
+                 directory (requires a checkpoint); converges to the
+                 byte-identical artifacts of an unfailed sweep
+  SOPS_FAULTS    deterministic fault injection for drills and tests, e.g.
+                 SOPS_FAULTS='ckpt.write#1@2=io;job.step#0@5=panic'";
+
 /// Prints a binary's usage plus the shared axis descriptions and exits
 /// when `--help` was passed; a no-op otherwise. Call first thing in every
 /// experiment binary's `main`.

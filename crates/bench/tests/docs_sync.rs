@@ -7,7 +7,7 @@
 //! updated — the documentation cannot silently drift from what `--help`
 //! prints.
 
-use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP, TELEMETRY_HELP};
+use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP, ROBUSTNESS_HELP, TELEMETRY_HELP};
 
 fn doc(name: &str) -> String {
     let path = format!("{}/../../docs/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -46,6 +46,28 @@ fn observability_doc_quotes_telemetry_help_verbatim() {
         "docs/OBSERVABILITY.md must contain sops_bench::help::TELEMETRY_HELP verbatim;\n\
          update the Flags code block to:\n{TELEMETRY_HELP}"
     );
+}
+
+#[test]
+fn robustness_doc_quotes_robustness_help_verbatim() {
+    let docs = doc("ROBUSTNESS.md");
+    assert!(
+        docs.contains(ROBUSTNESS_HELP),
+        "docs/ROBUSTNESS.md must contain sops_bench::help::ROBUSTNESS_HELP verbatim;\n\
+         update the flags code block to:\n{ROBUSTNESS_HELP}"
+    );
+}
+
+#[test]
+fn robustness_doc_names_every_fault_point() {
+    let docs = doc("ROBUSTNESS.md");
+    for point in sops_engine::FAULT_POINTS {
+        assert!(
+            docs.contains(point),
+            "docs/ROBUSTNESS.md must document fault point `{point}` \
+             (the SOPS_FAULTS vocabulary cannot drift from the code)"
+        );
+    }
 }
 
 #[test]

@@ -5,7 +5,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sops::prelude::*;
 use sops_bench::{out, Args};
-use sops_engine::{CheckpointConfig, EngineConfig, ExperimentSpec, JobGrid, JobSpec};
+use sops_engine::{CheckpointConfig, EngineConfig, ExperimentSpec, FaultSpec, JobGrid, JobSpec};
+
+/// Exit code for a sweep that completed with failed or quarantined jobs
+/// (partial CSV written; recover with `--retry-failed`).
+const EXIT_FAILED_JOBS: i32 = 3;
+/// Exit code for `--strict-io` when JSONL event lines were dropped.
+const EXIT_STRICT_IO: i32 = 4;
+
+/// Reads the `SOPS_FAULTS` fault-injection plan, treating a malformed spec
+/// as a usage error (grammar: docs/ROBUSTNESS.md).
+fn faults_from_env() -> Option<FaultSpec> {
+    match FaultSpec::from_env() {
+        Ok(spec) => spec,
+        Err(err) => {
+            eprintln!("SOPS_FAULTS: {err}");
+            std::process::exit(2);
+        }
+    }
+}
 
 /// Builds the starting configuration from `--shape` (default: line).
 ///
@@ -135,13 +153,17 @@ pub fn sweep(args: &Args) {
         CheckpointConfig::new(dir, args.get_u64("checkpoint-every", (steps / 10).max(1)))
     });
     if checkpoint.is_none() {
-        // Both flags are meaningless without a checkpoint store; erroring
+        // These flags are meaningless without a checkpoint store; erroring
         // beats silently running the sweep to completion.
         for flag in ["stop-after", "checkpoint-every"] {
             if args.get_string(flag).is_some() {
                 eprintln!("--{flag} requires --checkpoint DIR");
                 std::process::exit(2);
             }
+        }
+        if args.flag("retry-failed") {
+            eprintln!("--retry-failed requires --checkpoint DIR");
+            std::process::exit(2);
         }
     }
     let cfg = EngineConfig {
@@ -158,6 +180,8 @@ pub fn sweep(args: &Args) {
         // byte-identical to pre-experiment-file versions.
         experiment: None,
         telemetry: args.telemetry(),
+        faults: faults_from_env(),
+        retry_failed: args.flag("retry-failed"),
     };
 
     execute_sweep(grid.build(), &cfg, seed, &out_name, args);
@@ -203,6 +227,7 @@ fn execute_sweep(jobs: Vec<JobSpec>, cfg: &EngineConfig, seed: u64, out_name: &s
             report.sink_errors
         );
     }
+    report_failures(&report);
     if !quiet && report.reused > 0 {
         eprintln!("resumed: {} job(s) reused from done-records", report.reused);
     }
@@ -215,6 +240,7 @@ fn execute_sweep(jobs: Vec<JobSpec>, cfg: &EngineConfig, seed: u64, out_name: &s
                 report.specs.len()
             );
         }
+        exit_for(&report, args);
         return;
     }
     let finalize_started = std::time::Instant::now();
@@ -226,13 +252,51 @@ fn execute_sweep(jobs: Vec<JobSpec>, cfg: &EngineConfig, seed: u64, out_name: &s
     match emitted {
         Ok(_) => {
             if !quiet {
-                eprintln!("sweep complete: {} jobs", report.results.len());
+                if report.failed.is_empty() {
+                    eprintln!("sweep complete: {} jobs", report.results.len());
+                } else {
+                    eprintln!(
+                        "sweep degraded: {}/{} jobs complete, {} failed",
+                        report.results.len(),
+                        report.specs.len(),
+                        report.failed.len()
+                    );
+                }
             }
         }
         Err(err) => {
             eprintln!("failed to write results: {err}");
             std::process::exit(1);
         }
+    }
+    exit_for(&report, args);
+}
+
+/// Prints each failed or quarantined job to stderr. Always surfaced, even
+/// under `--quiet`: a missing result row is a defect, not chatter.
+fn report_failures(report: &sops_engine::SweepReport) {
+    for f in &report.failed {
+        if f.quarantined {
+            eprintln!(
+                "job {} quarantined by a previous run (re-run with --retry-failed): {}",
+                f.job, f.error
+            );
+        } else {
+            eprintln!("job {} failed: {}", f.job, f.error);
+        }
+    }
+}
+
+/// Exits nonzero when the sweep finished in a degraded state: code 3 for
+/// failed/quarantined jobs (which always outranks), code 4 for a lossy
+/// event stream under `--strict-io`. All artifacts (CSV, metrics,
+/// done-records) are already written before this runs.
+fn exit_for(report: &sops_engine::SweepReport, args: &Args) {
+    if !report.failed.is_empty() {
+        std::process::exit(EXIT_FAILED_JOBS);
+    }
+    if args.flag("strict-io") && report.sink_errors > 0 {
+        std::process::exit(EXIT_STRICT_IO);
     }
 }
 
@@ -312,11 +376,19 @@ pub fn run(path: &str, args: &Args) {
             .as_ref()
             .map(|ck| CheckpointConfig::new(&ck.dir, args.get_u64("checkpoint-every", ck.every))),
     };
-    if checkpoint.is_none() && args.get_string("stop-after").is_some() {
-        eprintln!(
-            "--stop-after requires a checkpoint (a [checkpoint] section or --checkpoint DIR)"
-        );
-        std::process::exit(2);
+    if checkpoint.is_none() {
+        if args.get_string("stop-after").is_some() {
+            eprintln!(
+                "--stop-after requires a checkpoint (a [checkpoint] section or --checkpoint DIR)"
+            );
+            std::process::exit(2);
+        }
+        if args.flag("retry-failed") {
+            eprintln!(
+                "--retry-failed requires a checkpoint (a [checkpoint] section or --checkpoint DIR)"
+            );
+            std::process::exit(2);
+        }
     }
     let cfg = EngineConfig {
         threads: args.threads(),
@@ -330,6 +402,8 @@ pub fn run(path: &str, args: &Args) {
         }),
         experiment: Some(spec.name.clone()),
         telemetry: args.telemetry(),
+        faults: faults_from_env(),
+        retry_failed: args.flag("retry-failed"),
     };
     if !args.flag("quiet") {
         eprintln!("experiment {} ({path})", spec.name);
@@ -352,6 +426,7 @@ COMMANDS:
              <experiment.toml> --override key=value ... --print-grid
              --threads T --out NAME --checkpoint DIR --checkpoint-every W
              --stop-after K --metrics --progress --quiet
+             --strict-io --retry-failed
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
                                        --hamiltonian edges|alignment[:q]
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
@@ -360,7 +435,7 @@ COMMANDS:
              --hamiltonian edges,alignment[:q]
              --steps --burnin --samples --reps --until-alpha --seed --threads
              --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
-             --metrics --progress --quiet
+             --metrics --progress --quiet --strict-io --retry-failed
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg
@@ -376,6 +451,9 @@ HAMILTONIANS (--hamiltonian / hamiltonians =):
 TELEMETRY (sweep / run):
 {}
 
+ROBUSTNESS (sweep / run):
+{}
+
 EXAMPLES:
   sops-cli run examples/experiments/kmc_vs_chain.toml --threads 8
   sops-cli run examples/experiments/fig2_compression.toml --override steps=500000
@@ -389,6 +467,7 @@ EXAMPLES:
   sops-cli render --shape annulus --radius 4",
         sops_bench::help::ALGO_HELP,
         sops_bench::help::HAMILTONIAN_HELP,
-        sops_bench::help::TELEMETRY_HELP
+        sops_bench::help::TELEMETRY_HELP,
+        sops_bench::help::ROBUSTNESS_HELP
     );
 }

@@ -3,12 +3,14 @@
 //! ```text
 //! sops-cli run      experiment.toml [--override key=value]... [--print-grid] [--threads T]
 //!                   [--out NAME] [--checkpoint DIR [--checkpoint-every W]] [--stop-after K]
+//!                   [--strict-io] [--retry-failed]
 //! sops-cli simulate --n 100 --lambda 4 --steps 1000000 [--shape line|spiral|annulus|random]
 //!                   [--hamiltonian edges|alignment[:q]] [--seed S] [--svg out.svg] [--every K]
 //! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S]
 //! sops-cli sweep    --n 50,100 --lambda 2,4 --steps 100000 [--algo chain,local]
 //!                   [--hamiltonian edges,alignment[:q]]
 //!                   [--threads T] [--checkpoint DIR [--checkpoint-every W]] [--out NAME]
+//!                   [--strict-io] [--retry-failed]
 //! sops-cli enumerate --max-n 9
 //! sops-cli saw      --max-len 20
 //! sops-cli render   --shape spiral --n 50 [--svg out.svg]

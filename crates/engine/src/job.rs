@@ -21,7 +21,8 @@ use sops::system::{metrics, ParticleSystem};
 use sops_telemetry::{Live, Registry, Sheet};
 
 use crate::ablation::AblationChain;
-use crate::checkpoint::Store;
+use crate::checkpoint::{CkptLoad, Store};
+use crate::fault::{self, FaultPlan};
 use crate::grid::{Algorithm, JobSpec, ORIENT_SALT};
 use crate::result::{JobResult, StepRecord};
 use crate::sink::{json_str, EventSink};
@@ -49,6 +50,9 @@ pub(crate) struct JobContext<'a> {
     /// session end; only the [`Live`] progress counters are touched
     /// mid-job.
     pub(crate) registry: Option<&'a Registry>,
+    /// Armed fault-injection plan checked at the `job.step` point (the
+    /// store and sink carry their own handles); `None` in production.
+    pub(crate) faults: Option<&'a FaultPlan>,
 }
 
 /// One of the simulators, dispatched per job. The chain samplers come in
@@ -462,6 +466,11 @@ fn advance_checkpointed(
     target: u64,
 ) -> io::Result<bool> {
     while state.sim.work() < target {
+        // One fault check per stepping chunk: the chunk schedule is a pure
+        // function of the spec and `every`, so an injected `job.step`
+        // failure lands at the same point of a job's timeline at any
+        // thread count.
+        fault::check(ctx.faults, "job.step", Some(spec.id))?;
         let mut next = state.last_ckpt_work.saturating_add(ctx.every).min(target);
         if next <= state.sim.work() {
             next = target;
@@ -555,17 +564,40 @@ pub(crate) fn run_job(spec: &JobSpec, ctx: &JobContext<'_>) -> io::Result<JobOut
     let session_started = Instant::now();
     let ckpt = match ctx.store {
         Some(store) => store.load_ckpt(spec.id)?,
-        None => None,
+        None => CkptLoad::None,
     };
-    let resumed = ckpt.is_some();
-    let mut state = match ckpt {
-        Some(text) => {
-            let state = parse_ckpt(spec, &text).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("corrupt checkpoint for job {}: {e}", spec.id),
-                )
-            })?;
+    // A corrupt checkpoint — checksum failure (caught in the store) or a
+    // record that verifies but no longer parses — demotes this one job to
+    // recompute-from-scratch: warn, discard, start fresh. Determinism makes
+    // the demotion safe: the fresh run replays the exact same trajectory.
+    let loaded = match ckpt {
+        CkptLoad::Snapshot(text) => match parse_ckpt(spec, &text) {
+            Ok(state) => Some(state),
+            Err(e) => {
+                if let Some(store) = ctx.store {
+                    store.discard_ckpt(spec.id)?;
+                }
+                ctx.sink.emit(&format!(
+                    "\"event\":\"ckpt_corrupt\",\"job\":{},\"kind\":\"ckpt\",\"reason\":{}",
+                    spec.id,
+                    json_str(&e.to_string())
+                ));
+                None
+            }
+        },
+        CkptLoad::Corrupt(reason) => {
+            ctx.sink.emit(&format!(
+                "\"event\":\"ckpt_corrupt\",\"job\":{},\"kind\":\"ckpt\",\"reason\":{}",
+                spec.id,
+                json_str(&reason)
+            ));
+            None
+        }
+        CkptLoad::None => None,
+    };
+    let resumed = loaded.is_some();
+    let mut state = match loaded {
+        Some(state) => {
             ctx.sink.emit(&format!(
                 "\"event\":\"job_resumed\",\"job\":{},\"work\":{}",
                 spec.id,

@@ -52,9 +52,21 @@
 //! patterns, never decimal). Resuming therefore replays precisely the
 //! steps the uninterrupted run would have taken, and an interrupted sweep
 //! converges to byte-identical final artifacts. Checkpoint writes are
-//! atomic (`.tmp` + rename), completed jobs become durable done-records,
-//! and `meta.txt` refuses to resume a directory belonging to a different
-//! sweep.
+//! atomic and fsynced (per-process `.tmp` + rename + directory sync),
+//! records carry FNV checksums, completed jobs become durable
+//! done-records, and `meta.txt` refuses to resume a directory belonging
+//! to a different sweep.
+//!
+//! # Failure model
+//!
+//! Process-level faults degrade instead of aborting: a job that panics or
+//! hits an unretryable I/O error is isolated ([`pool`] catches per-item
+//! panics), durably quarantined (`failed/job-<id>.txt`), and reported in
+//! [`SweepReport::failed`] while every healthy job finishes. Corrupt or
+//! truncated checkpoint files demote their one job to recompute-from-
+//! scratch. Transient write errors get a bounded, wall-clock-free retry.
+//! Every failure path is reachable deterministically through the [`fault`]
+//! module (`SOPS_FAULTS`); `docs/ROBUSTNESS.md` is the reference.
 //!
 //! # Example
 //!
@@ -77,6 +89,7 @@
 pub mod ablation;
 pub mod checkpoint;
 pub mod experiment;
+pub mod fault;
 pub mod grid;
 mod job;
 pub mod pool;
@@ -88,9 +101,10 @@ pub mod telemetry;
 
 pub use checkpoint::CheckpointConfig;
 pub use experiment::{CheckpointSpec, ExperimentSpec, GridSpec};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, POINTS as FAULT_POINTS};
 pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape, ORIENT_SALT};
-pub use pool::{default_threads, map_parallel};
-pub use result::{JobResult, StepRecord};
+pub use pool::{default_threads, map_parallel, map_parallel_isolated};
+pub use result::{JobFailure, JobResult, StepRecord};
 pub use run::{run_grid, run_sweep, EngineConfig, SweepReport};
 pub use sink::EventSink;
 pub use sops::core::hamiltonian::HamiltonianSpec;

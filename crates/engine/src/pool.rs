@@ -1,14 +1,21 @@
 //! A fixed-size worker pool over a shared work queue (`std::thread` only).
 //!
-//! [`map_parallel`] is the engine's sole parallel primitive: spawn `threads`
-//! scoped workers, let them drain a shared queue of `(index, item)` pairs,
-//! and return results **in input order**. Because every item's computation
-//! depends only on the item itself (jobs carry their own derived seeds — see
-//! [`crate::seed`]), the output is identical at any thread count; only
-//! wall-clock time changes.
+//! [`map_parallel_isolated`] is the engine's parallel primitive: spawn
+//! `threads` scoped workers, let them drain a shared queue of
+//! `(index, item)` pairs, and return results **in input order**. Because
+//! every item's computation depends only on the item itself (jobs carry
+//! their own derived seeds — see [`crate::seed`]), the output is identical
+//! at any thread count; only wall-clock time changes.
+//!
+//! Worker panics are *isolated*: a panicking item is caught
+//! (`catch_unwind`) and surfaced as an `Err(message)` for that item alone —
+//! the other items still run, and no shared lock is left poisoned. The
+//! convenience wrapper [`map_parallel`] keeps the old contract (a panic in
+//! any item propagates) for callers without a degradation story.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Default worker count: the machine's available parallelism (1 if unknown).
 #[must_use]
@@ -18,11 +25,32 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Locks `m`, shrugging off poison: the pool's own panics are caught per
+/// item, and a caller-side panic between items cannot leave partial state
+/// in a queue of independent jobs.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Renders a `catch_unwind` payload as the panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
 /// Applies `f` to every item on a pool of at most `threads` workers and
-/// returns the results in input order.
+/// returns per-item outcomes in input order: `Ok(result)`, or
+/// `Err(panic message)` when that item's computation panicked.
 ///
-/// `f` receives `(index, item)`. A panic in any worker propagates.
-pub fn map_parallel<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+/// `f` receives `(index, item)`. A panicking item never takes down its
+/// worker (the worker moves on to the next queued item) and never poisons
+/// the queue or results locks.
+pub fn map_parallel_isolated<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<Result<R, String>>
 where
     T: Send,
     R: Send,
@@ -32,34 +60,55 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let run_one = |index: usize, item: T| -> Result<R, String> {
+        catch_unwind(AssertUnwindSafe(|| f(index, item))).map_err(panic_message)
+    };
     let workers = threads.clamp(1, n);
     if workers == 1 {
         // Run inline: keeps single-threaded sweeps trivially debuggable.
         return items
             .into_iter()
             .enumerate()
-            .map(|(i, t)| f(i, t))
+            .map(|(i, t)| run_one(i, t))
             .collect();
     }
     let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let results: Mutex<Vec<Option<Result<R, String>>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("queue poisoned").pop_front();
+                let next = relock(&queue).pop_front();
                 let Some((index, item)) = next else {
                     break;
                 };
-                let result = f(index, item);
-                results.lock().expect("results poisoned")[index] = Some(result);
+                let result = run_one(index, item);
+                relock(&results)[index] = Some(result);
             });
         }
     });
     results
         .into_inner()
-        .expect("results poisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .map(|r| r.expect("every queued item completes"))
+        .collect()
+}
+
+/// Applies `f` to every item on a pool of at most `threads` workers and
+/// returns the results in input order.
+///
+/// `f` receives `(index, item)`. A panic in any item propagates (with its
+/// original message) once all items have run; callers that instead want to
+/// *survive* per-item panics use [`map_parallel_isolated`].
+pub fn map_parallel<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    map_parallel_isolated(threads, items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|msg| panic!("worker panicked: {msg}")))
         .collect()
 }
 
@@ -94,6 +143,46 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = map_parallel(8, Vec::<u32>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panics_are_isolated_per_item_at_any_thread_count() {
+        for threads in [1, 2, 4] {
+            let out = map_parallel_isolated(threads, (0..20).collect::<Vec<usize>>(), |_, x| {
+                assert!(x % 5 != 3, "boom on {x}");
+                x * 2
+            });
+            for (i, r) in out.iter().enumerate() {
+                if i % 5 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("boom"), "panic message survives: {msg}");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_item_does_not_starve_the_queue() {
+        // More items than workers, early panic: every item still runs.
+        let counter = AtomicUsize::new(0);
+        let out = map_parallel_isolated(2, (0..50).collect::<Vec<usize>>(), |_, x| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            assert!(x != 0, "first item dies");
+            x
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 50);
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn map_parallel_still_propagates_panics() {
+        let _ = map_parallel(2, vec![0_usize, 1], |_, x| {
+            assert!(x != 1, "die");
+            x
+        });
     }
 
     #[test]

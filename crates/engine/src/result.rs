@@ -116,6 +116,25 @@ impl StepRecord {
     }
 }
 
+/// A job that produced no result this run: it panicked, hit an unretryable
+/// I/O error, or was skipped because a prior run quarantined it.
+///
+/// Failures are job-local — the sweep finishes every healthy job and
+/// reports them here (`SweepReport::failed`). With a checkpoint store the
+/// job is durably quarantined as `failed/job-<id>.txt`; re-running with
+/// `retry_failed` (CLI: `--retry-failed`) recomputes exactly the failed
+/// jobs, converging to the byte-identical artifacts of an unfailed run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobFailure {
+    /// Id of the failed job.
+    pub job: usize,
+    /// Human-readable cause: `panic: <message>` or the I/O error text.
+    pub error: String,
+    /// `true` when the job did not run this sweep because a previous run
+    /// left a quarantine record (clear it with `retry_failed`).
+    pub quarantined: bool,
+}
+
 /// The measured outcome of one completed [`crate::grid::JobSpec`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct JobResult {

@@ -4,6 +4,7 @@
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use sops::analysis::table::{fmt_f64, Table};
@@ -11,11 +12,12 @@ use sops::system::metrics;
 use sops_telemetry::{Live, Registry, Sheet};
 
 use crate::checkpoint::{CheckpointConfig, Store};
+use crate::fault::{FaultPlan, FaultSpec};
 use crate::grid::{JobGrid, JobSpec};
 use crate::job::{run_job, JobContext, JobOutcome};
-use crate::pool::{default_threads, map_parallel};
-use crate::result::JobResult;
-use crate::sink::EventSink;
+use crate::pool::{default_threads, map_parallel_isolated};
+use crate::result::{JobFailure, JobResult};
+use crate::sink::{json_str, EventSink};
 use crate::telemetry::{finalize_rates, heartbeat, TelemetryConfig};
 
 /// How a sweep executes.
@@ -43,6 +45,16 @@ pub struct EngineConfig {
     /// simulation artifact (CSV, snapshots, done-records, job JSONL lines)
     /// is byte-identical at any setting; see `crate::telemetry`.
     pub telemetry: TelemetryConfig,
+    /// Deterministic fault injection for tests and chaos drills (see
+    /// [`crate::fault`]; CLI: the `SOPS_FAULTS` env). `None` — or a spec
+    /// whose rules never match — leaves every artifact byte-identical to a
+    /// run without the fault subsystem.
+    pub faults: Option<FaultSpec>,
+    /// Re-run jobs quarantined as `failed/job-<id>.txt` by a prior run
+    /// (CLI: `--retry-failed`). Default `false`: quarantined jobs are
+    /// skipped and reported in [`SweepReport::failed`], so a crashing job
+    /// cannot wedge resume into re-failing forever.
+    pub retry_failed: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +66,8 @@ impl Default for EngineConfig {
             stop_after_checkpoints: None,
             experiment: None,
             telemetry: TelemetryConfig::default(),
+            faults: None,
+            retry_failed: false,
         }
     }
 }
@@ -71,6 +85,10 @@ pub struct SweepReport {
     /// `true` when the sweep stopped early (stop flag); resume by running
     /// again with the same checkpoint directory.
     pub interrupted: bool,
+    /// Jobs without a result this run — panicked, failed on I/O, or
+    /// skipped as quarantined — in id order. The sweep still finishes
+    /// every healthy job; see [`JobFailure`] for the recovery story.
+    pub failed: Vec<JobFailure>,
     /// JSONL event lines dropped by I/O errors (0 without an event sink).
     /// Nonzero means the event stream on disk is incomplete — the CSV and
     /// done-records are still authoritative.
@@ -196,10 +214,17 @@ impl SweepReport {
 /// Results are **bitwise identical at any thread count** and across any
 /// number of interrupt/resume cycles — see the crate docs for why.
 ///
+/// Failures degrade gracefully instead of aborting: a job that panics or
+/// hits an unretryable I/O error is quarantined (durably, with a store)
+/// and reported in [`SweepReport::failed`] while every healthy job
+/// finishes; corrupt checkpoint files demote their job to recompute. See
+/// `docs/ROBUSTNESS.md` for the full failure model.
+///
 /// # Errors
 ///
-/// I/O errors from the checkpoint store or event sink, or `InvalidInput`
-/// for specs that cannot be instantiated (e.g. λ ≤ 0).
+/// Sweep-level setup errors only: opening the store or sink, a checkpoint
+/// directory holding a foreign sweep, or `InvalidInput` for specs that
+/// cannot be instantiated (e.g. λ ≤ 0).
 pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepReport> {
     // Ids must equal positions: checkpoints are keyed by id and results are
     // paired back to specs[id]. Grid-built lists satisfy this; hand-built
@@ -213,33 +238,78 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
             ),
         ));
     }
+    let faults: Option<Arc<FaultPlan>> = cfg
+        .faults
+        .as_ref()
+        .filter(|spec| !spec.is_empty())
+        .map(|spec| Arc::new(spec.arm()));
     let sink = match &cfg.events_path {
-        Some(path) => EventSink::to_path(path)?,
+        Some(path) => EventSink::to_path(path)?.with_faults(faults.clone()),
         None => EventSink::disabled(),
     };
     if let Some(experiment) = &cfg.experiment {
         sink.emit(&format!(
             "\"event\":\"sweep_start\",\"experiment\":{},\"jobs\":{}",
-            crate::sink::json_str(experiment),
+            json_str(experiment),
             specs.len()
         ));
     }
     let store_every = match &cfg.checkpoint {
         Some(ck) => {
-            let (store, _resumed) = Store::open(&ck.dir, &specs, cfg.experiment.as_deref())?;
+            let (store, _resumed) =
+                Store::open(&ck.dir, &specs, cfg.experiment.as_deref(), faults.clone())?;
             Some((store, ck.every))
         }
         None => None,
     };
-    let done: Vec<JobResult> = match &store_every {
+    // Corrupt done-records are discarded (those jobs recompute), warned
+    // about, and counted — never fatal.
+    let (done, discarded) = match &store_every {
         Some((store, _)) => store.load_done()?,
-        None => Vec::new(),
+        None => (Vec::new(), Vec::new()),
     };
+    for d in &discarded {
+        let job = d.job.map_or(String::new(), |id| format!("\"job\":{id},"));
+        sink.emit(&format!(
+            "\"event\":\"ckpt_corrupt\",{job}\"kind\":\"done\",\"file\":{},\"reason\":{}",
+            json_str(&d.file),
+            json_str(&d.reason)
+        ));
+    }
     let reused = done.len();
     let done_ids: Vec<usize> = done.iter().map(|r| r.job).collect();
+    // Quarantine records from prior failed runs: skipped by default (a
+    // crashing job must not wedge resume into re-failing forever), cleared
+    // and re-run under `retry_failed`.
+    let mut quarantined: Vec<JobFailure> = Vec::new();
+    let mut retried: u64 = 0;
+    if let Some((store, _)) = &store_every {
+        for (id, error) in store.load_failed()? {
+            if done_ids.binary_search(&id).is_ok() {
+                store.clear_failed(id)?; // stale: the job completed since
+            } else if cfg.retry_failed {
+                store.clear_failed(id)?;
+                retried += 1;
+                sink.emit(&format!("\"event\":\"job_retried\",\"job\":{id}"));
+            } else {
+                sink.emit(&format!(
+                    "\"event\":\"job_quarantined\",\"job\":{id},\"error\":{}",
+                    json_str(&error)
+                ));
+                quarantined.push(JobFailure {
+                    job: id,
+                    error,
+                    quarantined: true,
+                });
+            }
+        }
+    }
     let pending: Vec<JobSpec> = specs
         .iter()
-        .filter(|s| done_ids.binary_search(&s.id).is_err())
+        .filter(|s| {
+            done_ids.binary_search(&s.id).is_err()
+                && quarantined.binary_search_by_key(&s.id, |f| f.job).is_err()
+        })
         .copied()
         .collect();
 
@@ -264,8 +334,10 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
         checkpoints: &checkpoints,
         stop_after: cfg.stop_after_checkpoints,
         registry: cfg.telemetry.is_active().then_some(&registry),
+        faults: faults.as_deref(),
     };
 
+    let pending_ids: Vec<usize> = pending.iter().map(|s| s.id).collect();
     let worker = |_: usize, spec: JobSpec| {
         if ctx.stop.load(Ordering::SeqCst) {
             return Ok(JobOutcome::Interrupted);
@@ -285,30 +357,80 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
                     started,
                 );
             });
-            let outcomes = map_parallel(cfg.threads, pending, worker);
+            let outcomes = map_parallel_isolated(cfg.threads, pending, worker);
             hb_stop.store(true, Ordering::SeqCst);
             hb.join().expect("heartbeat thread panicked");
             outcomes
         })
     } else {
-        map_parallel(cfg.threads, pending, worker)
+        map_parallel_isolated(cfg.threads, pending, worker)
     };
 
+    // Failures are job-local: a panic (caught by the pool) or an I/O error
+    // takes out that one job, never its siblings. InvalidInput stays fatal
+    // — it means the spec itself cannot be instantiated, which retrying
+    // cannot fix.
     let mut results = done;
     let mut interrupted = false;
-    for outcome in outcomes {
-        match outcome? {
-            JobOutcome::Completed(result) => results.push(result),
-            JobOutcome::Interrupted => interrupted = true,
+    let mut failures: Vec<JobFailure> = Vec::new();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(Ok(JobOutcome::Completed(result))) => results.push(result),
+            Ok(Ok(JobOutcome::Interrupted)) => interrupted = true,
+            Ok(Err(e)) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+            Ok(Err(e)) => failures.push(JobFailure {
+                job: pending_ids[i],
+                error: e.to_string(),
+                quarantined: false,
+            }),
+            Err(panic_msg) => failures.push(JobFailure {
+                job: pending_ids[i],
+                error: format!("panic: {panic_msg}"),
+                quarantined: false,
+            }),
         }
     }
     results.sort_by_key(|r| r.job);
 
-    if !interrupted {
+    // Durably quarantine fresh failures (best-effort — a store that cannot
+    // even record the failure still surfaces it in the report) and announce
+    // each one.
+    for f in &failures {
+        if let Some((store, _)) = &store_every {
+            if let Err(e) = store.write_failed(f.job, &f.error) {
+                sink.emit(&format!(
+                    "\"event\":\"failed_record_error\",\"job\":{},\"error\":{}",
+                    f.job,
+                    json_str(&e.to_string())
+                ));
+            }
+        }
         sink.emit(&format!(
-            "\"event\":\"sweep_complete\",\"jobs\":{},\"reused\":{reused}",
-            specs.len()
+            "\"event\":\"job_failed\",\"job\":{},\"error\":{}",
+            f.job,
+            json_str(&f.error)
         ));
+    }
+    let fresh_failures = failures.len() as u64;
+    failures.extend(quarantined);
+    failures.sort_by_key(|f| f.job);
+
+    if !interrupted {
+        if failures.is_empty() {
+            // Byte-stable happy-path event: fault-free sweeps emit exactly
+            // the pre-fault-subsystem line.
+            sink.emit(&format!(
+                "\"event\":\"sweep_complete\",\"jobs\":{},\"reused\":{reused}",
+                specs.len()
+            ));
+        } else {
+            sink.emit(&format!(
+                "\"event\":\"sweep_degraded\",\"jobs\":{},\"completed\":{},\"failed\":{}",
+                specs.len(),
+                results.len(),
+                failures.len()
+            ));
+        }
     }
     // Dropped event writes are surfaced, not swallowed: counted into the
     // report and announced with a trailing event (which may itself fail —
@@ -325,6 +447,17 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
         m.add("sweep.jobs_reused", reused as u64);
         m.add("sink.events", sink.event_count());
         m.add("sink.errors", sink_errors);
+        // Robustness counters. `Sheet::add` drops zero adds, so fault-free
+        // runs keep a byte-identical metrics.json.
+        m.add("job.failed", fresh_failures);
+        m.add("job.retried", retried);
+        if let Some(plan) = &faults {
+            m.add("fault.injected", plan.injected());
+        }
+        if let Some((store, _)) = &store_every {
+            m.add("ckpt.retry", store.retries());
+            m.add("ckpt.corrupt_discarded", store.corrupt_discarded());
+        }
         finalize_rates(&mut m);
         m
     } else {
@@ -335,6 +468,7 @@ pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepRep
         results,
         reused,
         interrupted,
+        failed: failures,
         sink_errors,
         metrics,
     })

@@ -25,21 +25,26 @@
 //! thread count.
 
 use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use crate::fault::{self, FaultPlan, RETRY_ATTEMPTS};
 
 /// A shared, thread-safe JSONL event stream (possibly disabled).
 #[derive(Debug, Default)]
 pub struct EventSink {
-    writer: Option<Mutex<BufWriter<File>>>,
+    writer: Option<Mutex<File>>,
     /// Events successfully written.
     events: AtomicU64,
-    /// Events dropped by an I/O error (write or flush). Surfaced in
-    /// `SweepReport::sink_errors` and as a final `sink_errors` JSONL event
-    /// rather than silently swallowed.
+    /// Events dropped by an I/O error after exhausting the bounded retry.
+    /// Surfaced in `SweepReport::sink_errors` and as a final `sink_errors`
+    /// JSONL event rather than silently swallowed.
     errors: AtomicU64,
+    /// Fault-injection plan checked at the `sink.emit` point (see
+    /// [`crate::fault`]); `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl EventSink {
@@ -62,10 +67,18 @@ impl EventSink {
         }
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(EventSink {
-            writer: Some(Mutex::new(BufWriter::new(file))),
+            writer: Some(Mutex::new(file)),
             events: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            faults: None,
         })
+    }
+
+    /// Attaches a fault-injection plan to the `sink.emit` point.
+    #[must_use]
+    pub(crate) fn with_faults(mut self, faults: Option<Arc<FaultPlan>>) -> EventSink {
+        self.faults = faults;
+        self
     }
 
     /// Whether events are being persisted.
@@ -88,11 +101,13 @@ impl EventSink {
 
     /// Appends one event line (the `{}` braces are added here).
     ///
-    /// Best-effort: an I/O error on an individual event does not abort the
-    /// sweep — events are diagnostics, the authoritative outputs are the
-    /// done-records and the final CSV — but it is *counted*, and the count
-    /// surfaces in `SweepReport::sink_errors` plus a trailing `sink_errors`
-    /// event.
+    /// Best-effort with a bounded deterministic retry: a transient I/O
+    /// error is retried up to [`RETRY_ATTEMPTS`] times with cooperative
+    /// (never wall-clock) backoff; an event still failing after that does
+    /// not abort the sweep — events are diagnostics, the authoritative
+    /// outputs are the done-records and the final CSV — but it is
+    /// *counted*, and the count surfaces in `SweepReport::sink_errors`
+    /// plus a trailing `sink_errors` event.
     pub fn emit(&self, body: &str) {
         // The line-order-nondeterminism contract (module docs): because
         // lines from different jobs interleave at --threads > 1, every
@@ -106,12 +121,34 @@ impl EventSink {
             "JSONL events must be single lines (got {body:?})"
         );
         if let Some(writer) = &self.writer {
-            let mut writer = writer.lock().expect("event sink poisoned");
-            let outcome = writeln!(writer, "{{{body}}}").and_then(|()| writer.flush());
-            match outcome {
-                Ok(()) => self.events.fetch_add(1, Ordering::Relaxed),
-                Err(_) => self.errors.fetch_add(1, Ordering::Relaxed),
-            };
+            // Pre-format so a successful attempt is a single write_all —
+            // a retried attempt rewrites the whole line, never a suffix.
+            let line = format!("{{{body}}}\n");
+            // Poison-tolerant: a worker panicking mid-emit (an injected
+            // sink.emit panic trips before any bytes go out, and write_all
+            // reports failure as Err, never by unwinding) leaves the File
+            // itself coherent, so later events must keep flowing.
+            let mut writer = writer
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for attempt in 1..=RETRY_ATTEMPTS {
+                let outcome = fault::check(self.faults.as_deref(), "sink.emit", None)
+                    .and_then(|()| writer.write_all(line.as_bytes()));
+                match outcome {
+                    Ok(()) => {
+                        self.events.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(_) if attempt < RETRY_ATTEMPTS => {
+                        for _ in 0..attempt {
+                            std::thread::yield_now();
+                        }
+                    }
+                    Err(_) => {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
         }
     }
 }

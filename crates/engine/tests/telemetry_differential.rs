@@ -288,6 +288,69 @@ fn sink_error_counts_surface_in_the_report() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The fault subsystem obeys the same differential contract as telemetry:
+/// an *armed* plan whose rules never match (here: scoped to a job id the
+/// sweep doesn't have) leaves every artifact byte-identical to `faults:
+/// None`, and the robustness counters stay entirely absent from
+/// `metrics.json` — zero adds are dropped, so fault-free documents don't
+/// change either.
+#[test]
+fn an_unmatched_fault_plan_changes_no_artifact() {
+    let run_with = |faults: Option<sops_engine::FaultSpec>,
+                    tag: &str|
+     -> (SweepReport, String, BTreeSet<String>) {
+        let dir = tmp_dir(tag);
+        let events = dir.join("events.jsonl");
+        let report = run_sweep(
+            grid().build(),
+            &EngineConfig {
+                threads: 2,
+                events_path: Some(events.clone()),
+                faults,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(report.is_complete() && report.failed.is_empty());
+        let csv = report.to_table().to_csv();
+        let lines = std::fs::read_to_string(&events)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let _ = std::fs::remove_dir_all(&dir);
+        (report, csv, lines)
+    };
+    let (ref_report, ref_csv, ref_lines) = run_with(None, "nofault");
+    let armed = sops_engine::FaultSpec::new().with(
+        "job.step",
+        Some(999),
+        1..=u64::MAX,
+        sops_engine::FaultKind::Panic,
+    );
+    let (report, csv, lines) = run_with(Some(armed), "armed");
+    assert_eq!(ref_csv, csv, "CSV must not change under an unmatched plan");
+    assert_eq!(ref_lines, lines, "JSONL set must not change");
+    let json = report.metrics_json();
+    for key in [
+        "fault.injected",
+        "job.failed",
+        "job.retried",
+        "ckpt.retry",
+        "ckpt.corrupt_discarded",
+    ] {
+        assert!(
+            !json.contains(key),
+            "fault-free metrics.json must not carry {key}"
+        );
+        assert!(!ref_report.metrics_json().contains(key));
+    }
+    assert_eq!(
+        report.metrics.counter("sink.events"),
+        ref_report.metrics.counter("sink.events")
+    );
+}
+
 #[cfg(target_os = "linux")]
 #[test]
 fn dropped_event_lines_are_counted_not_swallowed() {

@@ -7,7 +7,7 @@
 //! updated — the documentation cannot silently drift from what `--help`
 //! prints.
 
-use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP, ROBUSTNESS_HELP, TELEMETRY_HELP};
+use sops_bench::help::{ALGO_HELP, HAMILTONIAN_HELP, ROBUSTNESS_HELP, SERVE_HELP, TELEMETRY_HELP};
 
 fn doc(name: &str) -> String {
     let path = format!("{}/../../docs/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -55,6 +55,16 @@ fn robustness_doc_quotes_robustness_help_verbatim() {
         docs.contains(ROBUSTNESS_HELP),
         "docs/ROBUSTNESS.md must contain sops_bench::help::ROBUSTNESS_HELP verbatim;\n\
          update the flags code block to:\n{ROBUSTNESS_HELP}"
+    );
+}
+
+#[test]
+fn serve_doc_quotes_serve_help_verbatim() {
+    let docs = doc("SERVE.md");
+    assert!(
+        docs.contains(SERVE_HELP),
+        "docs/SERVE.md must contain sops_bench::help::SERVE_HELP verbatim;\n\
+         update the client-commands code block to:\n{SERVE_HELP}"
     );
 }
 

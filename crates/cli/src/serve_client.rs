@@ -1,0 +1,141 @@
+//! Client subcommands for a running `sops-serve` daemon:
+//! `submit`, `status`, `fetch`, `cancel`.
+//!
+//! All four ride the same hand-rolled HTTP layer as the daemon
+//! (`sops_serve::client`), with bounded retry and exponential backoff on
+//! connect/read failures and `503` backpressure. Exit codes extend the
+//! sweep table documented in `docs/ROBUSTNESS.md`:
+//!
+//! * `0` — success,
+//! * `1` — transport or server failure after all retries,
+//! * `2` — usage error,
+//! * `3` — (`status` only) the sweep reached `failed`, `degraded`, or
+//!   `cancelled` — the remote analog of the local failed-jobs exit.
+
+use sops_bench::Args;
+use sops_serve::{Client, ClientConfig};
+
+/// Exit code when `status` reports a failed/degraded/cancelled sweep —
+/// the same meaning as the local sweep's failed-jobs exit.
+const EXIT_REMOTE_FAILED: i32 = 3;
+
+/// Builds the retrying client from the shared flags `--server`,
+/// `--retries`, `--retry-ms`, `--timeout-ms`.
+fn client(args: &Args) -> Client {
+    let defaults = ClientConfig::default();
+    Client::new(ClientConfig {
+        server: args
+            .get_string("server")
+            .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        attempts: u32::try_from(args.get_usize("retries", defaults.attempts as usize))
+            .unwrap_or(defaults.attempts)
+            .max(1),
+        backoff_ms: args.get_u64("retry-ms", defaults.backoff_ms),
+        timeout_ms: args.get_u64("timeout-ms", defaults.timeout_ms),
+    })
+}
+
+/// `sops-cli submit <experiment.toml> --server HOST:PORT` — POST the file,
+/// print the accepted sweep id on stdout.
+pub fn submit(path: &str, args: &Args) {
+    let toml = match std::fs::read_to_string(path) {
+        Ok(toml) => toml,
+        Err(err) => {
+            eprintln!("cannot read {path}: {err}");
+            std::process::exit(1);
+        }
+    };
+    match client(args).submit(&toml) {
+        Ok(id) => {
+            println!("{id}");
+            if !args.flag("quiet") {
+                eprintln!("submitted {path} as sweep {id}");
+            }
+        }
+        Err(err) => {
+            eprintln!("submit: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `sops-cli status <id> --server HOST:PORT` — print the status JSON.
+/// Exits 3 when the sweep ended failed, degraded, or cancelled.
+pub fn status(id: &str, args: &Args) {
+    let id = parse_id(id);
+    match client(args).status(id) {
+        Ok(json) => {
+            print!("{json}");
+            for bad in [
+                "\"state\":\"failed\"",
+                "\"state\":\"degraded\"",
+                "\"state\":\"cancelled\"",
+            ] {
+                if json.contains(bad) {
+                    std::process::exit(EXIT_REMOTE_FAILED);
+                }
+            }
+        }
+        Err(err) => {
+            eprintln!("status: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `sops-cli fetch <id> --kind csv|events|metrics [--out FILE]` — write an
+/// artifact to stdout or `--out`.
+pub fn fetch(id: &str, args: &Args) {
+    let id = parse_id(id);
+    let kind = args.get_string("kind").unwrap_or_else(|| "csv".to_string());
+    if !matches!(kind.as_str(), "csv" | "events" | "metrics") {
+        eprintln!("--kind must be csv, events, or metrics (got {kind:?})");
+        std::process::exit(2);
+    }
+    match client(args).fetch(id, &kind) {
+        Ok(bytes) => match args.get_string("out") {
+            Some(path) => {
+                if let Err(err) = std::fs::write(&path, &bytes) {
+                    eprintln!("cannot write {path}: {err}");
+                    std::process::exit(1);
+                }
+                if !args.flag("quiet") {
+                    eprintln!("wrote {} bytes to {path}", bytes.len());
+                }
+            }
+            None => {
+                use std::io::Write as _;
+                if std::io::stdout().write_all(&bytes).is_err() {
+                    std::process::exit(1);
+                }
+            }
+        },
+        Err(err) => {
+            eprintln!("fetch: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `sops-cli cancel <id> --server HOST:PORT` — request cancellation.
+pub fn cancel(id: &str, args: &Args) {
+    let id = parse_id(id);
+    match client(args).cancel(id) {
+        Ok(()) => {
+            if !args.flag("quiet") {
+                eprintln!("sweep {id} cancelling");
+            }
+        }
+        Err(err) => {
+            eprintln!("cancel: {err}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse_id(raw: &str) -> u64 {
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("expected a sweep id (an integer), got {raw:?}");
+        std::process::exit(2);
+    })
+}

@@ -71,7 +71,11 @@ const CHECKSUM_KEY: &str = "checksum=fnv1a64:";
 /// Prepends the checksum header line; [`unseal`] strips and verifies it.
 /// The header-first layout means any truncation of the stored file damages
 /// the body (never just the checksum), so torn writes are always caught.
-fn seal(content: &str) -> String {
+///
+/// Public so other durable stores (the serve submission journal) can reuse
+/// the exact same sealing discipline as the checkpoint store.
+#[must_use]
+pub fn seal(content: &str) -> String {
     format!(
         "{CHECKSUM_KEY}{:016x}\n{content}",
         fnv1a64(content.as_bytes())
@@ -81,7 +85,12 @@ fn seal(content: &str) -> String {
 /// Verifies and strips a [`seal`] header. Headerless text is accepted
 /// unchanged (pre-checksum records); a present-but-wrong checksum is an
 /// error described by the returned reason.
-fn unseal(text: &str) -> Result<&str, String> {
+///
+/// # Errors
+///
+/// A present-but-damaged header or a checksum mismatch, described by the
+/// returned reason string.
+pub fn unseal(text: &str) -> Result<&str, String> {
     let Some(rest) = text.strip_prefix(CHECKSUM_KEY) else {
         return Ok(text);
     };
@@ -104,7 +113,11 @@ fn unseal(text: &str) -> Result<&str, String> {
 /// collide and leftovers can never shadow a real `.txt` record), fsynced,
 /// renamed over the target, with a parent-directory fsync so the rename
 /// itself survives a crash.
-fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
+///
+/// # Errors
+///
+/// Any I/O error from creating, writing, syncing or renaming the file.
+pub fn write_atomic(path: &Path, content: &str) -> io::Result<()> {
     use std::io::Write as _;
     let name = path
         .file_name()

@@ -105,7 +105,7 @@ pub use fault::{FaultKind, FaultPlan, FaultSpec, POINTS as FAULT_POINTS};
 pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape, ORIENT_SALT};
 pub use pool::{default_threads, map_parallel, map_parallel_isolated};
 pub use result::{JobFailure, JobResult, StepRecord};
-pub use run::{run_grid, run_sweep, EngineConfig, SweepReport};
+pub use run::{run_grid, run_sweep, EngineConfig, SessionProgress, SweepReport, SweepSession};
 pub use sink::EventSink;
 pub use sops::core::hamiltonian::HamiltonianSpec;
 pub use telemetry::TelemetryConfig;

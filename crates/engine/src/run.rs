@@ -1,10 +1,11 @@
-//! Top-level sweep orchestration: [`run_sweep`], [`EngineConfig`] and
-//! [`SweepReport`].
+//! Top-level sweep orchestration: [`run_sweep`], [`SweepSession`],
+//! [`EngineConfig`] and [`SweepReport`].
 
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use sops::analysis::table::{fmt_f64, Table};
@@ -15,7 +16,7 @@ use crate::checkpoint::{CheckpointConfig, Store};
 use crate::fault::{FaultPlan, FaultSpec};
 use crate::grid::{JobGrid, JobSpec};
 use crate::job::{run_job, JobContext, JobOutcome};
-use crate::pool::{default_threads, map_parallel_isolated};
+use crate::pool::{default_threads, map_parallel};
 use crate::result::{JobFailure, JobResult};
 use crate::sink::{json_str, EventSink};
 use crate::telemetry::{finalize_rates, heartbeat, TelemetryConfig};
@@ -207,6 +208,413 @@ impl SweepReport {
     }
 }
 
+/// A completed attempt at one pending job, recorded by
+/// [`SweepSession::run_pending`].
+enum Outcome {
+    Completed(JobResult),
+    Interrupted,
+    Error(io::Error),
+    Panicked(String),
+}
+
+/// A point-in-time view of a running [`SweepSession`], cheap enough to
+/// serve from a status endpoint while workers are stepping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionProgress {
+    /// Every job of the sweep (done, pending, or quarantined).
+    pub jobs: usize,
+    /// Results reused from done-records of a prior run.
+    pub reused: usize,
+    /// Fresh completions recorded so far this run.
+    pub completed: usize,
+    /// Fresh failures (I/O errors or panics) recorded so far this run.
+    pub failed: usize,
+}
+
+/// A reentrant sweep in flight: the open/step/finish decomposition of
+/// [`run_sweep`].
+///
+/// [`SweepSession::open`] performs all sweep-level setup (spec validation,
+/// fault arming, event sink, checkpoint store, done/quarantine replay) and
+/// leaves a list of [pending](SweepSession::pending) jobs. Callers then
+/// drive [`SweepSession::run_pending`] for each pending position — from any
+/// threads, in any order, one call per position — and close with
+/// [`SweepSession::finish`], which assembles the exact [`SweepReport`]
+/// (same events, same bytes) that the one-shot [`run_sweep`] produces.
+///
+/// The decomposition exists for long-lived callers (the `sops-serve`
+/// daemon) that need to interleave jobs of *several* sweeps over one worker
+/// pool and cancel or drain a sweep mid-flight: [`SweepSession::request_stop`]
+/// makes every subsequent `run_pending` call (and every job already
+/// stepping) checkpoint and return interrupted, so a later run with the
+/// same checkpoint directory resumes byte-identically.
+pub struct SweepSession {
+    specs: Vec<JobSpec>,
+    pending: Vec<JobSpec>,
+    faults: Option<Arc<FaultPlan>>,
+    sink: EventSink,
+    store: Option<Store>,
+    every: u64,
+    done: Vec<JobResult>,
+    reused: usize,
+    quarantined: Vec<JobFailure>,
+    retried: u64,
+    registry: Registry,
+    telemetry: TelemetryConfig,
+    stop: AtomicBool,
+    checkpoints: AtomicU64,
+    stop_after: Option<u64>,
+    outcomes: Mutex<Vec<Option<Outcome>>>,
+    finished: AtomicBool,
+}
+
+/// Locks shrugging off poison: outcome slots hold only completed values, so
+/// a caller-side panic cannot leave partial state behind.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl SweepSession {
+    /// Opens a sweep over `specs`: validates ids, arms faults, opens the
+    /// event sink and checkpoint store, replays done-records and
+    /// quarantine records, and computes the pending job list.
+    ///
+    /// # Errors
+    ///
+    /// Sweep-level setup errors only: opening the store or sink, a
+    /// checkpoint directory holding a foreign sweep, or `InvalidInput` for
+    /// mis-numbered specs.
+    pub fn open(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepSession> {
+        // Ids must equal positions: checkpoints are keyed by id and results
+        // are paired back to specs[id]. Grid-built lists satisfy this;
+        // hand-built lists must go through `grid::assign_ids_and_seeds`.
+        if let Some((pos, spec)) = specs.iter().enumerate().find(|(i, s)| s.id != *i) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "spec at position {pos} has id {} — run assign_ids_and_seeds on hand-built specs",
+                    spec.id
+                ),
+            ));
+        }
+        let faults: Option<Arc<FaultPlan>> = cfg
+            .faults
+            .as_ref()
+            .filter(|spec| !spec.is_empty())
+            .map(|spec| Arc::new(spec.arm()));
+        let sink = match &cfg.events_path {
+            Some(path) => EventSink::to_path(path)?.with_faults(faults.clone()),
+            None => EventSink::disabled(),
+        };
+        if let Some(experiment) = &cfg.experiment {
+            sink.emit(&format!(
+                "\"event\":\"sweep_start\",\"experiment\":{},\"jobs\":{}",
+                json_str(experiment),
+                specs.len()
+            ));
+        }
+        let store_every = match &cfg.checkpoint {
+            Some(ck) => {
+                let (store, _resumed) =
+                    Store::open(&ck.dir, &specs, cfg.experiment.as_deref(), faults.clone())?;
+                Some((store, ck.every))
+            }
+            None => None,
+        };
+        // Corrupt done-records are discarded (those jobs recompute), warned
+        // about, and counted — never fatal.
+        let (done, discarded) = match &store_every {
+            Some((store, _)) => store.load_done()?,
+            None => (Vec::new(), Vec::new()),
+        };
+        for d in &discarded {
+            let job = d.job.map_or(String::new(), |id| format!("\"job\":{id},"));
+            sink.emit(&format!(
+                "\"event\":\"ckpt_corrupt\",{job}\"kind\":\"done\",\"file\":{},\"reason\":{}",
+                json_str(&d.file),
+                json_str(&d.reason)
+            ));
+        }
+        let reused = done.len();
+        let done_ids: Vec<usize> = done.iter().map(|r| r.job).collect();
+        // Quarantine records from prior failed runs: skipped by default (a
+        // crashing job must not wedge resume into re-failing forever),
+        // cleared and re-run under `retry_failed`.
+        let mut quarantined: Vec<JobFailure> = Vec::new();
+        let mut retried: u64 = 0;
+        if let Some((store, _)) = &store_every {
+            for (id, error) in store.load_failed()? {
+                if done_ids.binary_search(&id).is_ok() {
+                    store.clear_failed(id)?; // stale: the job completed since
+                } else if cfg.retry_failed {
+                    store.clear_failed(id)?;
+                    retried += 1;
+                    sink.emit(&format!("\"event\":\"job_retried\",\"job\":{id}"));
+                } else {
+                    sink.emit(&format!(
+                        "\"event\":\"job_quarantined\",\"job\":{id},\"error\":{}",
+                        json_str(&error)
+                    ));
+                    quarantined.push(JobFailure {
+                        job: id,
+                        error,
+                        quarantined: true,
+                    });
+                }
+            }
+        }
+        let pending: Vec<JobSpec> = specs
+            .iter()
+            .filter(|s| {
+                done_ids.binary_search(&s.id).is_err()
+                    && quarantined.binary_search_by_key(&s.id, |f| f.job).is_err()
+            })
+            .copied()
+            .collect();
+
+        // Telemetry is a pure side channel: the registry and live counters
+        // are written beside the sweep, never read by it, so enabling
+        // either knob cannot perturb any simulation artifact.
+        let registry = Registry::new();
+        if cfg.telemetry.is_active() {
+            Live::add(&registry.live.jobs_total, specs.len() as u64);
+            Live::add(&registry.live.jobs_done, reused as u64);
+            let work_total: u64 = pending.iter().map(JobSpec::total_work).sum();
+            Live::add(&registry.live.work_total, work_total);
+        }
+
+        let outcomes = Mutex::new((0..pending.len()).map(|_| None).collect());
+        let (store, every) = match store_every {
+            Some((store, every)) => (Some(store), every),
+            None => (None, u64::MAX),
+        };
+        Ok(SweepSession {
+            specs,
+            pending,
+            faults,
+            sink,
+            store,
+            every,
+            done,
+            reused,
+            quarantined,
+            retried,
+            registry,
+            telemetry: cfg.telemetry.clone(),
+            stop: AtomicBool::new(false),
+            checkpoints: AtomicU64::new(0),
+            stop_after: cfg.stop_after_checkpoints,
+            outcomes,
+            finished: AtomicBool::new(false),
+        })
+    }
+
+    /// The jobs this run still has to execute (specs minus reused minus
+    /// quarantined), in id order. [`SweepSession::run_pending`] takes
+    /// *positions* into this slice.
+    #[must_use]
+    pub fn pending(&self) -> &[JobSpec] {
+        &self.pending
+    }
+
+    /// Per-job execution context, borrowed from the session.
+    fn job_context(&self) -> JobContext<'_> {
+        JobContext {
+            store: self.store.as_ref(),
+            every: self.every,
+            sink: &self.sink,
+            stop: &self.stop,
+            checkpoints: &self.checkpoints,
+            stop_after: self.stop_after,
+            registry: self.telemetry.is_active().then_some(&self.registry),
+            faults: self.faults.as_deref(),
+        }
+    }
+
+    /// Runs the pending job at `pos` and records its outcome. Safe to call
+    /// from any thread; call at most once per position. Panics inside the
+    /// job are caught and recorded (worker isolation), exactly as
+    /// [`run_sweep`]'s pool does.
+    ///
+    /// After [`SweepSession::request_stop`], the call records an
+    /// interrupted outcome without starting the job.
+    pub fn run_pending(&self, pos: usize) {
+        let spec = self.pending[pos];
+        let outcome = if self.stop.load(Ordering::SeqCst) {
+            Outcome::Interrupted
+        } else {
+            let ctx = self.job_context();
+            match catch_unwind(AssertUnwindSafe(|| run_job(&spec, &ctx))) {
+                Ok(Ok(JobOutcome::Completed(result))) => Outcome::Completed(result),
+                Ok(Ok(JobOutcome::Interrupted)) => Outcome::Interrupted,
+                Ok(Err(e)) => Outcome::Error(e),
+                Err(payload) => Outcome::Panicked(crate::pool::panic_message(payload)),
+            }
+        };
+        relock(&self.outcomes)[pos] = Some(outcome);
+    }
+
+    /// Asks the sweep to stop: jobs currently stepping checkpoint at their
+    /// next chunk boundary and return interrupted; jobs not yet started
+    /// never start. The cancel/drain hook for long-lived callers.
+    pub fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// True once [`SweepSession::request_stop`] has been called (or a
+    /// `stop_after_checkpoints` budget tripped the shared stop flag).
+    #[must_use]
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of how far the sweep has progressed.
+    #[must_use]
+    pub fn progress(&self) -> SessionProgress {
+        let outcomes = relock(&self.outcomes);
+        let completed = outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(Outcome::Completed(_))))
+            .count();
+        let failed = outcomes
+            .iter()
+            .filter(|o| matches!(o, Some(Outcome::Error(_) | Outcome::Panicked(_))))
+            .count();
+        SessionProgress {
+            jobs: self.specs.len(),
+            reused: self.reused,
+            completed,
+            failed,
+        }
+    }
+
+    /// Assembles the [`SweepReport`]: sorts results, durably quarantines
+    /// fresh failures, emits the closing events, and snapshots metrics —
+    /// byte-identical to the one-shot [`run_sweep`] path. Pending
+    /// positions never run (a drain) count as interrupted.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` from a job whose spec cannot be instantiated (fatal
+    /// — retrying cannot fix it), or "already finished" when called twice.
+    pub fn finish(&self) -> io::Result<SweepReport> {
+        if self.finished.swap(true, Ordering::SeqCst) {
+            return Err(io::Error::other("sweep session already finished"));
+        }
+        let outcomes = std::mem::take(&mut *relock(&self.outcomes));
+        // Failures are job-local: a panic (caught per position) or an I/O
+        // error takes out that one job, never its siblings. InvalidInput
+        // stays fatal — it means the spec itself cannot be instantiated,
+        // which retrying cannot fix.
+        let mut results = self.done.clone();
+        let mut interrupted = false;
+        let mut failures: Vec<JobFailure> = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Some(Outcome::Completed(result)) => results.push(result),
+                Some(Outcome::Interrupted) | None => interrupted = true,
+                Some(Outcome::Error(e)) if e.kind() == io::ErrorKind::InvalidInput => {
+                    return Err(e);
+                }
+                Some(Outcome::Error(e)) => failures.push(JobFailure {
+                    job: self.pending[i].id,
+                    error: e.to_string(),
+                    quarantined: false,
+                }),
+                Some(Outcome::Panicked(msg)) => failures.push(JobFailure {
+                    job: self.pending[i].id,
+                    error: format!("panic: {msg}"),
+                    quarantined: false,
+                }),
+            }
+        }
+        results.sort_by_key(|r| r.job);
+
+        // Durably quarantine fresh failures (best-effort — a store that
+        // cannot even record the failure still surfaces it in the report)
+        // and announce each one.
+        for f in &failures {
+            if let Some(store) = &self.store {
+                if let Err(e) = store.write_failed(f.job, &f.error) {
+                    self.sink.emit(&format!(
+                        "\"event\":\"failed_record_error\",\"job\":{},\"error\":{}",
+                        f.job,
+                        json_str(&e.to_string())
+                    ));
+                }
+            }
+            self.sink.emit(&format!(
+                "\"event\":\"job_failed\",\"job\":{},\"error\":{}",
+                f.job,
+                json_str(&f.error)
+            ));
+        }
+        let fresh_failures = failures.len() as u64;
+        failures.extend(self.quarantined.iter().cloned());
+        failures.sort_by_key(|f| f.job);
+
+        if !interrupted {
+            if failures.is_empty() {
+                // Byte-stable happy-path event: fault-free sweeps emit
+                // exactly the pre-fault-subsystem line.
+                self.sink.emit(&format!(
+                    "\"event\":\"sweep_complete\",\"jobs\":{},\"reused\":{}",
+                    self.specs.len(),
+                    self.reused
+                ));
+            } else {
+                self.sink.emit(&format!(
+                    "\"event\":\"sweep_degraded\",\"jobs\":{},\"completed\":{},\"failed\":{}",
+                    self.specs.len(),
+                    results.len(),
+                    failures.len()
+                ));
+            }
+        }
+        // Dropped event writes are surfaced, not swallowed: counted into
+        // the report and announced with a trailing event (which may itself
+        // fail — the count was captured first, so the report stays
+        // truthful).
+        let sink_errors = self.sink.error_count();
+        if sink_errors > 0 {
+            self.sink.emit(&format!(
+                "\"event\":\"sink_errors\",\"count\":{sink_errors}"
+            ));
+        }
+        let metrics = if self.telemetry.collect {
+            let mut m = self.registry.snapshot();
+            m.add("sweep.jobs", self.specs.len() as u64);
+            m.add("sweep.jobs_reused", self.reused as u64);
+            m.add("sink.events", self.sink.event_count());
+            m.add("sink.errors", sink_errors);
+            // Robustness counters. `Sheet::add` drops zero adds, so
+            // fault-free runs keep a byte-identical metrics.json.
+            m.add("job.failed", fresh_failures);
+            m.add("job.retried", self.retried);
+            if let Some(plan) = &self.faults {
+                m.add("fault.injected", plan.injected());
+            }
+            if let Some(store) = &self.store {
+                m.add("ckpt.retry", store.retries());
+                m.add("ckpt.corrupt_discarded", store.corrupt_discarded());
+            }
+            finalize_rates(&mut m);
+            m
+        } else {
+            Sheet::new()
+        };
+        Ok(SweepReport {
+            specs: self.specs.clone(),
+            results,
+            reused: self.reused,
+            interrupted,
+            failed: failures,
+            sink_errors,
+            metrics,
+        })
+    }
+}
+
 /// Runs a sweep over `specs` (typically from [`JobGrid::build`]).
 ///
 /// Jobs already recorded as done in the checkpoint directory are reused;
@@ -220,258 +628,42 @@ impl SweepReport {
 /// finishes; corrupt checkpoint files demote their job to recompute. See
 /// `docs/ROBUSTNESS.md` for the full failure model.
 ///
+/// Implemented as [`SweepSession::open`] + a worker pool over every
+/// pending position + [`SweepSession::finish`]; callers needing to
+/// interleave or cancel sweeps drive the session directly.
+///
 /// # Errors
 ///
 /// Sweep-level setup errors only: opening the store or sink, a checkpoint
 /// directory holding a foreign sweep, or `InvalidInput` for specs that
 /// cannot be instantiated (e.g. λ ≤ 0).
 pub fn run_sweep(specs: Vec<JobSpec>, cfg: &EngineConfig) -> io::Result<SweepReport> {
-    // Ids must equal positions: checkpoints are keyed by id and results are
-    // paired back to specs[id]. Grid-built lists satisfy this; hand-built
-    // lists must go through `grid::assign_ids_and_seeds`.
-    if let Some((pos, spec)) = specs.iter().enumerate().find(|(i, s)| s.id != *i) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidInput,
-            format!(
-                "spec at position {pos} has id {} — run assign_ids_and_seeds on hand-built specs",
-                spec.id
-            ),
-        ));
-    }
-    let faults: Option<Arc<FaultPlan>> = cfg
-        .faults
-        .as_ref()
-        .filter(|spec| !spec.is_empty())
-        .map(|spec| Arc::new(spec.arm()));
-    let sink = match &cfg.events_path {
-        Some(path) => EventSink::to_path(path)?.with_faults(faults.clone()),
-        None => EventSink::disabled(),
-    };
-    if let Some(experiment) = &cfg.experiment {
-        sink.emit(&format!(
-            "\"event\":\"sweep_start\",\"experiment\":{},\"jobs\":{}",
-            json_str(experiment),
-            specs.len()
-        ));
-    }
-    let store_every = match &cfg.checkpoint {
-        Some(ck) => {
-            let (store, _resumed) =
-                Store::open(&ck.dir, &specs, cfg.experiment.as_deref(), faults.clone())?;
-            Some((store, ck.every))
-        }
-        None => None,
-    };
-    // Corrupt done-records are discarded (those jobs recompute), warned
-    // about, and counted — never fatal.
-    let (done, discarded) = match &store_every {
-        Some((store, _)) => store.load_done()?,
-        None => (Vec::new(), Vec::new()),
-    };
-    for d in &discarded {
-        let job = d.job.map_or(String::new(), |id| format!("\"job\":{id},"));
-        sink.emit(&format!(
-            "\"event\":\"ckpt_corrupt\",{job}\"kind\":\"done\",\"file\":{},\"reason\":{}",
-            json_str(&d.file),
-            json_str(&d.reason)
-        ));
-    }
-    let reused = done.len();
-    let done_ids: Vec<usize> = done.iter().map(|r| r.job).collect();
-    // Quarantine records from prior failed runs: skipped by default (a
-    // crashing job must not wedge resume into re-failing forever), cleared
-    // and re-run under `retry_failed`.
-    let mut quarantined: Vec<JobFailure> = Vec::new();
-    let mut retried: u64 = 0;
-    if let Some((store, _)) = &store_every {
-        for (id, error) in store.load_failed()? {
-            if done_ids.binary_search(&id).is_ok() {
-                store.clear_failed(id)?; // stale: the job completed since
-            } else if cfg.retry_failed {
-                store.clear_failed(id)?;
-                retried += 1;
-                sink.emit(&format!("\"event\":\"job_retried\",\"job\":{id}"));
-            } else {
-                sink.emit(&format!(
-                    "\"event\":\"job_quarantined\",\"job\":{id},\"error\":{}",
-                    json_str(&error)
-                ));
-                quarantined.push(JobFailure {
-                    job: id,
-                    error,
-                    quarantined: true,
-                });
-            }
-        }
-    }
-    let pending: Vec<JobSpec> = specs
-        .iter()
-        .filter(|s| {
-            done_ids.binary_search(&s.id).is_err()
-                && quarantined.binary_search_by_key(&s.id, |f| f.job).is_err()
-        })
-        .copied()
-        .collect();
-
-    // Telemetry is a pure side channel: the registry and live counters are
-    // written beside the sweep, never read by it, so enabling either knob
-    // cannot perturb any simulation artifact.
-    let registry = Registry::new();
-    if cfg.telemetry.is_active() {
-        Live::add(&registry.live.jobs_total, specs.len() as u64);
-        Live::add(&registry.live.jobs_done, reused as u64);
-        let work_total: u64 = pending.iter().map(JobSpec::total_work).sum();
-        Live::add(&registry.live.work_total, work_total);
-    }
-
-    let stop = AtomicBool::new(false);
-    let checkpoints = AtomicU64::new(0);
-    let ctx = JobContext {
-        store: store_every.as_ref().map(|(s, _)| s),
-        every: store_every.as_ref().map_or(u64::MAX, |&(_, every)| every),
-        sink: &sink,
-        stop: &stop,
-        checkpoints: &checkpoints,
-        stop_after: cfg.stop_after_checkpoints,
-        registry: cfg.telemetry.is_active().then_some(&registry),
-        faults: faults.as_deref(),
-    };
-
-    let pending_ids: Vec<usize> = pending.iter().map(|s| s.id).collect();
-    let worker = |_: usize, spec: JobSpec| {
-        if ctx.stop.load(Ordering::SeqCst) {
-            return Ok(JobOutcome::Interrupted);
-        }
-        run_job(&spec, &ctx)
-    };
-    let outcomes = if cfg.telemetry.progress {
+    let session = SweepSession::open(specs, cfg)?;
+    let positions: Vec<usize> = (0..session.pending().len()).collect();
+    // `run_pending` catches job panics itself, so the propagate-on-panic
+    // pool is safe here and keeps the call sites symmetrical.
+    let worker = |_: usize, pos: usize| session.run_pending(pos);
+    if cfg.telemetry.progress {
         let started = Instant::now();
         let hb_stop = AtomicBool::new(false);
         std::thread::scope(|scope| {
             let hb = scope.spawn(|| {
                 heartbeat(
-                    &registry,
-                    &sink,
+                    &session.registry,
+                    &session.sink,
                     cfg.telemetry.heartbeat_ms,
                     &hb_stop,
                     started,
                 );
             });
-            let outcomes = map_parallel_isolated(cfg.threads, pending, worker);
+            map_parallel(cfg.threads, positions, worker);
             hb_stop.store(true, Ordering::SeqCst);
             hb.join().expect("heartbeat thread panicked");
-            outcomes
-        })
+        });
     } else {
-        map_parallel_isolated(cfg.threads, pending, worker)
-    };
-
-    // Failures are job-local: a panic (caught by the pool) or an I/O error
-    // takes out that one job, never its siblings. InvalidInput stays fatal
-    // — it means the spec itself cannot be instantiated, which retrying
-    // cannot fix.
-    let mut results = done;
-    let mut interrupted = false;
-    let mut failures: Vec<JobFailure> = Vec::new();
-    for (i, outcome) in outcomes.into_iter().enumerate() {
-        match outcome {
-            Ok(Ok(JobOutcome::Completed(result))) => results.push(result),
-            Ok(Ok(JobOutcome::Interrupted)) => interrupted = true,
-            Ok(Err(e)) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
-            Ok(Err(e)) => failures.push(JobFailure {
-                job: pending_ids[i],
-                error: e.to_string(),
-                quarantined: false,
-            }),
-            Err(panic_msg) => failures.push(JobFailure {
-                job: pending_ids[i],
-                error: format!("panic: {panic_msg}"),
-                quarantined: false,
-            }),
-        }
+        map_parallel(cfg.threads, positions, worker);
     }
-    results.sort_by_key(|r| r.job);
-
-    // Durably quarantine fresh failures (best-effort — a store that cannot
-    // even record the failure still surfaces it in the report) and announce
-    // each one.
-    for f in &failures {
-        if let Some((store, _)) = &store_every {
-            if let Err(e) = store.write_failed(f.job, &f.error) {
-                sink.emit(&format!(
-                    "\"event\":\"failed_record_error\",\"job\":{},\"error\":{}",
-                    f.job,
-                    json_str(&e.to_string())
-                ));
-            }
-        }
-        sink.emit(&format!(
-            "\"event\":\"job_failed\",\"job\":{},\"error\":{}",
-            f.job,
-            json_str(&f.error)
-        ));
-    }
-    let fresh_failures = failures.len() as u64;
-    failures.extend(quarantined);
-    failures.sort_by_key(|f| f.job);
-
-    if !interrupted {
-        if failures.is_empty() {
-            // Byte-stable happy-path event: fault-free sweeps emit exactly
-            // the pre-fault-subsystem line.
-            sink.emit(&format!(
-                "\"event\":\"sweep_complete\",\"jobs\":{},\"reused\":{reused}",
-                specs.len()
-            ));
-        } else {
-            sink.emit(&format!(
-                "\"event\":\"sweep_degraded\",\"jobs\":{},\"completed\":{},\"failed\":{}",
-                specs.len(),
-                results.len(),
-                failures.len()
-            ));
-        }
-    }
-    // Dropped event writes are surfaced, not swallowed: counted into the
-    // report and announced with a trailing event (which may itself fail —
-    // the count was captured first, so the report stays truthful).
-    let sink_errors = sink.error_count();
-    if sink_errors > 0 {
-        sink.emit(&format!(
-            "\"event\":\"sink_errors\",\"count\":{sink_errors}"
-        ));
-    }
-    let metrics = if cfg.telemetry.collect {
-        let mut m = registry.snapshot();
-        m.add("sweep.jobs", specs.len() as u64);
-        m.add("sweep.jobs_reused", reused as u64);
-        m.add("sink.events", sink.event_count());
-        m.add("sink.errors", sink_errors);
-        // Robustness counters. `Sheet::add` drops zero adds, so fault-free
-        // runs keep a byte-identical metrics.json.
-        m.add("job.failed", fresh_failures);
-        m.add("job.retried", retried);
-        if let Some(plan) = &faults {
-            m.add("fault.injected", plan.injected());
-        }
-        if let Some((store, _)) = &store_every {
-            m.add("ckpt.retry", store.retries());
-            m.add("ckpt.corrupt_discarded", store.corrupt_discarded());
-        }
-        finalize_rates(&mut m);
-        m
-    } else {
-        Sheet::new()
-    };
-    Ok(SweepReport {
-        specs,
-        results,
-        reused,
-        interrupted,
-        failed: failures,
-        sink_errors,
-        metrics,
-    })
+    session.finish()
 }
 
 /// Convenience: build the grid and run it.

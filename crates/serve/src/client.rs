@@ -1,0 +1,295 @@
+//! The daemon's client half: one-shot HTTP requests with bounded retry
+//! and exponential backoff, shared by `sops-cli submit|status|fetch|cancel`
+//! and the integration tests.
+//!
+//! Retry policy: connect errors, socket I/O errors and `503` responses are
+//! retryable (the daemon explicitly advertises backpressure with `503` +
+//! `Retry-After`); every other status is a definitive answer. Backoff is
+//! exponential (`backoff_ms << attempt`) through an injectable sleeper, so
+//! unit tests assert the exact schedule without ever sleeping — the same
+//! wall-clock-free idiom as the engine's cooperative retry backoff.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::http::{read_response, ClientResponse};
+
+/// Client connection and retry policy.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// `host:port` of the daemon.
+    pub server: String,
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// Base backoff in milliseconds; attempt `k` (0-based) sleeps
+    /// `backoff_ms << k` before retrying.
+    pub backoff_ms: u64,
+    /// Socket read/write deadline per attempt, milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            server: "127.0.0.1:7070".to_string(),
+            attempts: 6,
+            backoff_ms: 100,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// A retrying HTTP client for the daemon API.
+pub struct Client {
+    cfg: ClientConfig,
+    sleeper: Box<dyn Fn(u64) + Send + Sync>,
+}
+
+impl Client {
+    /// A client that really sleeps between retries.
+    #[must_use]
+    pub fn new(cfg: ClientConfig) -> Client {
+        Client {
+            cfg,
+            sleeper: Box::new(|ms| std::thread::sleep(Duration::from_millis(ms))),
+        }
+    }
+
+    /// A client with an injected sleeper — tests pass a recorder to assert
+    /// the backoff schedule without wall-clock time.
+    #[must_use]
+    pub fn with_sleeper(
+        cfg: ClientConfig,
+        sleeper: impl Fn(u64) + Send + Sync + 'static,
+    ) -> Client {
+        Client {
+            cfg,
+            sleeper: Box::new(sleeper),
+        }
+    }
+
+    /// One attempt: connect, send, read the full response.
+    fn attempt(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        let stream = TcpStream::connect(&self.cfg.server)?;
+        let timeout = Some(Duration::from_millis(self.cfg.timeout_ms.max(1)));
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        let mut head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\nconnection: close\r\n",
+            self.cfg.server
+        );
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "content-type: application/toml\r\ncontent-length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        let mut writer = stream.try_clone()?;
+        writer.write_all(head.as_bytes())?;
+        if let Some(body) = body {
+            writer.write_all(body)?;
+        }
+        writer.flush()?;
+        read_response(&mut BufReader::new(stream))
+    }
+
+    /// Sends `method path` (with optional body), retrying on connect/I-O
+    /// errors and `503` with exponential backoff. When a `503` carries
+    /// `Retry-After` (seconds), that wait is used instead of the
+    /// exponential step.
+    ///
+    /// # Errors
+    ///
+    /// The last failure once attempts are exhausted, as a display string.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> Result<ClientResponse, String> {
+        let attempts = self.cfg.attempts.max(1);
+        let mut last = String::new();
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                (self.sleeper)(self.backoff_for(attempt - 1, &last));
+            }
+            match self.attempt(method, path, body) {
+                Ok(resp) if resp.status == 503 => {
+                    last = format!(
+                        "503 from {} ({})",
+                        self.cfg.server,
+                        resp.header("retry-after").unwrap_or("no retry-after")
+                    );
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => last = format!("{}: {e}", self.cfg.server),
+            }
+        }
+        Err(format!("gave up after {attempts} attempt(s): {last}"))
+    }
+
+    /// The wait before retry `k` (0-based): `Retry-After` seconds when the
+    /// last answer was a 503 carrying one, else `backoff_ms << k`.
+    fn backoff_for(&self, k: u32, last: &str) -> u64 {
+        if let Some(rest) = last.split('(').nth(1) {
+            if let Ok(secs) = rest.trim_end_matches(')').parse::<u64>() {
+                return secs.saturating_mul(1000);
+            }
+        }
+        self.cfg.backoff_ms << k.min(16)
+    }
+
+    /// Submits an experiment TOML; returns the accepted sweep id.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure after retries, or a non-201 answer (with the
+    /// daemon's catalog message).
+    pub fn submit(&self, toml: &str) -> Result<u64, String> {
+        let resp = self.request("POST", "/sweeps", Some(toml.as_bytes()))?;
+        if resp.status != 201 {
+            return Err(format!(
+                "submit rejected: {} {}",
+                resp.status,
+                resp.body_text()
+            ));
+        }
+        parse_id_field(&resp.body_text())
+            .ok_or_else(|| format!("malformed submit response: {}", resp.body_text()))
+    }
+
+    /// Fetches `/sweeps/<id>` status JSON.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure after retries or a non-200 answer.
+    pub fn status(&self, id: u64) -> Result<String, String> {
+        let resp = self.request("GET", &format!("/sweeps/{id}"), None)?;
+        if resp.status != 200 {
+            return Err(format!(
+                "status failed: {} {}",
+                resp.status,
+                resp.body_text()
+            ));
+        }
+        Ok(resp.body_text())
+    }
+
+    /// Fetches an artifact: `kind` is `csv`, `events`, or `metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure after retries or a non-200 answer (`409` while
+    /// the sweep is still running).
+    pub fn fetch(&self, id: u64, kind: &str) -> Result<Vec<u8>, String> {
+        let resp = self.request("GET", &format!("/sweeps/{id}/{kind}"), None)?;
+        if resp.status != 200 {
+            return Err(format!(
+                "fetch failed: {} {}",
+                resp.status,
+                resp.body_text()
+            ));
+        }
+        Ok(resp.body)
+    }
+
+    /// Cancels a sweep.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure after retries or a non-200 answer.
+    pub fn cancel(&self, id: u64) -> Result<(), String> {
+        let resp = self.request("POST", &format!("/sweeps/{id}/cancel"), Some(b""))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "cancel failed: {} {}",
+                resp.status,
+                resp.body_text()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Asks the daemon to drain (graceful shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure after retries or a non-200 answer.
+    pub fn drain(&self) -> Result<(), String> {
+        let resp = self.request("POST", "/admin/drain", Some(b""))?;
+        if resp.status != 200 {
+            return Err(format!(
+                "drain failed: {} {}",
+                resp.status,
+                resp.body_text()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Pulls `"id":N` out of a submit response.
+fn parse_id_field(body: &str) -> Option<u64> {
+    let value = sops_telemetry::parse(body.trim()).ok()?;
+    value.get("id")?.as_f64().map(|v| v as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn unroutable() -> ClientConfig {
+        ClientConfig {
+            // A port nothing listens on: connect fails immediately.
+            server: "127.0.0.1:1".to_string(),
+            attempts: 4,
+            backoff_ms: 100,
+            timeout_ms: 50,
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential_and_wall_clock_free() {
+        let slept: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let record = Arc::clone(&slept);
+        let client = Client::with_sleeper(unroutable(), move |ms| record.lock().unwrap().push(ms));
+        let err = client.request("GET", "/healthz", None).unwrap_err();
+        assert!(err.starts_with("gave up after 4 attempt(s)"), "{err}");
+        // 3 retries after the first attempt: 100, 200, 400.
+        assert_eq!(*slept.lock().unwrap(), vec![100, 200, 400]);
+    }
+
+    #[test]
+    fn single_attempt_never_sleeps() {
+        let slept: Arc<Mutex<Vec<u64>>> = Arc::default();
+        let record = Arc::clone(&slept);
+        let cfg = ClientConfig {
+            attempts: 1,
+            ..unroutable()
+        };
+        let client = Client::with_sleeper(cfg, move |ms| record.lock().unwrap().push(ms));
+        assert!(client.request("GET", "/healthz", None).is_err());
+        assert!(slept.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn retry_after_seconds_override_the_exponential_step() {
+        let client = Client::with_sleeper(unroutable(), |_| {});
+        assert_eq!(client.backoff_for(0, "503 from x (2)"), 2000);
+        assert_eq!(client.backoff_for(3, "127.0.0.1:1: connect refused"), 800);
+    }
+
+    #[test]
+    fn submit_response_id_parses() {
+        assert_eq!(parse_id_field("{\"id\":12,\"name\":\"x\"}\n"), Some(12));
+        assert_eq!(parse_id_field("not json"), None);
+    }
+}

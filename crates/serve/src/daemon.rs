@@ -1,0 +1,861 @@
+//! The `sops-serve` daemon: accept loop, fair-share scheduler, routes.
+//!
+//! # Architecture
+//!
+//! One accept thread (the caller of [`Server::run`]) hands each connection
+//! to a short-lived handler thread; a fixed pool of runner threads executes
+//! sweep jobs. The two pools meet in the scheduler: every admitted sweep is
+//! an opened [`sops_engine::SweepSession`], and runners pull
+//! *one job at a time* from the active sweeps in round-robin order, so ten
+//! queued sweeps make progress together instead of head-of-line blocking —
+//! fair-share at job granularity over one worker pool.
+//!
+//! # Robustness invariants
+//!
+//! * **Nothing unbounded.** Connections beyond the cap and submissions
+//!   beyond the queue bound are refused with `503` + `Retry-After`; request
+//!   heads and bodies have hard byte caps; every socket carries read/write
+//!   deadlines. Memory is bounded by `conn_cap × max_body` + admitted
+//!   sweeps.
+//! * **Accepted means durable.** A submission is journaled (fsync +
+//!   rename + checksum) before its id is revealed; `kill -9` at any
+//!   instant loses nothing accepted. On restart the journal replays and
+//!   non-terminal sweeps resume through the engine's checkpoint store,
+//!   converging to byte-identical artifacts.
+//! * **Graceful drain.** `POST /admin/drain` stops accepting, asks every
+//!   in-flight job to checkpoint at its next chunk boundary, lets runners
+//!   finish, and exits 0; interrupted sweeps stay `running` in the journal
+//!   so the next start resumes them.
+
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+use sops_engine::{
+    default_threads, CheckpointConfig, EngineConfig, ExperimentSpec, FaultPlan, FaultSpec,
+    SweepSession, TelemetryConfig,
+};
+use sops_telemetry::{json, metrics_json, Sheet};
+
+use crate::http::{self, HttpError, Request, Response};
+use crate::journal::{is_terminal, Journal, Record};
+
+/// How the daemon runs. All limits are explicit so tests can shrink them.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Data directory: journal, per-sweep checkpoint stores and artifacts.
+    pub data_dir: PathBuf,
+    /// Runner threads executing sweep jobs.
+    pub workers: usize,
+    /// Most admitted-but-unfinished sweeps before submissions get `503`.
+    pub queue_cap: usize,
+    /// Most concurrent connections before new ones get `503`.
+    pub conn_cap: usize,
+    /// Per-request socket read deadline, milliseconds.
+    pub read_timeout_ms: u64,
+    /// Per-response socket write deadline, milliseconds.
+    pub write_timeout_ms: u64,
+    /// Request-body cap, bytes.
+    pub max_body: usize,
+    /// Checkpoint cadence (work units) for sweeps whose experiment file has
+    /// no `[checkpoint]` section.
+    pub default_every: u64,
+    /// Fault injection (serve points checked here; engine points forwarded
+    /// into every sweep). `None`: no fault subsystem anywhere.
+    pub faults: Option<FaultSpec>,
+    /// Suppress per-request stderr chatter.
+    pub quiet: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("serve-data"),
+            workers: default_threads(),
+            queue_cap: 8,
+            conn_cap: 32,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            max_body: http::DEFAULT_MAX_BODY,
+            default_every: 1_000,
+            faults: None,
+            quiet: true,
+        }
+    }
+}
+
+/// One admitted sweep: journal record, session, scheduler cursors.
+struct Sweep {
+    id: u64,
+    name: String,
+    dir: PathBuf,
+    /// Current lifecycle state (mirrors the journal record).
+    state: Mutex<String>,
+    error: Mutex<Option<String>>,
+    /// The open session while the sweep is non-terminal.
+    session: Option<Arc<SweepSession>>,
+    /// Next pending position to hand to a runner.
+    next: AtomicUsize,
+    /// Positions handed out but not yet recorded back.
+    in_flight: AtomicUsize,
+    /// Set by `POST /sweeps/<id>/cancel`.
+    cancelled: AtomicBool,
+    /// The submitted TOML (for journal rewrites).
+    body: String,
+}
+
+impl Sweep {
+    fn state(&self) -> String {
+        lock(&self.state).clone()
+    }
+
+    fn set_state(&self, state: &str, error: Option<String>) {
+        *lock(&self.state) = state.to_string();
+        *lock(&self.error) = error;
+    }
+
+    fn record(&self) -> Record {
+        Record {
+            id: self.id,
+            name: self.name.clone(),
+            state: self.state(),
+            error: lock(&self.error).clone(),
+            body: self.body.clone(),
+        }
+    }
+}
+
+/// Round-robin cursor over sweeps that still have jobs to hand out.
+struct Sched {
+    active: Vec<Arc<Sweep>>,
+    cursor: usize,
+    shutdown: bool,
+}
+
+/// Serve-level counters, all relaxed atomics: rendered by `/metricsz`.
+#[derive(Default)]
+struct Counters {
+    http_requests: AtomicU64,
+    http_rejected: AtomicU64,
+    journal_replayed: AtomicU64,
+    journal_quarantined: AtomicU64,
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    faults: Option<Arc<FaultPlan>>,
+    journal: Journal,
+    sweeps: Mutex<BTreeMap<u64, Arc<Sweep>>>,
+    sched: Mutex<Sched>,
+    work_ready: Condvar,
+    conns: AtomicUsize,
+    draining: AtomicBool,
+    counters: Counters,
+    local_addr: SocketAddr,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The daemon: bind with [`Server::bind`], run with [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listener, opens (and replays) the journal, and re-admits
+    /// every non-terminal sweep. Returns without spawning anything —
+    /// [`Server::run`] starts the runner pool and accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, journal directory I/O.
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let faults: Option<Arc<FaultPlan>> = cfg
+            .faults
+            .as_ref()
+            .filter(|f| !f.is_empty())
+            .map(|f| Arc::new(f.arm()));
+        let (journal, records, quarantined) =
+            Journal::open(cfg.data_dir.join("journal"), faults.clone())?;
+        let inner = Arc::new(Inner {
+            faults,
+            journal,
+            sweeps: Mutex::new(BTreeMap::new()),
+            sched: Mutex::new(Sched {
+                active: Vec::new(),
+                cursor: 0,
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            conns: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            counters: Counters::default(),
+            local_addr,
+            cfg,
+        });
+        inner
+            .counters
+            .journal_quarantined
+            .fetch_add(quarantined.len() as u64, Ordering::Relaxed);
+        for q in &quarantined {
+            eprintln!(
+                "sops-serve: quarantined corrupt journal record {} ({})",
+                q.file, q.reason
+            );
+        }
+        for record in records {
+            inner
+                .counters
+                .journal_replayed
+                .fetch_add(1, Ordering::Relaxed);
+            inner.readmit(record);
+        }
+        Ok(Server { listener, inner })
+    }
+
+    /// The bound address (useful with `addr = 127.0.0.1:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.local_addr
+    }
+
+    /// Runs the daemon: spawns the runner pool, accepts connections until
+    /// drained, then joins the runners. Returns `Ok(())` on graceful
+    /// drain — the process should exit 0.
+    ///
+    /// # Errors
+    ///
+    /// Fatal accept-loop errors only (per-connection failures are handled
+    /// in place).
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, inner } = self;
+        let mut runners = Vec::new();
+        for _ in 0..inner.cfg.workers.max(1) {
+            let inner = Arc::clone(&inner);
+            runners.push(std::thread::spawn(move || inner.runner_loop()));
+        }
+        for conn in listener.incoming() {
+            if inner.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            // The serve.accept fault point: an injected error drops the
+            // connection on the floor, exactly like a peer reset.
+            if let Some(plan) = &inner.faults {
+                if plan.check("serve.accept", None).is_err() {
+                    inner.counters.http_rejected.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            if inner.conns.load(Ordering::SeqCst) >= inner.cfg.conn_cap {
+                // Over the connection cap: refuse with backpressure advice
+                // without spawning a thread, then close.
+                inner.counters.http_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                    inner.cfg.write_timeout_ms.max(1),
+                )));
+                let mut stream = stream;
+                let _ = Response::from_error(&HttpError::new(
+                    503,
+                    "connection cap reached; retry shortly".to_string(),
+                ))
+                .with_header("retry-after", "1".to_string())
+                .write_to(&mut stream);
+                continue;
+            }
+            inner.conns.fetch_add(1, Ordering::SeqCst);
+            let inner2 = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                inner2.handle_connection(stream);
+                inner2.conns.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        // Drain: stop handing out jobs, interrupt in-flight ones, and wait
+        // for the runner pool. Interrupted sweeps keep their non-terminal
+        // journal state, so the next start resumes them.
+        {
+            let mut sched = lock(&inner.sched);
+            sched.shutdown = true;
+            for sweep in &sched.active {
+                if let Some(session) = &sweep.session {
+                    session.request_stop();
+                }
+            }
+            inner.work_ready.notify_all();
+        }
+        for runner in runners {
+            let _ = runner.join();
+        }
+        // Give in-flight connection handlers a bounded window to finish.
+        let deadline = inner.cfg.write_timeout_ms.max(100);
+        for _ in 0..deadline {
+            if inner.conns.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+}
+
+impl Inner {
+    /// Re-admits a replayed journal record: terminal records just register
+    /// (their artifacts are served from disk); non-terminal ones reopen a
+    /// session and rejoin the scheduler.
+    fn readmit(&self, record: Record) {
+        if is_terminal(&record.state) {
+            let sweep = Arc::new(Sweep {
+                id: record.id,
+                name: record.name.clone(),
+                dir: self.sweep_dir(record.id),
+                state: Mutex::new(record.state.clone()),
+                error: Mutex::new(record.error.clone()),
+                session: None,
+                next: AtomicUsize::new(0),
+                in_flight: AtomicUsize::new(0),
+                cancelled: AtomicBool::new(false),
+                body: record.body,
+            });
+            lock(&self.sweeps).insert(sweep.id, sweep);
+            return;
+        }
+        match self.admit(record.id, record.body.clone()) {
+            Ok(_) => {}
+            Err(e) => {
+                // The body parsed when it was accepted, so this is an I/O
+                // failure opening the store — journal it as failed.
+                let mut rec = record;
+                rec.state = "failed".to_string();
+                rec.error = Some(e.message.clone());
+                let _ = self.journal.write(&rec);
+                let sweep = Arc::new(Sweep {
+                    id: rec.id,
+                    name: rec.name.clone(),
+                    dir: self.sweep_dir(rec.id),
+                    state: Mutex::new("failed".to_string()),
+                    error: Mutex::new(rec.error.clone()),
+                    session: None,
+                    next: AtomicUsize::new(0),
+                    in_flight: AtomicUsize::new(0),
+                    cancelled: AtomicBool::new(false),
+                    body: rec.body,
+                });
+                lock(&self.sweeps).insert(sweep.id, sweep);
+            }
+        }
+    }
+
+    fn sweep_dir(&self, id: u64) -> PathBuf {
+        self.cfg.data_dir.join("sweeps").join(id.to_string())
+    }
+
+    /// Opens a session for sweep `id` over `body` and schedules it.
+    /// The journal record must already exist (durability first).
+    fn admit(&self, id: u64, body: String) -> Result<Arc<Sweep>, HttpError> {
+        let spec = ExperimentSpec::parse(&body)
+            .map_err(|e| HttpError::new(400, format!("experiment parse error: {e}")))?;
+        let dir = self.sweep_dir(id);
+        let every = spec
+            .checkpoint
+            .as_ref()
+            .map_or(self.cfg.default_every, |ck| ck.every);
+        let engine_cfg = EngineConfig {
+            threads: 1, // jobs are driven one position at a time by runners
+            checkpoint: Some(CheckpointConfig::new(dir.join("ckpt"), every)),
+            events_path: Some(dir.join("events.jsonl")),
+            stop_after_checkpoints: None,
+            experiment: Some(spec.name.clone()),
+            telemetry: TelemetryConfig::default(),
+            faults: self.cfg.faults.clone(),
+            retry_failed: false,
+        };
+        let session = SweepSession::open(spec.jobs(), &engine_cfg)
+            .map_err(|e| HttpError::new(500, format!("cannot open sweep: {e}")))?;
+        let session = Arc::new(session);
+        let sweep = Arc::new(Sweep {
+            id,
+            name: spec.name,
+            dir,
+            state: Mutex::new("running".to_string()),
+            error: Mutex::new(None),
+            session: Some(Arc::clone(&session)),
+            next: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            cancelled: AtomicBool::new(false),
+            body,
+        });
+        lock(&self.sweeps).insert(id, Arc::clone(&sweep));
+        if session.pending().is_empty() {
+            // Nothing to run (all jobs reused from checkpoints): finalize
+            // inline rather than parking a no-op in the scheduler.
+            self.finalize(&sweep);
+        } else {
+            let mut sched = lock(&self.sched);
+            sched.active.push(Arc::clone(&sweep));
+            self.work_ready.notify_all();
+        }
+        Ok(sweep)
+    }
+
+    /// Runner thread: pull one job from the next sweep in round-robin
+    /// order, run it, repeat; the last runner out of a finished sweep
+    /// finalizes it.
+    fn runner_loop(&self) {
+        loop {
+            let claim = {
+                let mut sched = lock(&self.sched);
+                loop {
+                    if let Some(claim) = Self::claim_job(&mut sched) {
+                        break Some(claim);
+                    }
+                    if sched.shutdown {
+                        break None;
+                    }
+                    sched = self
+                        .work_ready
+                        .wait(sched)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            let Some((sweep, pos)) = claim else {
+                return;
+            };
+            if let Some(session) = &sweep.session {
+                session.run_pending(pos);
+            }
+            sweep.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.maybe_finalize(&sweep);
+        }
+    }
+
+    /// Hands out the next (sweep, pending position) pair fairly: the
+    /// cursor advances one sweep per claim, so concurrent sweeps share the
+    /// pool at job granularity.
+    fn claim_job(sched: &mut Sched) -> Option<(Arc<Sweep>, usize)> {
+        let n = sched.active.len();
+        for step in 0..n {
+            let idx = (sched.cursor + step) % n;
+            let sweep = &sched.active[idx];
+            let pending = sweep
+                .session
+                .as_ref()
+                .map_or(0, |session| session.pending().len());
+            let pos = sweep.next.load(Ordering::SeqCst);
+            if pos < pending {
+                sweep.next.store(pos + 1, Ordering::SeqCst);
+                sweep.in_flight.fetch_add(1, Ordering::SeqCst);
+                let claimed = Arc::clone(sweep);
+                // Advance past this sweep so the next claim starts at its
+                // neighbor: round-robin fair share.
+                sched.cursor = (idx + 1) % n;
+                if pos + 1 >= pending {
+                    // Fully handed out: retire from the rotation (the last
+                    // finisher finalizes).
+                    sched.active.remove(idx);
+                    if sched.cursor > idx {
+                        sched.cursor -= 1;
+                    }
+                    if !sched.active.is_empty() {
+                        sched.cursor %= sched.active.len();
+                    } else {
+                        sched.cursor = 0;
+                    }
+                }
+                return Some((claimed, pos));
+            }
+        }
+        None
+    }
+
+    /// Finalizes `sweep` when every position has been handed out *and*
+    /// recorded back.
+    fn maybe_finalize(&self, sweep: &Arc<Sweep>) {
+        let pending = sweep
+            .session
+            .as_ref()
+            .map_or(0, |session| session.pending().len());
+        if sweep.next.load(Ordering::SeqCst) >= pending
+            && sweep.in_flight.load(Ordering::SeqCst) == 0
+            && !is_terminal(&sweep.state())
+        {
+            self.finalize(sweep);
+        }
+    }
+
+    /// Closes a sweep: `finish()` the session, write artifacts, journal
+    /// the terminal state. Exactly one caller wins (`finish` is
+    /// single-shot; the loser sees an error and leaves).
+    fn finalize(&self, sweep: &Arc<Sweep>) {
+        let Some(session) = &sweep.session else {
+            return;
+        };
+        let report = match session.finish() {
+            Ok(report) => report,
+            Err(e) => {
+                if e.to_string().contains("already finished") {
+                    return; // another runner finalized first
+                }
+                sweep.set_state("failed", Some(e.to_string()));
+                let _ = self.journal.write(&sweep.record());
+                return;
+            }
+        };
+        if report.interrupted {
+            if sweep.cancelled.load(Ordering::SeqCst) {
+                sweep.set_state("cancelled", None);
+                let _ = self.journal.write(&sweep.record());
+            }
+            // Drain-interrupted: keep the journal non-terminal so the next
+            // start resumes exactly where the checkpoints left off.
+            return;
+        }
+        // Artifacts first, terminal journal state last: a crash between the
+        // two re-runs finalization (reusing every done-record) rather than
+        // claiming artifacts that are not there.
+        let csv = report.to_table().to_csv();
+        let metrics = report.metrics_json();
+        let csv_ok = sops_engine::checkpoint::write_atomic(&sweep.dir.join("results.csv"), &csv)
+            .and_then(|()| {
+                sops_engine::checkpoint::write_atomic(&sweep.dir.join("metrics.json"), &metrics)
+            });
+        match csv_ok {
+            Ok(()) => {
+                if report.failed.is_empty() {
+                    sweep.set_state("done", None);
+                } else {
+                    sweep.set_state(
+                        "degraded",
+                        Some(format!(
+                            "{} job(s) failed or quarantined",
+                            report.failed.len()
+                        )),
+                    );
+                }
+            }
+            Err(e) => sweep.set_state("failed", Some(format!("cannot write artifacts: {e}"))),
+        }
+        let _ = self.journal.write(&sweep.record());
+    }
+
+    /// One connection: deadline-guarded read, route, deadline-guarded
+    /// write, close.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let _ =
+            stream.set_read_timeout(Some(Duration::from_millis(self.cfg.read_timeout_ms.max(1))));
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(
+            self.cfg.write_timeout_ms.max(1),
+        )));
+        // The serve.req.read fault point: an injected error behaves like a
+        // peer that vanished mid-request — no response, connection closed.
+        if let Some(plan) = &self.faults {
+            if plan.check("serve.req.read", None).is_err() {
+                return;
+            }
+        }
+        let mut reader = BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        });
+        let response = match http::read_request(&mut reader, self.cfg.max_body) {
+            Ok(Some(request)) => {
+                self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+                match self.route(&request) {
+                    Ok(response) => response,
+                    Err(e) => {
+                        if e.status == 503 {
+                            self.counters.http_rejected.fetch_add(1, Ordering::Relaxed);
+                            Response::from_error(&e).with_header("retry-after", "1".to_string())
+                        } else {
+                            Response::from_error(&e)
+                        }
+                    }
+                }
+            }
+            Ok(None) => return, // clean EOF: client connected and left
+            Err(e) => {
+                self.counters.http_requests.fetch_add(1, Ordering::Relaxed);
+                Response::from_error(&e)
+            }
+        };
+        // The serve.resp.write fault point: an injected error drops the
+        // response on the floor (the client sees a closed connection and
+        // retries).
+        if let Some(plan) = &self.faults {
+            if plan.check("serve.resp.write", None).is_err() {
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+        }
+        let _ = response.write_to(&mut stream);
+    }
+
+    /// Dispatches a parsed request. Every path is explicit: unknown routes
+    /// are `404` with the route echoed, wrong methods on known routes are
+    /// `405` with `Allow`.
+    fn route(&self, req: &Request) -> Result<Response, HttpError> {
+        let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => {
+                let body = if self.draining.load(Ordering::SeqCst) {
+                    "draining\n"
+                } else {
+                    "ok\n"
+                };
+                Ok(Response::text(200, body))
+            }
+            ("GET", ["metricsz"]) => Ok(Response::json(200, self.render_metrics())),
+            ("POST", ["sweeps"]) => self.submit(req),
+            ("GET", ["sweeps"]) => Ok(self.list_sweeps()),
+            ("GET", ["sweeps", id]) => self.status(parse_id(id)?),
+            ("GET", ["sweeps", id, "events"]) => {
+                self.artifact(parse_id(id)?, "events.jsonl", "application/x-ndjson", false)
+            }
+            ("GET", ["sweeps", id, "csv"]) => {
+                self.artifact(parse_id(id)?, "results.csv", "text/csv", true)
+            }
+            ("GET", ["sweeps", id, "metrics"]) => {
+                self.artifact(parse_id(id)?, "metrics.json", "application/json", true)
+            }
+            ("POST", ["sweeps", id, "cancel"]) => self.cancel(parse_id(id)?),
+            ("POST", ["admin", "drain"]) => Ok(self.drain()),
+            // Known routes with the wrong method get a 405 + Allow.
+            ("POST" | "HEAD", ["healthz" | "metricsz"])
+            | ("POST", ["sweeps", _, "events" | "csv" | "metrics"]) => Err(HttpError::new(
+                405,
+                format!("{} does not accept {} (Allow: GET)", req.path, req.method),
+            )),
+            ("GET" | "HEAD", ["admin", "drain"]) | ("GET" | "HEAD", ["sweeps", _, "cancel"]) => {
+                Err(HttpError::new(
+                    405,
+                    format!("{} does not accept {} (Allow: POST)", req.path, req.method),
+                ))
+            }
+            _ => Err(HttpError::new(
+                404,
+                format!(
+                    "no route {} {} (see docs/SERVE.md for the API)",
+                    req.method, req.path
+                ),
+            )),
+        }
+    }
+
+    /// `POST /sweeps`: parse, bound, journal, admit — in that order.
+    fn submit(&self, req: &Request) -> Result<Response, HttpError> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(HttpError::new(
+                503,
+                "draining: not accepting new sweeps".to_string(),
+            ));
+        }
+        let body = String::from_utf8(req.body.clone())
+            .map_err(|_| HttpError::new(400, "body is not valid UTF-8".to_string()))?;
+        if body.trim().is_empty() {
+            return Err(HttpError::new(
+                400,
+                "empty body: POST an experiment TOML (see docs/EXPERIMENTS.md)".to_string(),
+            ));
+        }
+        // Parse *before* admission control so malformed submissions never
+        // consume a queue slot, and the client gets the line/key-addressed
+        // parse error straight from the experiment parser.
+        let spec = ExperimentSpec::parse(&body)
+            .map_err(|e| HttpError::new(400, format!("experiment parse error: {e}")))?;
+        let unfinished = lock(&self.sweeps)
+            .values()
+            .filter(|sweep| !is_terminal(&sweep.state()))
+            .count();
+        if unfinished >= self.cfg.queue_cap {
+            return Err(HttpError::new(
+                503,
+                format!(
+                    "queue full: {unfinished} unfinished sweep(s) at the cap of {}",
+                    self.cfg.queue_cap
+                ),
+            ));
+        }
+        // Durability before acknowledgment: journal first, then admit. An
+        // injected or real journal-write failure rejects this submission
+        // alone — the atomic write discipline cannot corrupt neighbors.
+        let id = self.journal.next_id();
+        let record = Record {
+            id,
+            name: spec.name.clone(),
+            state: "queued".to_string(),
+            error: None,
+            body: body.clone(),
+        };
+        self.journal.write(&record).map_err(|e| {
+            HttpError::new(
+                500,
+                format!("submission not accepted: journal write failed: {e}"),
+            )
+        })?;
+        let sweep = self.admit(id, body)?;
+        let _ = self.journal.write(&sweep.record());
+        Ok(Response::json(
+            201,
+            format!("{{\"id\":{id},\"name\":{}}}\n", json::quote(&sweep.name)),
+        ))
+    }
+
+    fn list_sweeps(&self) -> Response {
+        let sweeps = lock(&self.sweeps);
+        let mut body = String::from("[");
+        for (i, sweep) in sweeps.values().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            body.push_str(&status_json(sweep));
+        }
+        body.push_str("]\n");
+        Response::json(200, body)
+    }
+
+    fn lookup(&self, id: u64) -> Result<Arc<Sweep>, HttpError> {
+        lock(&self.sweeps)
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| HttpError::new(404, format!("no sweep {id}")))
+    }
+
+    fn status(&self, id: u64) -> Result<Response, HttpError> {
+        let sweep = self.lookup(id)?;
+        Ok(Response::json(200, format!("{}\n", status_json(&sweep))))
+    }
+
+    /// Serves a per-sweep artifact file. `finished_only` artifacts (CSV,
+    /// metrics) answer `409` until the sweep reaches a terminal state —
+    /// they are written exactly once, atomically, at finalization.
+    fn artifact(
+        &self,
+        id: u64,
+        file: &str,
+        content_type: &'static str,
+        finished_only: bool,
+    ) -> Result<Response, HttpError> {
+        let sweep = self.lookup(id)?;
+        let state = sweep.state();
+        if finished_only && !matches!(state.as_str(), "done" | "degraded") {
+            return Err(HttpError::new(
+                409,
+                format!("sweep {id} is {state}; {file} exists once it is done or degraded"),
+            ));
+        }
+        match std::fs::read(sweep.dir.join(file)) {
+            Ok(bytes) => Ok(Response::bytes(200, content_type, bytes)),
+            Err(_) if file == "events.jsonl" => {
+                // A queued sweep has not emitted yet: an empty stream, not
+                // an error.
+                Ok(Response::bytes(200, content_type, Vec::new()))
+            }
+            Err(e) => Err(HttpError::new(500, format!("cannot read {file}: {e}"))),
+        }
+    }
+
+    fn cancel(&self, id: u64) -> Result<Response, HttpError> {
+        let sweep = self.lookup(id)?;
+        let state = sweep.state();
+        if is_terminal(&state) {
+            return Err(HttpError::new(
+                409,
+                format!("sweep {id} is already {state}"),
+            ));
+        }
+        sweep.cancelled.store(true, Ordering::SeqCst);
+        if let Some(session) = &sweep.session {
+            session.request_stop();
+        }
+        // Wake runners so queued-but-unstarted positions drain immediately.
+        self.work_ready.notify_all();
+        Ok(Response::json(
+            200,
+            format!("{{\"id\":{id},\"state\":\"cancelling\"}}\n"),
+        ))
+    }
+
+    /// `POST /admin/drain`: stop accepting, checkpoint in-flight work,
+    /// exit 0. The response goes out before the accept loop notices, so
+    /// the admin sees the acknowledgment.
+    fn drain(&self) -> Response {
+        self.draining.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); poke it with a loopback
+        // connection so it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        Response::json(200, "{\"state\":\"draining\"}\n".to_string())
+    }
+
+    /// The daemon's own metrics document (schema `sops-metrics-v1`).
+    /// `Sheet::add` drops zero counters, so an idle daemon renders the
+    /// minimal document and per-sweep `metrics.json` files — written by
+    /// the engine, not here — never contain serve counters at all.
+    fn render_metrics(&self) -> String {
+        let mut sheet = Sheet::new();
+        sheet.add(
+            "http.requests",
+            self.counters.http_requests.load(Ordering::Relaxed),
+        );
+        sheet.add(
+            "http.rejected",
+            self.counters.http_rejected.load(Ordering::Relaxed),
+        );
+        sheet.add(
+            "serve.journal.replayed",
+            self.counters.journal_replayed.load(Ordering::Relaxed),
+        );
+        sheet.add(
+            "serve.journal.quarantined",
+            self.counters.journal_quarantined.load(Ordering::Relaxed),
+        );
+        let depth = lock(&self.sweeps)
+            .values()
+            .filter(|sweep| !is_terminal(&sweep.state()))
+            .count();
+        #[allow(clippy::cast_precision_loss)]
+        sheet.gauge_add("queue.depth", depth as f64);
+        metrics_json(&sheet)
+    }
+}
+
+/// Renders one sweep's status object.
+fn status_json(sweep: &Sweep) -> String {
+    let state = sweep.state();
+    let mut fields = format!(
+        "\"id\":{},\"name\":{},\"state\":{}",
+        sweep.id,
+        json::quote(&sweep.name),
+        json::quote(&state)
+    );
+    if let Some(session) = &sweep.session {
+        let p = session.progress();
+        fields.push_str(&format!(
+            ",\"jobs\":{},\"reused\":{},\"completed\":{},\"failed\":{}",
+            p.jobs, p.reused, p.completed, p.failed
+        ));
+    }
+    if let Some(error) = lock(&sweep.error).as_deref() {
+        fields.push_str(&format!(",\"error\":{}", json::quote(error)));
+    }
+    format!("{{{fields}}}")
+}
+
+/// Parses a sweep id path segment.
+fn parse_id(raw: &str) -> Result<u64, HttpError> {
+    raw.parse()
+        .map_err(|_| HttpError::new(400, format!("key `id`: expected an integer, got {raw:?}")))
+}

@@ -1,0 +1,631 @@
+//! A minimal HTTP/1.1 layer over `std::net` — exactly the subset the
+//! daemon and client need, with every read bounded.
+//!
+//! The container is offline, so there is no HTTP dependency to lean on;
+//! this module hand-rolls request parsing with the same defensive posture
+//! the experiment parser takes: every malformed input maps to a specific
+//! status code and a line/key-addressed message (see `docs/SERVE.md` for
+//! the full catalog), and no input — however hostile — can make the
+//! parser allocate unboundedly. Limits:
+//!
+//! * request line ≤ [`MAX_REQUEST_LINE`] bytes (else `414`),
+//! * ≤ [`MAX_HEADERS`] headers of ≤ [`MAX_HEADER_LINE`] bytes (else `431`),
+//! * body ≤ the caller's cap (else `413`), whether `Content-Length`-framed
+//!   or chunked.
+//!
+//! Responses are always `Connection: close`: one request per connection
+//! keeps the state machine trivial and lets the daemon bound concurrent
+//! work with a plain connection counter.
+
+use std::io::{self, BufRead, Write};
+
+/// Longest accepted request line (method + path + version), bytes.
+pub const MAX_REQUEST_LINE: usize = 8192;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+/// Longest accepted header line, bytes.
+pub const MAX_HEADER_LINE: usize = 8192;
+/// Default request-body cap, bytes (the daemon makes it configurable).
+pub const DEFAULT_MAX_BODY: usize = 1 << 20;
+
+/// A protocol-level rejection: the status to send and a catalog message.
+///
+/// Messages follow the experiment parser's addressing convention: parse
+/// errors name the offending 1-based line of the request head (`line 3:
+/// malformed header ...`) or the key at fault (`key \`content-length\`:
+/// ...`), so clients can fix requests without guesswork.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable, line/key-addressed message.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Builds an error with `status` and `message`.
+    pub fn new(status: u16, message: impl Into<String>) -> HttpError {
+        HttpError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} {}: {}",
+            self.status,
+            reason(self.status),
+            self.message
+        )
+    }
+}
+
+/// The canonical reason phrase for every status the daemon emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A parsed request: method, split path, lowercased headers, raw body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, uppercase (`GET`, `POST`, `HEAD`).
+    pub method: String,
+    /// The path component, query string stripped.
+    pub path: String,
+    /// The raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty for bodiless methods).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes. `Ok(None)` means
+/// clean EOF before any byte; an overlong line or EOF mid-line is an error
+/// described by `what`.
+fn read_line_bounded(
+    r: &mut impl BufRead,
+    cap: usize,
+    over_status: u16,
+    what: &str,
+) -> Result<Option<String>, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match r.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::new(400, format!("truncated {what}")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| HttpError::new(400, format!("{what} is not valid UTF-8")));
+                }
+                if line.len() >= cap {
+                    return Err(HttpError::new(
+                        over_status,
+                        format!("{what} exceeds {cap} bytes"),
+                    ));
+                }
+                line.push(byte[0]);
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, format!("timed out reading {what}")));
+            }
+            Err(e) => {
+                return Err(HttpError::new(
+                    400,
+                    format!("I/O error reading {what}: {e}"),
+                ))
+            }
+        }
+    }
+}
+
+/// Reads exactly `n` body bytes, mapping timeouts to `408`.
+fn read_exact_body(r: &mut impl BufRead, n: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = vec![0u8; n];
+    let mut filled = 0;
+    while filled < n {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => {
+                return Err(HttpError::new(
+                    400,
+                    format!("truncated body: got {filled} of {n} bytes"),
+                ))
+            }
+            Ok(k) => filled += k,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading body".to_string()));
+            }
+            Err(e) => return Err(HttpError::new(400, format!("I/O error reading body: {e}"))),
+        }
+    }
+    Ok(body)
+}
+
+/// Decodes a chunked body with the same caps as a framed one.
+fn read_chunked_body(r: &mut impl BufRead, max_body: usize) -> Result<Vec<u8>, HttpError> {
+    let mut body = Vec::new();
+    loop {
+        let line = read_line_bounded(r, MAX_HEADER_LINE, 400, "chunk-size line")?
+            .ok_or_else(|| HttpError::new(400, "truncated chunk-size line".to_string()))?;
+        // Chunk extensions (";...") are tolerated and ignored.
+        let hex = line.split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(hex, 16).map_err(|_| {
+            HttpError::new(400, format!("malformed chunk size {hex:?} (expected hex)"))
+        })?;
+        if size == 0 {
+            // Trailer section: skip until the blank line.
+            loop {
+                let t = read_line_bounded(r, MAX_HEADER_LINE, 431, "trailer line")?
+                    .ok_or_else(|| HttpError::new(400, "truncated trailers".to_string()))?;
+                if t.is_empty() {
+                    return Ok(body);
+                }
+            }
+        }
+        if body.len() + size > max_body {
+            return Err(HttpError::new(
+                413,
+                format!("chunked body exceeds {max_body} bytes"),
+            ));
+        }
+        body.extend_from_slice(&read_exact_body(r, size)?);
+        let sep = read_line_bounded(r, 8, 400, "chunk separator")?
+            .ok_or_else(|| HttpError::new(400, "truncated chunk separator".to_string()))?;
+        if !sep.is_empty() {
+            return Err(HttpError::new(
+                400,
+                "malformed chunk: data not followed by CRLF".to_string(),
+            ));
+        }
+    }
+}
+
+/// Reads and validates one request from `r`.
+///
+/// `Ok(None)` is a clean EOF before any byte (client connected and left).
+///
+/// # Errors
+///
+/// An [`HttpError`] naming the status and the line/key at fault — the
+/// caller sends it as the response. See `docs/SERVE.md` for the catalog.
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let Some(line) = read_line_bounded(r, MAX_REQUEST_LINE, 414, "request line")? else {
+        return Ok(None);
+    };
+    if line.is_empty() {
+        return Err(HttpError::new(
+            400,
+            "line 1: empty request line".to_string(),
+        ));
+    }
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(HttpError::new(
+                400,
+                format!(
+                    "line 1: malformed request line {line:?} (expected METHOD SP PATH SP VERSION)"
+                ),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(
+            505,
+            format!("line 1: unsupported protocol version {version:?}"),
+        ));
+    }
+    match method {
+        "GET" | "POST" | "HEAD" => {}
+        "PUT" | "DELETE" | "PATCH" | "OPTIONS" | "TRACE" | "CONNECT" => {
+            return Err(HttpError::new(
+                405,
+                format!("line 1: method {method} is not used by this API (see docs/SERVE.md)"),
+            ))
+        }
+        _ => {
+            return Err(HttpError::new(
+                501,
+                format!("line 1: unknown method {method:?}"),
+            ))
+        }
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::new(
+            400,
+            format!("line 1: request target {target:?} must start with '/'"),
+        ));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let lineno = headers.len() + 2; // request line is line 1
+        let header = read_line_bounded(r, MAX_HEADER_LINE, 431, "header line")?
+            .ok_or_else(|| HttpError::new(400, format!("line {lineno}: truncated headers")))?;
+        if header.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(
+                431,
+                format!("line {lineno}: more than {MAX_HEADERS} headers"),
+            ));
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                format!("line {lineno}: malformed header {header:?} (missing ':')"),
+            ));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(
+                400,
+                format!("line {lineno}: malformed header name {name:?}"),
+            ));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut req = Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+    if req.method != "POST" {
+        return Ok(Some(req));
+    }
+    // POST framing: chunked beats Content-Length; one of them is required.
+    if let Some(te) = req.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("chunked") {
+            return Err(HttpError::new(
+                501,
+                format!("key `transfer-encoding`: unsupported coding {te:?}"),
+            ));
+        }
+        req.body = read_chunked_body(r, max_body)?;
+        return Ok(Some(req));
+    }
+    let Some(len) = req.header("content-length") else {
+        return Err(HttpError::new(
+            411,
+            "key `content-length`: required for POST".to_string(),
+        ));
+    };
+    let len: usize = len.parse().map_err(|_| {
+        HttpError::new(
+            400,
+            format!("key `content-length`: expected a non-negative integer, got {len:?}"),
+        )
+    })?;
+    if len > max_body {
+        return Err(HttpError::new(
+            413,
+            format!("key `content-length`: {len} exceeds the {max_body}-byte body cap"),
+        ));
+    }
+    req.body = read_exact_body(r, len)?;
+    Ok(Some(req))
+}
+
+/// A response ready to serialize: status, content type, extra headers, body.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After`), sent verbatim.
+    pub extra: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    #[must_use]
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            extra: Vec::new(),
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A response carrying raw bytes under `content_type`.
+    #[must_use]
+    pub fn bytes(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type,
+            extra: Vec::new(),
+            body,
+        }
+    }
+
+    /// Adds a header.
+    #[must_use]
+    pub fn with_header(mut self, name: &str, value: String) -> Response {
+        self.extra.push((name.to_string(), value));
+        self
+    }
+
+    /// The error-catalog rendering of an [`HttpError`]: a JSON body
+    /// `{"error":<reason>,"message":<catalog message>}`.
+    #[must_use]
+    pub fn from_error(e: &HttpError) -> Response {
+        let body = format!(
+            "{{\"error\":{},\"message\":{}}}\n",
+            sops_telemetry::json::quote(reason(e.status)),
+            sops_telemetry::json::quote(&e.message)
+        );
+        Response::json(e.status, body)
+    }
+
+    /// Serializes the response (`Connection: close` framing, exact
+    /// `Content-Length`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.extra {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// A response as read back by the client: status, headers, body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first header named `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    #[must_use]
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Reads a full `Connection: close` response: status line, headers, then
+/// `Content-Length` bytes (or until EOF without one).
+///
+/// # Errors
+///
+/// `InvalidData` on a malformed status line or headers; socket errors pass
+/// through.
+pub fn read_response(r: &mut impl BufRead) -> io::Result<ClientResponse> {
+    let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let line = read_line_bounded(r, MAX_REQUEST_LINE, 414, "status line")
+        .map_err(|e| bad(e.message))?
+        .ok_or_else(|| bad("empty response".to_string()))?;
+    let mut parts = line.splitn(3, ' ');
+    let (version, status) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("malformed status line {line:?}")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| bad(format!("malformed status code in {line:?}")))?;
+    let mut headers = Vec::new();
+    loop {
+        let header = read_line_bounded(r, MAX_HEADER_LINE, 431, "header line")
+            .map_err(|e| bad(e.message))?
+            .ok_or_else(|| bad("truncated response headers".to_string()))?;
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let mut body = Vec::new();
+    let length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    match length {
+        Some(n) => {
+            body = read_exact_body(r, n).map_err(|e| bad(e.message))?;
+        }
+        None => {
+            r.read_to_end(&mut body)?;
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), DEFAULT_MAX_BODY)
+    }
+
+    #[test]
+    fn parses_a_get() {
+        let req = parse(b"GET /sweeps/3?follow=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sweeps/3");
+        assert_eq!(req.query, "follow=1");
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse(b"POST /sweeps HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_chunked_post() {
+        let req =
+            parse(b"POST /sweeps HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.body, b"abcde");
+    }
+
+    #[test]
+    fn eof_before_any_byte_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_length_is_411() {
+        let e = parse(b"POST /sweeps HTTP/1.1\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 411);
+        assert!(e.message.contains("`content-length`"), "{}", e.message);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!(
+            "POST /sweeps HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            1 << 21
+        );
+        let e = parse(raw.as_bytes()).unwrap_err();
+        assert_eq!(e.status, 413);
+    }
+
+    #[test]
+    fn malformed_header_names_its_line() {
+        let e = parse(b"GET / HTTP/1.1\r\nGood: yes\r\nbadheader\r\n\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.starts_with("line 3:"), "{}", e.message);
+    }
+
+    #[test]
+    fn bad_chunk_size_is_400() {
+        let e = parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n").unwrap_err();
+        assert_eq!(e.status, 400);
+        assert!(e.message.contains("chunk size"), "{}", e.message);
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let mut wire = Vec::new();
+        Response::json(201, "{\"id\":7}\n".to_string())
+            .with_header("retry-after", "1".to_string())
+            .write_to(&mut wire)
+            .unwrap();
+        let resp = read_response(&mut BufReader::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.body_text(), "{\"id\":7}\n");
+    }
+
+    #[test]
+    fn error_response_is_json_catalog_shape() {
+        let r = Response::from_error(&HttpError::new(400, "line 1: nope".to_string()));
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("\"error\":\"Bad Request\""), "{text}");
+        assert!(text.contains("line 1: nope"), "{text}");
+    }
+}

@@ -1,0 +1,367 @@
+//! The durable submission journal: every accepted sweep survives a daemon
+//! crash.
+//!
+//! One sealed record per sweep under `<data>/journal/sweep-<id>.txt`,
+//! written with the checkpoint store's exact durability discipline
+//! (checksum header first, per-process `.tmp`, fsync, rename, parent-dir
+//! fsync — see `sops_engine::checkpoint`). A record's `state` walks
+//! `queued → running → done|degraded|failed|cancelled`; non-terminal
+//! records are re-admitted on restart, so an accepted sweep resumes after
+//! any crash and converges — via the engine's checkpoint store — to
+//! artifacts byte-identical to an uninterrupted run.
+//!
+//! Torn or corrupt records (a crash mid-write on a filesystem without
+//! atomic rename, manual tampering) are *quarantined* on replay: renamed
+//! to `corrupt-<name>` and counted, never parsed, never fatal — mirroring
+//! the engine's corrupt-done-record handling. Journal writes are guarded
+//! by the `serve.journal.write` fault point with the engine's bounded
+//! retry, so chaos drills can prove an injected write failure rejects the
+//! one submission without corrupting any neighbor record.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use sops_engine::checkpoint::{seal, unseal, write_atomic};
+use sops_engine::fault::RETRY_ATTEMPTS;
+use sops_engine::FaultPlan;
+
+/// The sweep lifecycle states a journal record can hold, in order.
+pub const STATES: [&str; 6] = [
+    "queued",
+    "running",
+    "done",
+    "degraded",
+    "failed",
+    "cancelled",
+];
+
+/// True for states that need no further work on replay.
+#[must_use]
+pub fn is_terminal(state: &str) -> bool {
+    matches!(state, "done" | "degraded" | "failed" | "cancelled")
+}
+
+/// One journaled submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// The sweep id (assigned at submission, unique per data dir).
+    pub id: u64,
+    /// The experiment name from the submitted TOML.
+    pub name: String,
+    /// Lifecycle state, one of [`STATES`].
+    pub state: String,
+    /// The failure reason, for `failed` records.
+    pub error: Option<String>,
+    /// The submitted experiment TOML, verbatim.
+    pub body: String,
+}
+
+impl Record {
+    /// Renders the record body (pre-seal). Newlines in `error` are
+    /// flattened so the key=value header section stays line-oriented.
+    fn render(&self) -> String {
+        let mut out = format!(
+            "sops-serve-journal v1\nid={}\nname={}\nstate={}\n",
+            self.id, self.name, self.state
+        );
+        if let Some(error) = &self.error {
+            out.push_str("error=");
+            out.push_str(&error.replace('\n', " "));
+            out.push('\n');
+        }
+        out.push_str("body:\n");
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Parses a [`Record::render`] body.
+    fn parse(text: &str) -> Result<Record, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("sops-serve-journal v1") {
+            return Err("missing journal magic".to_string());
+        }
+        let mut id = None;
+        let mut name = None;
+        let mut state = None;
+        let mut error = None;
+        let mut consumed = "sops-serve-journal v1\n".len();
+        for line in lines {
+            if line == "body:" {
+                consumed += "body:\n".len();
+                let body = text.get(consumed..).unwrap_or("").to_string();
+                let id = id.ok_or("missing id=")?;
+                let state: String = state.ok_or("missing state=")?;
+                if !STATES.contains(&state.as_str()) {
+                    return Err(format!("unknown state {state:?}"));
+                }
+                return Ok(Record {
+                    id,
+                    name: name.ok_or("missing name=")?,
+                    state,
+                    error,
+                    body,
+                });
+            }
+            consumed += line.len() + 1;
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("malformed journal line {line:?}"));
+            };
+            match key {
+                "id" => id = Some(value.parse().map_err(|_| format!("bad id {value:?}"))?),
+                "name" => name = Some(value.to_string()),
+                "state" => state = Some(value.to_string()),
+                "error" => error = Some(value.to_string()),
+                other => return Err(format!("unknown journal key {other:?}")),
+            }
+        }
+        Err("missing body: section".to_string())
+    }
+}
+
+/// A record discarded during replay, with where and why.
+#[derive(Debug, Clone)]
+pub struct Quarantined {
+    /// The quarantine file name (`corrupt-<original>`).
+    pub file: String,
+    /// Why the record was rejected.
+    pub reason: String,
+}
+
+/// The on-disk journal handle.
+pub struct Journal {
+    dir: PathBuf,
+    faults: Option<Arc<FaultPlan>>,
+    next_id: AtomicU64,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal under `dir` and replays it:
+    /// sound records come back sorted by id, torn/corrupt ones are renamed
+    /// to `corrupt-<name>` and reported. Stale `.tmp` leftovers from a
+    /// crashed writer are swept.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation/list errors only — a corrupt *record* is never
+    /// fatal.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<(Journal, Vec<Record>, Vec<Quarantined>)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut records = Vec::new();
+        let mut quarantined = Vec::new();
+        let mut max_id = 0u64;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if !name.starts_with("sweep-") || !name.ends_with(".txt") {
+                continue;
+            }
+            match read_record(&entry.path()) {
+                Ok(record) => {
+                    max_id = max_id.max(record.id);
+                    records.push(record);
+                }
+                Err(reason) => {
+                    // Quarantine, never delete: the bytes stay available
+                    // for forensics, and replay cannot trip on them twice.
+                    let corrupt = format!("corrupt-{name}");
+                    let _ = std::fs::rename(entry.path(), dir.join(&corrupt));
+                    // The id embedded in the file name still reserves the
+                    // slot so a fresh submission can never collide with a
+                    // quarantined record's artifacts.
+                    if let Some(id) = id_from_name(&name) {
+                        max_id = max_id.max(id);
+                    }
+                    quarantined.push(Quarantined {
+                        file: corrupt,
+                        reason,
+                    });
+                }
+            }
+        }
+        records.sort_by_key(|r| r.id);
+        let journal = Journal {
+            dir,
+            faults,
+            next_id: AtomicU64::new(max_id + 1),
+        };
+        Ok((journal, records, quarantined))
+    }
+
+    /// Reserves the next sweep id.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Durably writes (or rewrites) `record`, sealed, through the
+    /// `serve.journal.write` fault point with the engine's bounded retry.
+    /// The write is atomic: an injected or real failure leaves either the
+    /// previous record or nothing — never a torn file.
+    ///
+    /// # Errors
+    ///
+    /// The final write error after [`RETRY_ATTEMPTS`] attempts.
+    pub fn write(&self, record: &Record) -> io::Result<()> {
+        let path = self.dir.join(format!("sweep-{}.txt", record.id));
+        let content = seal(&record.render());
+        let job = usize::try_from(record.id).ok();
+        for attempt in 1..=RETRY_ATTEMPTS {
+            let result = match &self.faults {
+                Some(plan) => plan.check("serve.journal.write", job),
+                None => Ok(()),
+            }
+            .and_then(|()| write_atomic(&path, &content));
+            match result {
+                Ok(()) => return Ok(()),
+                Err(_) if attempt < RETRY_ATTEMPTS => {
+                    for _ in 0..attempt {
+                        std::thread::yield_now();
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the final attempt");
+    }
+
+    /// The journal directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Extracts `N` from `sweep-N.txt`.
+fn id_from_name(name: &str) -> Option<u64> {
+    name.strip_prefix("sweep-")?
+        .strip_suffix(".txt")?
+        .parse()
+        .ok()
+}
+
+/// Reads and verifies one record file.
+fn read_record(path: &Path) -> Result<Record, String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    let body = unseal(&raw)?;
+    Record::parse(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sops_journal_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(id: u64, state: &str) -> Record {
+        Record {
+            id,
+            name: "unit".to_string(),
+            state: state.to_string(),
+            error: None,
+            body: "[experiment]\nname = \"unit\"\n".to_string(),
+        }
+    }
+
+    #[test]
+    fn write_and_replay_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let (journal, records, quarantined) = Journal::open(&dir, None).unwrap();
+        assert!(records.is_empty() && quarantined.is_empty());
+        let a = record(journal.next_id(), "queued");
+        let b = record(journal.next_id(), "running");
+        journal.write(&a).unwrap();
+        journal.write(&b).unwrap();
+        let (journal2, records, quarantined) = Journal::open(&dir, None).unwrap();
+        assert_eq!(records, vec![a, b]);
+        assert!(quarantined.is_empty());
+        // Ids never collide with replayed records.
+        assert_eq!(journal2.next_id(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn state_rewrite_replaces_in_place() {
+        let dir = tmpdir("rewrite");
+        let (journal, _, _) = Journal::open(&dir, None).unwrap();
+        let mut rec = record(journal.next_id(), "queued");
+        journal.write(&rec).unwrap();
+        rec.state = "done".to_string();
+        journal.write(&rec).unwrap();
+        let (_, records, _) = Journal::open(&dir, None).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].state, "done");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_record_at_every_byte_offset_is_quarantined_never_fatal() {
+        let dir = tmpdir("torn");
+        let (journal, _, _) = Journal::open(&dir, None).unwrap();
+        let rec = record(journal.next_id(), "running");
+        journal.write(&rec).unwrap();
+        let path = dir.join("sweep-1.txt");
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, records, quarantined) = Journal::open(&dir, None).unwrap();
+            assert!(
+                records.is_empty(),
+                "cut at {cut}: a torn record must never parse"
+            );
+            assert_eq!(quarantined.len(), 1, "cut at {cut}");
+            // The quarantined bytes were preserved under corrupt-.
+            let kept = dir.join(&quarantined[0].file);
+            assert_eq!(std::fs::read(&kept).unwrap().len(), cut);
+            std::fs::remove_file(kept).unwrap();
+            // Restore for the next offset.
+            std::fs::write(&path, &full).unwrap();
+        }
+        // The intact record still replays.
+        let (_, records, quarantined) = Journal::open(&dir, None).unwrap();
+        assert_eq!(records, vec![rec]);
+        assert!(quarantined.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn error_lines_survive_with_newlines_flattened() {
+        let dir = tmpdir("error");
+        let (journal, _, _) = Journal::open(&dir, None).unwrap();
+        let rec = Record {
+            error: Some("boom\nsecond line".to_string()),
+            ..record(journal.next_id(), "failed")
+        };
+        journal.write(&rec).unwrap();
+        let (_, records, _) = Journal::open(&dir, None).unwrap();
+        assert_eq!(records[0].error.as_deref(), Some("boom second line"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn body_is_preserved_verbatim() {
+        let dir = tmpdir("body");
+        let (journal, _, _) = Journal::open(&dir, None).unwrap();
+        let body = "[experiment]\nname = \"x\"\n# trailing comment, no newline";
+        let rec = Record {
+            body: body.to_string(),
+            ..record(journal.next_id(), "queued")
+        };
+        journal.write(&rec).unwrap();
+        let (_, records, _) = Journal::open(&dir, None).unwrap();
+        assert_eq!(records[0].body, body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

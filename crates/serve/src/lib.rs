@@ -1,0 +1,41 @@
+//! `sops-serve` — a crash-safe, multi-tenant sweep daemon over the
+//! deterministic execution engine.
+//!
+//! The engine (PR 4–8) already guarantees that any sweep, interrupted at
+//! any instant, resumes to byte-identical artifacts through its checkpoint
+//! store. This crate puts a long-lived service in front of that
+//! guarantee: clients `POST` an experiment TOML to `/sweeps`, poll status,
+//! stream JSONL job events, fetch the CSV/metrics artifacts, and cancel —
+//! and a durable, fsynced submission journal extends crash safety to the
+//! *daemon itself*. `kill -9` the process at any point: on restart the
+//! journal replays, every accepted sweep resumes via the engine's
+//! checkpoints, and the artifacts converge to the same bytes an
+//! uninterrupted run produces.
+//!
+//! Module map:
+//!
+//! * [`http`] — the hand-rolled HTTP/1.1 subset (offline container, no
+//!   dependencies): bounded parsing, the malformed-request error catalog,
+//!   response framing.
+//! * [`journal`] — the durable submission journal (checkpoint-store
+//!   sealing discipline; torn records quarantined on replay).
+//! * [`daemon`] — accept loop, connection handling, fair-share job
+//!   scheduler over [`sops_engine::SweepSession`], backpressure, drain.
+//! * [`client`] — the retrying client used by `sops-cli
+//!   submit|status|fetch|cancel` and the tests.
+//!
+//! The failure model (limits, status codes, fault points, recovery
+//! semantics) is documented in `docs/SERVE.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod http;
+pub mod journal;
+
+pub use client::{Client, ClientConfig};
+pub use daemon::{ServeConfig, Server};
+pub use http::{ClientResponse, HttpError, Request, Response};
+pub use journal::{Journal, Record};

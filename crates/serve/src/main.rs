@@ -1,0 +1,75 @@
+//! The `sops-serve` binary: parse flags, bind, announce, serve.
+//!
+//! ```text
+//! sops-serve [--addr HOST:PORT] [--data DIR] [--workers N]
+//!            [--queue-cap N] [--conn-cap N]
+//!            [--read-timeout-ms MS] [--write-timeout-ms MS]
+//!            [--max-body BYTES] [--checkpoint-every W] [--quiet]
+//! ```
+//!
+//! The daemon announces `sops-serve listening on HOST:PORT` on stderr once
+//! the socket is bound (scripts parse this to discover an ephemeral port),
+//! serves until `POST /admin/drain`, then exits 0. `SOPS_FAULTS` arms the
+//! fault-injection plan (serve points run here; engine points are
+//! forwarded into every sweep) — grammar in `docs/ROBUSTNESS.md`.
+
+use sops_bench::Args;
+use sops_serve::{ServeConfig, Server};
+
+fn main() {
+    let args = Args::from_env();
+    if args.flag("help") {
+        eprintln!(
+            "usage: sops-serve [--addr HOST:PORT] [--data DIR] [--workers N] \
+             [--queue-cap N] [--conn-cap N] [--read-timeout-ms MS] \
+             [--write-timeout-ms MS] [--max-body BYTES] [--checkpoint-every W] [--quiet]\n\
+             \nAPI and failure model: docs/SERVE.md"
+        );
+        return;
+    }
+    let faults = match sops_engine::FaultSpec::from_env() {
+        Ok(faults) => faults,
+        Err(err) => {
+            eprintln!("SOPS_FAULTS: {err}");
+            std::process::exit(2);
+        }
+    };
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: args
+            .get_string("addr")
+            .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+        data_dir: args
+            .get_string("data")
+            .map_or(defaults.data_dir, Into::into),
+        workers: args.get_usize("workers", defaults.workers),
+        queue_cap: args.get_usize("queue-cap", defaults.queue_cap),
+        conn_cap: args.get_usize("conn-cap", defaults.conn_cap),
+        read_timeout_ms: args.get_u64("read-timeout-ms", defaults.read_timeout_ms),
+        write_timeout_ms: args.get_u64("write-timeout-ms", defaults.write_timeout_ms),
+        max_body: args.get_usize("max-body", defaults.max_body),
+        default_every: args.get_u64("checkpoint-every", defaults.default_every),
+        faults,
+        quiet: args.flag("quiet"),
+    };
+    let quiet = cfg.quiet;
+    let server = match Server::bind(cfg) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("sops-serve: cannot start: {err}");
+            std::process::exit(1);
+        }
+    };
+    // Always announced, even under --quiet: scripts need the bound port.
+    eprintln!("sops-serve listening on {}", server.local_addr());
+    if !quiet {
+        eprintln!("sops-serve: POST /admin/drain to stop (docs/SERVE.md)");
+    }
+    match server.run() {
+        Ok(()) => {}
+        Err(err) => {
+            eprintln!("sops-serve: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The crash drill against the real binary: `kill -9` mid-sweep, restart
+//! on the same data directory, and the journal + checkpoint store converge
+//! to a CSV **byte-identical** to an uninterrupted in-process run of the
+//! same experiment — the daemon's headline durability claim. Plus the
+//! graceful half: `POST /admin/drain` exits the process with status 0.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use sops_engine::{run_sweep, CheckpointConfig, EngineConfig, ExperimentSpec};
+use sops_serve::{Client, ClientConfig};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sops_serve_crash_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Four jobs, long enough to be mid-flight when the SIGKILL lands, with a
+/// checkpoint cadence fine enough that the restart resumes real progress.
+const DRILL_TOML: &str = "name = \"crash-drill\"\nseed = 9\nns = [20, 30]\nlambdas = [2, 4]\n\
+                          algorithms = [\"chain\"]\nsteps = 1500000\nsamples = 8\n";
+const CKPT_EVERY: u64 = 100_000;
+
+/// Spawns the real `sops-serve` on an ephemeral port and parses the
+/// announced address from stderr.
+fn spawn_daemon(data: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sops-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--data",
+            data.to_str().expect("utf8 tmp path"),
+            "--workers",
+            "2",
+            "--checkpoint-every",
+            &CKPT_EVERY.to_string(),
+            "--quiet",
+        ])
+        .stderr(Stdio::piped())
+        .stdout(Stdio::null())
+        .spawn()
+        .expect("spawn sops-serve");
+    let stderr = child.stderr.take().expect("piped stderr");
+    let mut lines = BufReader::new(stderr).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("daemon announces before exiting")
+            .expect("stderr line");
+        if let Some(addr) = line.strip_prefix("sops-serve listening on ") {
+            break addr.trim().to_string();
+        }
+    };
+    // Keep draining stderr so the daemon can never block on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn client(addr: &str) -> Client {
+    Client::new(ClientConfig {
+        server: addr.to_string(),
+        attempts: 6,
+        backoff_ms: 20,
+        timeout_ms: 10_000,
+    })
+}
+
+fn wait_for_state(c: &Client, id: u64, wanted: &str) -> String {
+    let mut state = String::new();
+    for _ in 0..1200 {
+        if let Ok(s) = c.status(id) {
+            state = s;
+            if state.contains(&format!("\"state\":\"{wanted}\"")) {
+                return state;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("sweep {id} never reached {wanted}: {state}");
+}
+
+/// The uninterrupted reference: the same experiment through the plain
+/// engine entry point, whose CSV the daemon must reproduce byte for byte.
+fn reference_csv(tag: &str) -> String {
+    let spec = ExperimentSpec::parse(DRILL_TOML).expect("drill spec parses");
+    let dir = tmp_dir(tag);
+    let report = run_sweep(
+        spec.jobs(),
+        &EngineConfig {
+            threads: 1,
+            checkpoint: Some(CheckpointConfig::new(dir.join("ckpt"), CKPT_EVERY)),
+            ..EngineConfig::default()
+        },
+    )
+    .expect("reference sweep");
+    assert!(report.failed.is_empty() && !report.interrupted);
+    report.to_table().to_csv()
+}
+
+#[test]
+fn kill_dash_nine_mid_sweep_then_restart_converges_to_identical_csv() {
+    let data = tmp_dir("kill9");
+    let (mut child, addr) = spawn_daemon(&data);
+    let c = client(&addr);
+
+    let id = c.submit(DRILL_TOML).expect("submit");
+
+    // Let the sweep make real progress (some checkpoints on disk), then
+    // SIGKILL the daemon mid-flight — no drain, no cleanup.
+    let ckpt_dir = data.join("sweeps").join(id.to_string()).join("ckpt");
+    for _ in 0..1200 {
+        let checkpoints = std::fs::read_dir(&ckpt_dir)
+            .map(|entries| entries.count())
+            .unwrap_or(0);
+        if checkpoints > 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Restart on the same data directory: the journal replays the
+    // accepted submission and the checkpoint store resumes it.
+    let (mut child2, addr2) = spawn_daemon(&data);
+    let c2 = client(&addr2);
+    let metrics = c2.request("GET", "/metricsz", None).expect("metricsz");
+    assert!(
+        metrics.body_text().contains("serve.journal.replayed"),
+        "restart must count the replayed submission: {}",
+        metrics.body_text()
+    );
+
+    wait_for_state(&c2, id, "done");
+    let served = c2.fetch(id, "csv").expect("csv after recovery");
+    let served = String::from_utf8(served).expect("utf8 csv");
+
+    assert_eq!(
+        served,
+        reference_csv("kill9_reference"),
+        "recovered CSV must be byte-identical to an uninterrupted run"
+    );
+    // metrics.json exists too (finalization writes both artifacts).
+    assert!(!c2
+        .fetch(id, "metrics")
+        .expect("metrics artifact")
+        .is_empty());
+
+    c2.drain().expect("drain");
+    let status = child2.wait().expect("daemon exits");
+    assert!(status.success(), "graceful drain must exit 0: {status:?}");
+}
+
+/// Drain with an idle daemon: the endpoint answers, the process exits 0,
+/// and a second daemon on the same data dir starts clean.
+#[test]
+fn drain_exits_zero_and_data_dir_is_reusable() {
+    let data = tmp_dir("drain");
+    let (mut child, addr) = spawn_daemon(&data);
+    client(&addr).drain().expect("drain");
+    let status = child.wait().expect("daemon exits");
+    assert!(status.success(), "drain must exit 0: {status:?}");
+
+    let (mut child2, addr2) = spawn_daemon(&data);
+    let health = client(&addr2)
+        .request("GET", "/healthz", None)
+        .expect("healthz");
+    assert_eq!(health.body_text(), "ok\n");
+    client(&addr2).drain().expect("second drain");
+    assert!(child2.wait().expect("exit").success());
+}

@@ -1,0 +1,197 @@
+//! Chaos coverage for the daemon's own fault points: injected journal
+//! write failures quarantine the one submission without corrupting the
+//! journal or the daemon, and the serve-side network fault points
+//! (`serve.accept`, `serve.req.read`, `serve.resp.write`) degrade into
+//! exactly the failures a retrying client already handles.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sops_engine::{FaultKind, FaultSpec};
+use sops_serve::{Client, ClientConfig, ServeConfig, Server};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sops_serve_chaos_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("serve"));
+    (addr, handle)
+}
+
+fn client(addr: &str) -> Client {
+    Client::new(ClientConfig {
+        server: addr.to_string(),
+        attempts: 6,
+        backoff_ms: 1,
+        timeout_ms: 5_000,
+    })
+}
+
+const SMOKE_TOML: &str = "name = \"chaos-smoke\"\nseed = 5\nns = [12]\nlambdas = [2]\n\
+                          algorithms = [\"chain\"]\nsteps = 1500\nsamples = 3\n";
+
+fn wait_done(c: &Client, id: u64) -> String {
+    let mut state = String::new();
+    for _ in 0..600 {
+        state = c.status(id).expect("status");
+        if state.contains("\"state\":\"done\"") || state.contains("\"state\":\"degraded\"") {
+            return state;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("sweep {id} never finished: {state}");
+}
+
+/// An exhausted `serve.journal.write` (the fault outlasts the engine's
+/// retry budget) rejects that submission alone: the client gets the 500
+/// with the journal-write message, the journal directory holds no record
+/// of it, and the *next* submission — same daemon — is accepted, runs,
+/// and journals cleanly.
+#[test]
+fn journal_write_fault_quarantines_the_submission_not_the_daemon() {
+    let data = tmp_dir("journal_write");
+    // Journal writes get RETRY_ATTEMPTS tries; fail the first submission's
+    // (id 1 on a fresh journal) whole budget, then let everything after
+    // through. Scoped to the id: hit counters are per (rule, job).
+    let faults = FaultSpec::new().with(
+        "serve.journal.write",
+        Some(1),
+        1..=u64::from(sops_engine::fault::RETRY_ATTEMPTS),
+        FaultKind::Io,
+    );
+    let (addr, handle) = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: data.clone(),
+        workers: 1,
+        faults: Some(faults),
+        ..ServeConfig::default()
+    });
+    let c = client(&addr);
+
+    let err = c
+        .submit(SMOKE_TOML)
+        .expect_err("first submission must fail");
+    assert!(
+        err.contains("journal write failed") && err.contains("injected fault"),
+        "{err}"
+    );
+    // Nothing journaled: the atomic write discipline leaves no partial
+    // record behind (the .tmp is cleaned on the next open; none is sealed).
+    let journal = data.join("journal");
+    let records: Vec<_> = std::fs::read_dir(&journal)
+        .expect("journal dir exists")
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().starts_with("sweep-"))
+        .collect();
+    assert!(
+        records.is_empty(),
+        "no sealed record for the failed submission"
+    );
+
+    // The daemon is unharmed: the next submission succeeds end to end.
+    let id = c.submit(SMOKE_TOML).expect("second submission");
+    wait_done(&c, id);
+    let csv = c.fetch(id, "csv").expect("csv");
+    assert!(!csv.is_empty());
+
+    c.drain().expect("drain");
+    handle.join().expect("accept loop exits");
+
+    // And the journal now holds exactly the successful sweep, terminal.
+    let (_, records, quarantined) = sops_serve::Journal::open(journal, None).expect("reopen");
+    assert!(
+        quarantined.is_empty(),
+        "no corrupt records: {quarantined:?}"
+    );
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].id, id);
+    assert_eq!(records[0].state, "done");
+}
+
+/// The network fault points degrade into client-visible transport errors
+/// that bounded retry absorbs: with `serve.accept`, `serve.req.read` and
+/// `serve.resp.write` each tripping once, a 6-attempt client still
+/// completes the whole submit → done → fetch workflow.
+#[test]
+fn network_fault_points_are_absorbed_by_client_retry() {
+    let faults = FaultSpec::new()
+        .with("serve.accept", None, 1..=1, FaultKind::Io)
+        .with("serve.req.read", None, 1..=1, FaultKind::Io)
+        .with("serve.resp.write", None, 1..=1, FaultKind::Io);
+    let (addr, handle) = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: tmp_dir("network"),
+        workers: 1,
+        faults: Some(faults),
+        ..ServeConfig::default()
+    });
+    let c = client(&addr);
+
+    let id = c.submit(SMOKE_TOML).expect("submit survives dropped conns");
+    wait_done(&c, id);
+    let csv = c.fetch(id, "csv").expect("csv");
+    assert!(!csv.is_empty());
+
+    c.drain().expect("drain");
+    handle.join().expect("accept loop exits");
+}
+
+/// Backpressure drill: a one-slot queue floods to `503` + `Retry-After`,
+/// and a retrying client eventually lands its submission once the queue
+/// drains — the graceful-degradation contract.
+#[test]
+fn queue_cap_rejects_with_503_and_retry_succeeds() {
+    let (addr, handle) = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: tmp_dir("backpressure"),
+        workers: 1,
+        queue_cap: 1,
+        // Keep checkpoint fsyncs out of the long sweep's hot loop so the
+        // drill measures backpressure, not disk.
+        default_every: 1_000_000,
+        ..ServeConfig::default()
+    });
+
+    // Fill the queue with a sweep long enough to still be running when the
+    // flood hits...
+    let long_toml = "name = \"long\"\nseed = 7\nns = [40]\nlambdas = [2, 3]\n\
+                     algorithms = [\"chain\"]\nsteps = 3000000\nsamples = 4\n";
+    let c = client(&addr);
+    let first = c
+        .submit(long_toml)
+        .expect("first submission fills the queue");
+
+    // ...then a no-retry client must see the 503 with backpressure advice.
+    let no_retry = Client::new(ClientConfig {
+        server: addr.clone(),
+        attempts: 1,
+        backoff_ms: 1,
+        timeout_ms: 5_000,
+    });
+    let resp = no_retry
+        .request("POST", "/sweeps", Some(SMOKE_TOML.as_bytes()))
+        .expect_err("queue is full");
+    assert!(resp.contains("503"), "{resp}");
+
+    // A retrying client outlasts the queue: the first sweep finishes, the
+    // slot frees, the retried submission lands.
+    let patient = Client::new(ClientConfig {
+        server: addr.clone(),
+        attempts: 60,
+        backoff_ms: 50,
+        timeout_ms: 5_000,
+    });
+    let second = patient
+        .submit(SMOKE_TOML)
+        .expect("retry lands once drained");
+    assert!(second > first);
+    wait_done(&c, second);
+
+    c.drain().expect("drain");
+    handle.join().expect("accept loop exits");
+}

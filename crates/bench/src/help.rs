@@ -19,6 +19,10 @@ pub const ALGO_HELP: &str =
                  step-for-step, but work per accepted move only — fastest in
                  strongly-rejecting regimes (high lambda equilibrium)
   local          the asynchronous local algorithm A; work units are rounds
+  local-sharded  checkerboard-synchronous variant of A built for intra-run
+                 sharding (--shards runs one simulation across cores);
+                 byte-identical results at any worker count; work units are
+                 rounds
   ablation-full / ablation-no-five / ablation-no-prop
                  deliberately weakened chain variants demonstrating why the
                  paper's move conditions are necessary";
@@ -94,7 +98,13 @@ mod tests {
 
     #[test]
     fn help_text_names_every_algorithm_and_hamiltonian() {
-        for name in ["chain", "chain-kmc", "local", "ablation-full"] {
+        for name in [
+            "chain",
+            "chain-kmc",
+            "local",
+            "local-sharded",
+            "ablation-full",
+        ] {
             assert!(ALGO_HELP.contains(name), "ALGO_HELP must mention {name}");
         }
         for name in ["edges", "alignment"] {

@@ -182,6 +182,7 @@ pub fn sweep(args: &Args) {
         telemetry: args.telemetry(),
         faults: faults_from_env(),
         retry_failed: args.flag("retry-failed"),
+        shards: args.get_usize("shards", 1),
     };
 
     execute_sweep(grid.build(), &cfg, seed, &out_name, args);
@@ -404,6 +405,17 @@ pub fn run(path: &str, args: &Args) {
         telemetry: args.telemetry(),
         faults: faults_from_env(),
         retry_failed: args.flag("retry-failed"),
+        // The CLI flag beats the file's top-level `shards` key; both are
+        // execution details, so neither affects any artifact byte.
+        shards: args
+            .get_string("shards")
+            .map_or(spec.shards, |v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--shards expects an integer");
+                    std::process::exit(2);
+                })
+            })
+            .max(1),
     };
     if !args.flag("quiet") {
         eprintln!("experiment {} ({path})", spec.name);
@@ -426,16 +438,18 @@ COMMANDS:
              <experiment.toml> --override key=value ... --print-grid
              --threads T --out NAME --checkpoint DIR --checkpoint-every W
              --stop-after K --metrics --progress --quiet
-             --strict-io --retry-failed
+             --strict-io --retry-failed --shards K
   simulate   run Markov chain M        --n --lambda --steps --seed --shape --every --svg
                                        --hamiltonian edges|alignment[:q]
   local      run local algorithm A     --n --lambda --rounds --seed --shape --svg
+             --shards K  (checkerboard-synchronous variant sharded over K
+                          workers; byte-identical results at any K)
   sweep      run a job grid on the engine
              --n 50,100 --lambda 2,4 --shape line --algo chain,chain-kmc,local
              --hamiltonian edges,alignment[:q]
              --steps --burnin --samples --reps --until-alpha --seed --threads
              --checkpoint DIR --checkpoint-every W --stop-after K --out NAME
-             --metrics --progress --quiet --strict-io --retry-failed
+             --metrics --progress --quiet --strict-io --retry-failed --shards K
   enumerate  exact configuration counts  --max-n
   saw        self-avoiding walk counts   --max-len
   render     draw a shape                --shape --n --seed --svg

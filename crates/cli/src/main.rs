@@ -6,9 +6,9 @@
 //!                   [--strict-io] [--retry-failed]
 //! sops-cli simulate --n 100 --lambda 4 --steps 1000000 [--shape line|spiral|annulus|random]
 //!                   [--hamiltonian edges|alignment[:q]] [--seed S] [--svg out.svg] [--every K]
-//! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S]
+//! sops-cli local    --n 100 --lambda 4 --rounds 10000 [--seed S] [--shards K]
 //! sops-cli sweep    --n 50,100 --lambda 2,4 --steps 100000 [--algo chain,local]
-//!                   [--hamiltonian edges,alignment[:q]]
+//!                   [--hamiltonian edges,alignment[:q]] [--shards K]
 //!                   [--threads T] [--checkpoint DIR [--checkpoint-every W]] [--out NAME]
 //!                   [--strict-io] [--retry-failed]
 //! sops-cli enumerate --max-n 9
@@ -167,6 +167,17 @@ fn local(args: &Args) {
     let seed = args.get_u64("seed", 0);
     let start = build_shape(args, n, seed);
 
+    // `--shards K` switches to the checkerboard-synchronous variant of A
+    // and runs each round's color steps on K workers. K is an execution
+    // detail: any K ≥ 1 prints the identical table for a given seed.
+    if let Some(shards) = args.get_string("shards") {
+        let shards: usize = shards.parse().unwrap_or_else(|_| {
+            eprintln!("--shards expects an integer");
+            std::process::exit(2);
+        });
+        local_sharded(args, &start, n, lambda, rounds, seed, shards.max(1));
+        return;
+    }
     eprintln!("local algorithm A: n = {n}, λ = {lambda}, {rounds} rounds, seed {seed}");
     let mut runner = match LocalRunner::from_seed(&start, lambda, seed) {
         Ok(runner) => runner,
@@ -180,6 +191,53 @@ fn local(args: &Args) {
     let mut done = 0;
     while done < rounds {
         runner.run_rounds(chunk.min(rounds - done));
+        done = runner.rounds();
+        let tails = runner.tail_system();
+        table.row([
+            runner.rounds().to_string(),
+            tails.perimeter().to_string(),
+            fmt_f64(metrics::compression_ratio(&tails), 3),
+            runner.moves_completed().to_string(),
+            runner.activations().to_string(),
+        ]);
+    }
+    print!("{}", table.to_markdown());
+    let tails = runner.tail_system();
+    println!("\nfinal: {}", ascii::summary(&tails));
+    maybe_svg(args, &tails);
+}
+
+/// The `--shards` path of `sops-cli local`: the checkerboard-synchronous
+/// variant of A on the engine's shard executor.
+fn local_sharded(
+    args: &Args,
+    start: &ParticleSystem,
+    n: usize,
+    lambda: f64,
+    rounds: u64,
+    seed: u64,
+    shards: usize,
+) {
+    use sops::core::sharded::ShardedLocalRunner;
+    use sops_engine::PoolExecutor;
+
+    eprintln!(
+        "local algorithm A (sharded): n = {n}, λ = {lambda}, {rounds} rounds, \
+         seed {seed}, {shards} shard worker(s)"
+    );
+    let mut runner = match ShardedLocalRunner::from_seed(start, lambda, seed) {
+        Ok(runner) => runner,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    };
+    let executor = PoolExecutor::new(shards);
+    let mut table = Table::new(["round", "perimeter", "alpha", "moves", "activations"]);
+    let chunk = (rounds / 10).max(1);
+    let mut done = 0;
+    while done < rounds {
+        runner.run_rounds_with(chunk.min(rounds - done), &executor);
         done = runner.rounds();
         let tails = runner.tail_system();
         table.row([

@@ -19,6 +19,12 @@
 //!   clock, moves in decoupled expand/contract phases, and serializes its
 //!   neighborhood with a single `flag` bit. The runner is a discrete-event
 //!   simulator whose particle logic reads only bounded neighborhood views.
+//! * [`sharded::ShardedLocalRunner`] — a checkerboard-synchronous variant of
+//!   `A` built for intra-run sharding: rounds are scheduled over the 4-color
+//!   region checkerboard of `sops_lattice::RegionMap`, each region draws from
+//!   its own SplitMix64-salted seed stream, and a [`sharded::StepExecutor`]
+//!   may run same-color regions concurrently — results are byte-identical at
+//!   any worker count.
 //!
 //! Both support crash-fault injection (Section 3.3) via [`chain`]- and
 //! [`local`]-level APIs.
@@ -49,6 +55,7 @@ pub mod kmc;
 pub mod local;
 mod measure;
 pub mod probes;
+pub mod sharded;
 pub mod snapshot;
 
 pub use chain::{ChainError, CompressionChain, StepCounts, StepOutcome, TrajectoryPoint};
@@ -56,6 +63,7 @@ pub use hamiltonian::{Alignment, EdgeCount, Hamiltonian, HamiltonianSpec, MoveCo
 pub use kmc::{KmcChain, KmcCounts};
 pub use local::LocalRunner;
 pub use probes::{ChainProbes, KmcProbes, LocalProbes};
+pub use sharded::ShardedLocalRunner;
 pub use snapshot::SnapshotError;
 
 /// The compression threshold `2 + √2 ≈ 3.414`: Theorem 4.5 proves

@@ -1,0 +1,1111 @@
+//! The synchronous, checkerboard-scheduled variant of the local algorithm
+//! `A`, designed for intra-run sharding across cores.
+//!
+//! # The algorithm
+//!
+//! [`LocalRunner`](crate::local::LocalRunner) is a faithful asynchronous
+//! simulator: one global Poisson event queue, one sequential RNG stream.
+//! That trajectory is inherently serial — replaying it in parallel byte for
+//! byte is impossible, because every activation consumes the next draws of
+//! a single stream in global event-time order.
+//!
+//! [`ShardedLocalRunner`] keeps the *particle rule* of Algorithm `A` —
+//! steps 1–13, verbatim, including the `flag` serialization protocol and
+//! the `N*` neighborhoods — but replaces the Poisson clocks with a fixed
+//! synchronous schedule built on [`RegionMap`]: each round visits the four
+//! checkerboard colors in order; within a color, every region holding at
+//! least one live particle activates its particles once each, in particle-id
+//! order, consuming a private RNG stream seeded by SplitMix64-style mixing
+//! of `(seed, region, round)`. Regions of the same color are at least one
+//! full region apart — farther than the rule's read radius of 2 sites — so
+//! their updates commute and the trajectory is a pure function of
+//! `(start, λ, seed, region_tiles)`.
+//!
+//! # Unsharded vs sharded execution
+//!
+//! The runner has two independent implementations of that schedule:
+//!
+//! * [`ShardedLocalRunner::run_rounds`] — the **unsharded reference**: one
+//!   flat occupancy grid, one sequential pass in schedule order.
+//! * [`ShardedLocalRunner::run_rounds_with`] — the **sharded executor**:
+//!   per-region cells own their particles and a private [`TileGrid`];
+//!   each color step ships the active cells to a [`StepExecutor`] as
+//!   self-contained [`ShardTask`]s (cell + halo of neighbor rims + stream
+//!   seed); boundary state moves as rim exports and emigrant particles at
+//!   deterministic merge points.
+//!
+//! Both produce **byte-identical** results at any worker count — the
+//! differential harness in `crates/system/tests/shard_differential.rs` is
+//! the merge gate for that claim. The worker/shard count is an execution
+//! detail like `--threads`, never simulation state: snapshots serialize the
+//! flat configuration only, so checkpoints are portable across shard
+//! counts. `region_tiles` *is* semantic (it changes the schedule), which is
+//! why it lives in the snapshot.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sops_lattice::{Direction, PairRing, RegionId, RegionMap, TileGrid, TriPoint, REGION_COLORS};
+use sops_system::{moves::MoveValidity, ParticleSystem};
+
+use crate::chain::ChainError;
+use crate::local::Activation;
+use crate::probes::LocalProbes;
+use crate::snapshot::{self, SnapshotError};
+
+/// Default region edge length in tiles (16×16 sites): large enough that
+/// halo traffic stays a small fraction of region area, small enough that a
+/// compressed million-particle blob still yields thousands of regions.
+pub const DEFAULT_REGION_TILES: u32 = 2;
+
+/// Sites this close to a region border (or beyond it — overhang heads) are
+/// exported in the region's rim: the local rule reads at distance ≤ 2.
+const RIM_MARGIN: i32 = 2;
+
+/// Salt separating shard streams from every other seed-derived stream in
+/// the workspace (job child seeds, crash-victim streams, orientations).
+const SHARD_SALT: u64 = 0x5bd1_e995_ca55_e77e;
+
+/// SplitMix64 finalizer: the bijective avalanche at the core of the
+/// engine's seed derivation (see `sops_engine::seed`), reused here to mix
+/// `(seed, region, round)` into independent per-region-step streams.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The RNG stream seed for one region's activations in one round — a pure
+/// function of `(base seed, region, round)`, independent of worker count,
+/// wall clock, and iteration order.
+#[must_use]
+pub fn region_stream_seed(seed: u64, region: RegionId, round: u64) -> u64 {
+    let key = (u64::from(region.0 as u32) << 32) | u64::from(region.1 as u32);
+    mix(mix(mix(seed ^ SHARD_SALT) ^ key) ^ round)
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Particle {
+    tail: TriPoint,
+    head: Option<TriPoint>,
+    flag: bool,
+}
+
+/// Occupancy slots in flat and cell grids: `(id << 1) | is_head`, the same
+/// packing the asynchronous runner uses.
+#[inline]
+fn encode_slot(id: usize, is_head: bool) -> u32 {
+    debug_assert!(id < (1 << 31), "particle id exceeds 31 bits");
+    (id as u32) << 1 | u32::from(is_head)
+}
+
+#[inline]
+fn decode_slot(value: u32) -> (usize, bool) {
+    ((value >> 1) as usize, value & 1 != 0)
+}
+
+/// Rim exports carry one extra bit so readers never need the owner's
+/// particle table: `(id << 2) | (expanded << 1) | is_head`.
+#[inline]
+fn encode_ghost(id: usize, is_head: bool, expanded: bool) -> u32 {
+    debug_assert!(id < (1 << 30), "particle id exceeds 30 bits");
+    (id as u32) << 2 | u32::from(expanded) << 1 | u32::from(is_head)
+}
+
+/// What one site lookup tells the particle rule: who is there, whether the
+/// slot is a head, and whether its owner is currently expanded.
+#[derive(Clone, Copy)]
+struct SiteInfo {
+    id: usize,
+    is_head: bool,
+    expanded: bool,
+}
+
+/// The bounded neighborhood view the particle rule runs against — backed
+/// by the flat grid (reference path) or by a cell grid plus halo (sharded
+/// path). Identical rule code over both views is what makes the
+/// differential test meaningful rather than tautological.
+trait World {
+    fn site(&self, p: TriPoint) -> Option<SiteInfo>;
+    fn get(&self, id: usize) -> Particle;
+    fn set(&mut self, id: usize, particle: Particle);
+    fn insert(&mut self, p: TriPoint, id: usize, is_head: bool);
+    fn remove(&mut self, p: TriPoint);
+}
+
+fn has_expanded_neighbor(w: &impl World, p: TriPoint, id: usize) -> bool {
+    p.neighbors()
+        .any(|q| w.site(q).is_some_and(|s| s.id != id && s.expanded))
+}
+
+fn is_tail_of_other(w: &impl World, p: TriPoint, id: usize) -> bool {
+    w.site(p).is_some_and(|s| s.id != id && !s.is_head)
+}
+
+/// Algorithm `A` for one activation of particle `id` — the same steps 1–13
+/// as `LocalRunner::activate`, over an abstract neighborhood view.
+fn activate_one<W: World, R: Rng>(
+    w: &mut W,
+    id: usize,
+    lambda_pow: &[f64; 11],
+    rng: &mut R,
+) -> Activation {
+    let particle = w.get(id);
+    match particle.head {
+        None => {
+            // Step 2: choose ℓ′ uniformly among the six neighbors.
+            let dir = Direction::from_index(rng.gen_range(0..6usize));
+            let target = particle.tail + dir;
+            // Step 3: require ℓ′ unoccupied and no expanded neighbors of ℓ.
+            if w.site(target).is_some() || has_expanded_neighbor(w, particle.tail, id) {
+                return Activation::Idle { id };
+            }
+            // Step 4: expand.
+            w.insert(target, id, true);
+            // Steps 5–7: set the flag.
+            let flag = !has_expanded_neighbor(w, particle.tail, id)
+                && !has_expanded_neighbor(w, target, id);
+            w.set(
+                id,
+                Particle {
+                    head: Some(target),
+                    flag,
+                    ..particle
+                },
+            );
+            Activation::Expanded { id, flag }
+        }
+        Some(head) => {
+            // Step 8: draw q.
+            let q: f64 = rng.gen();
+            // Steps 9–10: neighbor counts over N*(·).
+            let dir = particle
+                .tail
+                .direction_to(head)
+                .expect("head is adjacent to tail by construction");
+            let ring = PairRing::new(particle.tail, dir);
+            let mask = ring.occupancy_mask(|p| is_tail_of_other(w, p, id));
+            let validity = MoveValidity::from_mask(mask, false);
+            // Step 11: the four conditions.
+            let delta = validity.edge_delta();
+            let accept = !validity.five_neighbor_blocked()
+                && (validity.property1 || validity.property2)
+                && q < lambda_pow[(delta + 5) as usize]
+                && particle.flag;
+            if accept {
+                // Step 12: contract to ℓ′.
+                w.remove(particle.tail);
+                w.insert(head, id, false);
+                w.set(
+                    id,
+                    Particle {
+                        tail: head,
+                        head: None,
+                        ..particle
+                    },
+                );
+                Activation::ContractedForward { id }
+            } else {
+                // Step 13: contract back to ℓ.
+                w.remove(head);
+                w.set(
+                    id,
+                    Particle {
+                        head: None,
+                        ..particle
+                    },
+                );
+                Activation::ContractedBack { id }
+            }
+        }
+    }
+}
+
+/// Reference view: the flat global grid and the full particle table.
+struct FlatWorld<'a> {
+    particles: &'a mut [Particle],
+    occ: &'a mut TileGrid,
+}
+
+impl World for FlatWorld<'_> {
+    fn site(&self, p: TriPoint) -> Option<SiteInfo> {
+        self.occ.get(p).map(|v| {
+            let (id, is_head) = decode_slot(v);
+            SiteInfo {
+                id,
+                is_head,
+                expanded: self.particles[id].head.is_some(),
+            }
+        })
+    }
+
+    fn get(&self, id: usize) -> Particle {
+        self.particles[id]
+    }
+
+    fn set(&mut self, id: usize, particle: Particle) {
+        self.particles[id] = particle;
+    }
+
+    fn insert(&mut self, p: TriPoint, id: usize, is_head: bool) {
+        self.occ.insert(p, encode_slot(id, is_head));
+    }
+
+    fn remove(&mut self, p: TriPoint) {
+        self.occ.remove(p);
+    }
+}
+
+/// One region's owned state in the sharded representation: its particles
+/// (sorted by id), and a private grid holding exactly their sites —
+/// including heads overhanging into neighbor regions (ownership follows
+/// the *tail*).
+struct RegionCell {
+    region: RegionId,
+    particles: Vec<(usize, Particle)>,
+    grid: TileGrid,
+}
+
+impl RegionCell {
+    fn new(region: RegionId) -> RegionCell {
+        RegionCell {
+            region,
+            particles: Vec::new(),
+            grid: TileGrid::new(),
+        }
+    }
+
+    fn lookup(&self, id: usize) -> usize {
+        self.particles
+            .binary_search_by_key(&id, |e| e.0)
+            .expect("cell grid slot must belong to a cell particle")
+    }
+
+    /// The rim export: every owned site outside the region or within
+    /// [`RIM_MARGIN`] of its border, as ghost slots, in sorted site order.
+    fn rim(&self, map: &RegionMap, scratch: &mut Vec<(u64, u32)>) -> Vec<(TriPoint, u32)> {
+        let mut rim = Vec::new();
+        self.grid.for_each_site_sorted(scratch, |p| {
+            if map.is_rim_site(self.region, p, RIM_MARGIN) {
+                let (id, is_head) = decode_slot(self.grid.get(p).expect("iterated site"));
+                let expanded = self.particles[self.lookup(id)].1.head.is_some();
+                rim.push((p, encode_ghost(id, is_head, expanded)));
+            }
+        });
+        rim
+    }
+}
+
+/// Sharded view: the cell's grid backed by a halo of frozen neighbor rims.
+/// Writes go to owned sites only; halo owners are inactive for the whole
+/// color step, so their frozen ghosts read exactly what the flat grid
+/// would.
+struct CellWorld<'a> {
+    particles: &'a mut Vec<(usize, Particle)>,
+    grid: &'a mut TileGrid,
+    halo: &'a TileGrid,
+}
+
+impl CellWorld<'_> {
+    fn lookup(&self, id: usize) -> usize {
+        self.particles
+            .binary_search_by_key(&id, |e| e.0)
+            .expect("cell world indexes only owned particles")
+    }
+}
+
+impl World for CellWorld<'_> {
+    fn site(&self, p: TriPoint) -> Option<SiteInfo> {
+        if let Some(v) = self.grid.get(p) {
+            let (id, is_head) = decode_slot(v);
+            let expanded = self.particles[self.lookup(id)].1.head.is_some();
+            return Some(SiteInfo {
+                id,
+                is_head,
+                expanded,
+            });
+        }
+        self.halo.get(p).map(|g| SiteInfo {
+            id: (g >> 2) as usize,
+            is_head: g & 1 != 0,
+            expanded: g & 2 != 0,
+        })
+    }
+
+    fn get(&self, id: usize) -> Particle {
+        self.particles[self.lookup(id)].1
+    }
+
+    fn set(&mut self, id: usize, particle: Particle) {
+        let at = self.lookup(id);
+        self.particles[at].1 = particle;
+    }
+
+    fn insert(&mut self, p: TriPoint, id: usize, is_head: bool) {
+        self.grid.insert(p, encode_slot(id, is_head));
+    }
+
+    fn remove(&mut self, p: TriPoint) {
+        self.grid.remove(p);
+    }
+}
+
+/// One region's work for one color step, self-contained and `Send`: the
+/// cell (moved out of the coordinator), the halo (cheap `Arc` clones of the
+/// eight neighbor rims, frozen for the step), the stream seed, and the
+/// crash set restricted to this cell.
+pub struct ShardTask {
+    cell: RegionCell,
+    halo: Vec<Arc<Vec<(TriPoint, u32)>>>,
+    stream: u64,
+    lambda_pow: [f64; 11],
+    crashed: Vec<usize>,
+    map: RegionMap,
+}
+
+/// What a completed [`ShardTask`] hands back for the deterministic merge.
+pub struct ShardStepOut {
+    cell: RegionCell,
+    rim: Vec<(TriPoint, u32)>,
+    emigrants: Vec<(usize, Particle)>,
+    activations: u64,
+    moves: u64,
+    probes: LocalProbes,
+}
+
+impl ShardTask {
+    /// Runs the region's color step: activate each live particle once in id
+    /// order against the cell-plus-halo view, extract emigrants (tails that
+    /// crossed the border via forward contraction), and re-export the rim.
+    ///
+    /// Pure: the output depends only on the task. Executors may run tasks
+    /// in any order on any threads as long as outputs are returned in task
+    /// order.
+    #[must_use]
+    pub fn run(mut self) -> ShardStepOut {
+        let halo_sites: usize = self.halo.iter().map(|rim| rim.len()).sum();
+        let mut halo = TileGrid::with_site_capacity(halo_sites.max(1));
+        for rim in &self.halo {
+            for &(p, g) in rim.iter() {
+                halo.insert(p, g);
+            }
+        }
+        let ids: Vec<usize> = self
+            .cell
+            .particles
+            .iter()
+            .map(|e| e.0)
+            .filter(|id| self.crashed.binary_search(id).is_err())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.stream);
+        let mut probes = LocalProbes::default();
+        let mut moves = 0u64;
+        {
+            let mut world = CellWorld {
+                particles: &mut self.cell.particles,
+                grid: &mut self.cell.grid,
+                halo: &halo,
+            };
+            for &id in &ids {
+                match activate_one(&mut world, id, &self.lambda_pow, &mut rng) {
+                    Activation::Expanded { .. } => probes.expanded += 1,
+                    Activation::ContractedForward { .. } => {
+                        probes.contracted_forward += 1;
+                        moves += 1;
+                    }
+                    Activation::ContractedBack { .. } => probes.contracted_back += 1,
+                    Activation::Idle { .. } => probes.idle += 1,
+                    Activation::Crashed { .. } => unreachable!("crashed ids are filtered"),
+                }
+            }
+        }
+        // Extract emigrants: a forward contraction can move a tail across
+        // the border (by at most one site, so always into an adjacent
+        // region). They leave this cell — grid sites included — and the
+        // coordinator routes them at the merge point.
+        let mut emigrants = Vec::new();
+        let region = self.cell.region;
+        let map = self.map;
+        self.cell.particles.retain(|&(id, p)| {
+            if map.region_of(p.tail) == region {
+                return true;
+            }
+            debug_assert!(p.head.is_none(), "emigrants are contracted");
+            emigrants.push((id, p));
+            false
+        });
+        for &(_, p) in &emigrants {
+            self.cell.grid.remove(p.tail);
+        }
+        let mut scratch = Vec::new();
+        let rim = self.cell.rim(&map, &mut scratch);
+        ShardStepOut {
+            cell: self.cell,
+            rim,
+            emigrants,
+            activations: ids.len() as u64,
+            moves,
+            probes,
+        }
+    }
+}
+
+/// Executes the tasks of one color step, returning outputs **in task
+/// order**. Implementations are free to run tasks concurrently — every
+/// task is pure and tasks of one step touch disjoint state.
+///
+/// `sops_core` ships [`SerialExecutor`]; `sops_engine` provides the
+/// worker-pool executor behind `--shards`.
+pub trait StepExecutor {
+    /// Runs every task and returns the outputs in input order.
+    fn run_step(&self, tasks: Vec<ShardTask>) -> Vec<ShardStepOut>;
+}
+
+/// Runs tasks one after another on the calling thread.
+pub struct SerialExecutor;
+
+impl StepExecutor for SerialExecutor {
+    fn run_step(&self, tasks: Vec<ShardTask>) -> Vec<ShardStepOut> {
+        tasks.into_iter().map(ShardTask::run).collect()
+    }
+}
+
+/// The sharded representation while rounds are running: cells keyed by
+/// region, plus the current rim export of every cell (`Arc`-shared so halo
+/// assembly is O(1) per neighbor).
+struct ShardState {
+    cells: BTreeMap<RegionId, RegionCell>,
+    rims: BTreeMap<RegionId, Arc<Vec<(TriPoint, u32)>>>,
+}
+
+/// The checkerboard-scheduled local algorithm (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use sops_core::sharded::{SerialExecutor, ShardedLocalRunner};
+/// use sops_system::{shapes, ParticleSystem};
+///
+/// let start = ParticleSystem::connected(shapes::line(12)).unwrap();
+/// let mut a = ShardedLocalRunner::from_seed(&start, 4.0, 7).unwrap();
+/// let mut b = ShardedLocalRunner::from_seed(&start, 4.0, 7).unwrap();
+/// a.run_rounds(50); // unsharded reference
+/// b.run_rounds_with(50, &SerialExecutor); // sharded machinery
+/// assert_eq!(a.snapshot(), b.snapshot()); // byte-identical
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShardedLocalRunner {
+    particles: Vec<Particle>,
+    /// Flat occupancy — authoritative between `run_rounds*` calls.
+    occ: TileGrid,
+    lambda: f64,
+    lambda_pow: [f64; 11],
+    seed: u64,
+    map: RegionMap,
+    rounds: u64,
+    activations: u64,
+    moves_completed: u64,
+    crashed: Vec<bool>,
+    live: usize,
+    probes: LocalProbes,
+}
+
+impl ShardedLocalRunner {
+    /// Builds a runner with the default region size
+    /// ([`DEFAULT_REGION_TILES`]).
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] or [`ChainError::NotConnected`].
+    pub fn from_seed(
+        start: &ParticleSystem,
+        lambda: f64,
+        seed: u64,
+    ) -> Result<ShardedLocalRunner, ChainError> {
+        ShardedLocalRunner::with_region_tiles(start, lambda, seed, DEFAULT_REGION_TILES)
+    }
+
+    /// Builds a runner over regions of `region_tiles × region_tiles` tiles.
+    /// `region_tiles` is a *semantic* parameter — it changes the schedule,
+    /// hence the trajectory — unlike the worker count, which never does.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::InvalidLambda`] or [`ChainError::NotConnected`].
+    pub fn with_region_tiles(
+        start: &ParticleSystem,
+        lambda: f64,
+        seed: u64,
+        region_tiles: u32,
+    ) -> Result<ShardedLocalRunner, ChainError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(ChainError::InvalidLambda(lambda));
+        }
+        if !start.is_connected() {
+            return Err(ChainError::NotConnected);
+        }
+        let particles: Vec<Particle> = start
+            .positions()
+            .iter()
+            .map(|&tail| Particle {
+                tail,
+                head: None,
+                flag: false,
+            })
+            .collect();
+        let mut occ = TileGrid::with_site_capacity(2 * particles.len());
+        for (id, p) in particles.iter().enumerate() {
+            occ.insert(p.tail, encode_slot(id, false));
+        }
+        let mut lambda_pow = [0.0; 11];
+        for (i, slot) in lambda_pow.iter_mut().enumerate() {
+            *slot = lambda.powi(i as i32 - 5);
+        }
+        let n = particles.len();
+        Ok(ShardedLocalRunner {
+            particles,
+            occ,
+            lambda,
+            lambda_pow,
+            seed,
+            map: RegionMap::new(region_tiles),
+            rounds: 0,
+            activations: 0,
+            moves_completed: 0,
+            crashed: vec![false; n],
+            live: n,
+            probes: LocalProbes::default(),
+        })
+    }
+
+    /// The bias parameter `λ`.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The region decomposition this runner schedules over.
+    #[must_use]
+    pub fn region_map(&self) -> RegionMap {
+        self.map
+    }
+
+    /// Completed rounds (each: the four colors in order, every live
+    /// particle activated exactly once — migrants excepted, see the module
+    /// docs).
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Total particle activations processed.
+    #[must_use]
+    pub fn activations(&self) -> u64 {
+        self.activations
+    }
+
+    /// Completed moves (forward contractions).
+    #[must_use]
+    pub fn moves_completed(&self) -> u64 {
+        self.moves_completed
+    }
+
+    /// Telemetry probes accumulated since construction (or restore).
+    #[must_use]
+    pub fn probes(&self) -> &LocalProbes {
+        &self.probes
+    }
+
+    /// Number of particles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.particles.len()
+    }
+
+    /// `true` if the runner has no particles (constructors forbid this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.particles.is_empty()
+    }
+
+    /// Whether particle `id` is currently expanded.
+    #[must_use]
+    pub fn is_expanded(&self, id: usize) -> bool {
+        self.particles[id].head.is_some()
+    }
+
+    /// Crashes particle `id`: it never activates again but keeps occupying
+    /// its sites (frozen mid-expansion if expanded), exactly like the
+    /// asynchronous runner.
+    pub fn crash(&mut self, id: usize) {
+        if !self.crashed[id] {
+            self.crashed[id] = true;
+            self.live -= 1;
+        }
+    }
+
+    /// The configuration as defined by the paper: tails of all particles.
+    #[must_use]
+    pub fn tail_system(&self) -> ParticleSystem {
+        ParticleSystem::new(self.particles.iter().map(|p| p.tail))
+            .expect("tails are distinct by construction")
+    }
+
+    /// Runs `r` rounds with the **unsharded reference** implementation:
+    /// one flat grid, one sequential pass in schedule order.
+    pub fn run_rounds(&mut self, r: u64) {
+        for _ in 0..r {
+            let round = self.rounds;
+            for color in 0..REGION_COLORS {
+                // Membership is decided at color-step start (a migrant can
+                // therefore activate twice in a round — or not at all —
+                // identically in both implementations).
+                let mut buckets: BTreeMap<RegionId, Vec<usize>> = BTreeMap::new();
+                for (id, p) in self.particles.iter().enumerate() {
+                    if self.crashed[id] {
+                        continue;
+                    }
+                    let region = self.map.region_of(p.tail);
+                    if RegionMap::color(region) == color {
+                        buckets.entry(region).or_default().push(id);
+                    }
+                }
+                for (region, ids) in &buckets {
+                    let mut rng =
+                        StdRng::seed_from_u64(region_stream_seed(self.seed, *region, round));
+                    for &id in ids {
+                        self.activations += 1;
+                        let mut world = FlatWorld {
+                            particles: &mut self.particles,
+                            occ: &mut self.occ,
+                        };
+                        match activate_one(&mut world, id, &self.lambda_pow, &mut rng) {
+                            Activation::Expanded { .. } => self.probes.expanded += 1,
+                            Activation::ContractedForward { .. } => {
+                                self.probes.contracted_forward += 1;
+                                self.moves_completed += 1;
+                            }
+                            Activation::ContractedBack { .. } => self.probes.contracted_back += 1,
+                            Activation::Idle { .. } => self.probes.idle += 1,
+                            Activation::Crashed { .. } => unreachable!("crashed ids are skipped"),
+                        }
+                    }
+                }
+            }
+            self.rounds += 1;
+        }
+    }
+
+    /// Runs `r` rounds with the **sharded machinery**: region cells, halo
+    /// exchange, and `executor` driving each color step's tasks. Results
+    /// are byte-identical to [`ShardedLocalRunner::run_rounds`] for any
+    /// executor honoring the [`StepExecutor`] contract, at any concurrency.
+    pub fn run_rounds_with(&mut self, r: u64, executor: &impl StepExecutor) {
+        if r == 0 {
+            return;
+        }
+        let mut state = self.build_cells();
+        let mut scratch: Vec<(u64, u32)> = Vec::new();
+        for _ in 0..r {
+            let round = self.rounds;
+            for color in 0..REGION_COLORS {
+                let active: Vec<RegionId> = state
+                    .cells
+                    .iter()
+                    .filter(|(region, cell)| {
+                        RegionMap::color(**region) == color
+                            && cell.particles.iter().any(|&(id, _)| !self.crashed[id])
+                    })
+                    .map(|(region, _)| *region)
+                    .collect();
+                let mut tasks = Vec::with_capacity(active.len());
+                for region in &active {
+                    let cell = state.cells.remove(region).expect("active cell exists");
+                    let halo: Vec<Arc<Vec<(TriPoint, u32)>>> = RegionMap::neighbors8(*region)
+                        .iter()
+                        .filter_map(|nk| state.rims.get(nk).cloned())
+                        .collect();
+                    let crashed: Vec<usize> = cell
+                        .particles
+                        .iter()
+                        .map(|e| e.0)
+                        .filter(|&id| self.crashed[id])
+                        .collect();
+                    tasks.push(ShardTask {
+                        cell,
+                        halo,
+                        stream: region_stream_seed(self.seed, *region, round),
+                        lambda_pow: self.lambda_pow,
+                        crashed,
+                        map: self.map,
+                    });
+                }
+                let outs = executor.run_step(tasks);
+                assert_eq!(outs.len(), active.len(), "executor dropped tasks");
+                // Deterministic merge: outputs in task (= sorted region)
+                // order, then migrants routed, then dirty rims refreshed.
+                let mut dirty: Vec<RegionId> = Vec::new();
+                for (region, out) in active.iter().zip(outs) {
+                    debug_assert_eq!(*region, out.cell.region, "executor reordered outputs");
+                    self.activations += out.activations;
+                    self.moves_completed += out.moves;
+                    self.probes.expanded += out.probes.expanded;
+                    self.probes.contracted_forward += out.probes.contracted_forward;
+                    self.probes.contracted_back += out.probes.contracted_back;
+                    self.probes.idle += out.probes.idle;
+                    if out.cell.particles.is_empty() {
+                        state.rims.remove(region);
+                    } else {
+                        state.rims.insert(*region, Arc::new(out.rim));
+                        state.cells.insert(*region, out.cell);
+                    }
+                    for (id, p) in out.emigrants {
+                        let dest = self.map.region_of(p.tail);
+                        debug_assert!(RegionMap::are_adjacent(*region, dest));
+                        let cell = state
+                            .cells
+                            .entry(dest)
+                            .or_insert_with(|| RegionCell::new(dest));
+                        let at = cell
+                            .particles
+                            .binary_search_by_key(&id, |e| e.0)
+                            .expect_err("particle cannot already live in dest");
+                        cell.particles.insert(at, (id, p));
+                        cell.grid.insert(p.tail, encode_slot(id, false));
+                        if !dirty.contains(&dest) {
+                            dirty.push(dest);
+                        }
+                    }
+                }
+                for dest in dirty {
+                    let rim = state.cells[&dest].rim(&self.map, &mut scratch);
+                    state.rims.insert(dest, Arc::new(rim));
+                }
+            }
+            self.rounds += 1;
+        }
+        self.flatten(state);
+    }
+
+    /// Builds the sharded representation from the flat state.
+    fn build_cells(&self) -> ShardState {
+        let mut cells: BTreeMap<RegionId, RegionCell> = BTreeMap::new();
+        for (id, p) in self.particles.iter().enumerate() {
+            let region = self.map.region_of(p.tail);
+            let cell = cells
+                .entry(region)
+                .or_insert_with(|| RegionCell::new(region));
+            cell.particles.push((id, *p)); // ascending id by construction
+            cell.grid.insert(p.tail, encode_slot(id, false));
+            if let Some(h) = p.head {
+                cell.grid.insert(h, encode_slot(id, true));
+            }
+        }
+        let mut scratch = Vec::new();
+        let rims = cells
+            .iter()
+            .map(|(region, cell)| (*region, Arc::new(cell.rim(&self.map, &mut scratch))))
+            .collect();
+        ShardState { cells, rims }
+    }
+
+    /// Writes the sharded representation back into the flat state.
+    fn flatten(&mut self, state: ShardState) {
+        self.occ.clear();
+        for cell in state.cells.into_values() {
+            for (id, p) in cell.particles {
+                self.particles[id] = p;
+                self.occ.insert(p.tail, encode_slot(id, false));
+                if let Some(h) = p.head {
+                    self.occ.insert(h, encode_slot(id, true));
+                }
+            }
+        }
+    }
+
+    /// Serializes the simulator state as a compact text snapshot. The
+    /// format carries no RNG state at all: streams are derived per
+    /// `(seed, region, round)`, so `(seed, rounds)` is the complete
+    /// randomness state — and no shard/worker count appears anywhere,
+    /// which is what makes checkpoints portable across shard counts.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        use core::fmt::Write as _;
+        let particles: Vec<String> = self
+            .particles
+            .iter()
+            .map(|p| match p.head {
+                Some(h) => format!(
+                    "{},{},{},{},{}",
+                    p.tail.x,
+                    p.tail.y,
+                    h.x,
+                    h.y,
+                    u8::from(p.flag)
+                ),
+                None => format!("{},{},{}", p.tail.x, p.tail.y, u8::from(p.flag)),
+            })
+            .collect();
+        let mut s = String::from("sops-sharded-snapshot v1\n");
+        let _ = writeln!(s, "lambda={}", snapshot::f64_to_hex(self.lambda));
+        let _ = writeln!(s, "seed={}", self.seed);
+        let _ = writeln!(s, "region_tiles={}", self.map.region_tiles());
+        let _ = writeln!(s, "rounds={}", self.rounds);
+        let _ = writeln!(s, "activations={}", self.activations);
+        let _ = writeln!(s, "moves={}", self.moves_completed);
+        let _ = writeln!(s, "crashed={}", snapshot::bools_to_string(&self.crashed));
+        let _ = writeln!(s, "particles={}", particles.join(";"));
+        s
+    }
+
+    /// Rebuilds a runner from a [`ShardedLocalRunner::snapshot`] text.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the text is malformed or describes an invalid
+    /// state (overlapping sites, a head not adjacent to its tail, bad λ).
+    pub fn restore(text: &str) -> Result<ShardedLocalRunner, SnapshotError> {
+        let fields = snapshot::Fields::parse(text, "sops-sharded-snapshot v1")?;
+        let bad = |field: &'static str, value: &str| SnapshotError::BadField {
+            field,
+            value: value.to_string(),
+        };
+        let lambda = fields.parse_f64_bits("lambda")?;
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(SnapshotError::Invalid(format!("bad lambda {lambda}")));
+        }
+        let raw_particles = fields.get("particles")?;
+        let mut particles = Vec::new();
+        for item in raw_particles.split(';').filter(|i| !i.is_empty()) {
+            let nums: Vec<i32> = item
+                .split(',')
+                .map(|t| t.parse().map_err(|_| bad("particles", raw_particles)))
+                .collect::<Result<_, _>>()?;
+            let particle = match nums[..] {
+                [x, y, flag] => Particle {
+                    tail: TriPoint::new(x, y),
+                    head: None,
+                    flag: flag != 0,
+                },
+                [x, y, hx, hy, flag] => Particle {
+                    tail: TriPoint::new(x, y),
+                    head: Some(TriPoint::new(hx, hy)),
+                    flag: flag != 0,
+                },
+                _ => return Err(bad("particles", raw_particles)),
+            };
+            if let Some(h) = particle.head {
+                if !particle.tail.is_adjacent(h) {
+                    return Err(SnapshotError::Invalid(format!(
+                        "head {h} not adjacent to tail {}",
+                        particle.tail
+                    )));
+                }
+            }
+            particles.push(particle);
+        }
+        if particles.is_empty() {
+            return Err(SnapshotError::Invalid("no particles".into()));
+        }
+        let n = particles.len();
+        let mut occ = TileGrid::with_site_capacity(2 * n);
+        for (id, p) in particles.iter().enumerate() {
+            if occ.insert(p.tail, encode_slot(id, false)).is_some() {
+                return Err(SnapshotError::Invalid(format!(
+                    "site {} occupied twice",
+                    p.tail
+                )));
+            }
+            if let Some(h) = p.head {
+                if occ.insert(h, encode_slot(id, true)).is_some() {
+                    return Err(SnapshotError::Invalid(format!("site {h} occupied twice")));
+                }
+            }
+        }
+        let crashed = snapshot::bools_from_string("crashed", fields.get("crashed")?, n)?;
+        let live = crashed.iter().filter(|&&dead| !dead).count();
+        let mut lambda_pow = [0.0; 11];
+        for (i, slot) in lambda_pow.iter_mut().enumerate() {
+            *slot = lambda.powi(i as i32 - 5);
+        }
+        Ok(ShardedLocalRunner {
+            particles,
+            occ,
+            lambda,
+            lambda_pow,
+            seed: fields.parse_num("seed")?,
+            map: RegionMap::new(fields.parse_num("region_tiles")?),
+            rounds: fields.parse_num("rounds")?,
+            activations: fields.parse_num("activations")?,
+            moves_completed: fields.parse_num("moves")?,
+            crashed,
+            live,
+            probes: LocalProbes::default(),
+        })
+    }
+
+    /// Checks internal invariants (slot/particle agreement, tail
+    /// distinctness, grid consistency). Intended for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant fails.
+    pub fn assert_invariants(&self) {
+        self.occ.assert_valid();
+        let mut slots = 0usize;
+        for (id, particle) in self.particles.iter().enumerate() {
+            assert_eq!(
+                self.occ.get(particle.tail),
+                Some(encode_slot(id, false)),
+                "tail slot mismatch at {}",
+                particle.tail
+            );
+            slots += 1;
+            if let Some(h) = particle.head {
+                assert_eq!(
+                    self.occ.get(h),
+                    Some(encode_slot(id, true)),
+                    "head slot mismatch at {h}"
+                );
+                slots += 1;
+            }
+        }
+        assert_eq!(slots, self.occ.len(), "slot count mismatch");
+        assert_eq!(
+            self.live,
+            self.crashed.iter().filter(|&&dead| !dead).count(),
+            "live count mismatch"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops_system::{metrics, shapes};
+
+    fn runner(n: usize, lambda: f64, seed: u64) -> ShardedLocalRunner {
+        let sys = ParticleSystem::connected(shapes::line(n)).unwrap();
+        ShardedLocalRunner::from_seed(&sys, lambda, seed).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_inputs() {
+        let sys = ParticleSystem::connected(shapes::line(4)).unwrap();
+        assert!(matches!(
+            ShardedLocalRunner::from_seed(&sys, -1.0, 0),
+            Err(ChainError::InvalidLambda(_))
+        ));
+        let disconnected = ParticleSystem::new([TriPoint::new(0, 0), TriPoint::new(9, 9)]).unwrap();
+        assert!(matches!(
+            ShardedLocalRunner::from_seed(&disconnected, 2.0, 0),
+            Err(ChainError::NotConnected)
+        ));
+    }
+
+    #[test]
+    fn compression_happens_under_the_synchronous_schedule() {
+        let mut r = runner(15, 5.0, 7);
+        r.run_rounds(1_500);
+        let tails = r.tail_system();
+        assert!(tails.is_connected());
+        let p = tails.perimeter();
+        assert!(
+            p < metrics::pmax(15) * 2 / 3,
+            "synchronous schedule should compress: p = {p}"
+        );
+        assert!(r.moves_completed() > 0);
+        r.assert_invariants();
+    }
+
+    #[test]
+    fn reference_and_serial_sharded_agree_byte_for_byte() {
+        for (n, lambda, seed, tiles) in [(10, 4.0, 3, 1), (17, 3.0, 11, 2), (24, 5.0, 5, 1)] {
+            let sys = ParticleSystem::connected(shapes::line(n)).unwrap();
+            let mut a = ShardedLocalRunner::with_region_tiles(&sys, lambda, seed, tiles).unwrap();
+            let mut b = ShardedLocalRunner::with_region_tiles(&sys, lambda, seed, tiles).unwrap();
+            a.run_rounds(120);
+            b.run_rounds_with(120, &SerialExecutor);
+            assert_eq!(a.snapshot(), b.snapshot(), "n={n} λ={lambda} seed={seed}");
+            assert_eq!(a.probes(), b.probes());
+            b.assert_invariants();
+        }
+    }
+
+    #[test]
+    fn interleaved_chunks_match_one_shot_runs() {
+        let mut a = runner(12, 4.0, 21);
+        let mut b = runner(12, 4.0, 21);
+        a.run_rounds(90);
+        // Mixing the two implementations across chunks must not matter.
+        b.run_rounds_with(30, &SerialExecutor);
+        b.run_rounds(25);
+        b.run_rounds_with(35, &SerialExecutor);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn crashed_particles_freeze_but_keep_blocking() {
+        let mut r = runner(8, 3.0, 9);
+        let frozen = r.tail_system().position(2);
+        r.crash(2);
+        r.run_rounds(300);
+        assert_eq!(r.tail_system().position(2), frozen);
+        assert!(r.activations() > 0);
+        let mut s = runner(8, 3.0, 9);
+        s.crash(2);
+        s.run_rounds_with(300, &SerialExecutor);
+        assert_eq!(r.snapshot(), s.snapshot());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_identically() {
+        let mut a = runner(11, 4.0, 31);
+        a.run_rounds(73);
+        let snap = a.snapshot();
+        let mut b = ShardedLocalRunner::restore(&snap).unwrap();
+        b.assert_invariants();
+        assert_eq!(a.rounds(), b.rounds());
+        a.run_rounds(60);
+        b.run_rounds_with(60, &SerialExecutor);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_bad_states() {
+        let a = runner(4, 2.0, 1);
+        let snap = a.snapshot();
+        let corrupt = snap.replace("sops-sharded-snapshot v1", "sops-local-snapshot v1");
+        assert!(ShardedLocalRunner::restore(&corrupt).is_err());
+        let overlap = snap.replace("particles=0,0,0;", "particles=1,0,0;");
+        assert!(ShardedLocalRunner::restore(&overlap).is_err());
+    }
+
+    #[test]
+    fn stream_seeds_are_pure_and_distinct() {
+        let s = region_stream_seed(7, (3, -2), 10);
+        assert_eq!(s, region_stream_seed(7, (3, -2), 10));
+        assert_ne!(s, region_stream_seed(7, (3, -2), 11));
+        assert_ne!(s, region_stream_seed(7, (-2, 3), 10));
+        assert_ne!(s, region_stream_seed(8, (3, -2), 10));
+    }
+
+    #[test]
+    fn rounds_tick_even_when_everyone_crashed() {
+        let mut r = runner(3, 2.0, 13);
+        for id in 0..3 {
+            r.crash(id);
+        }
+        r.run_rounds(5);
+        assert_eq!(r.rounds(), 5);
+        assert_eq!(r.activations(), 0);
+        let mut s = runner(3, 2.0, 13);
+        for id in 0..3 {
+            s.crash(id);
+        }
+        s.run_rounds_with(5, &SerialExecutor);
+        assert_eq!(r.snapshot(), s.snapshot());
+    }
+}

@@ -71,7 +71,7 @@ const GRID_KEYS: [&str; 11] = [
 ];
 
 /// Keys allowed only at the top level, before any section header.
-const TOP_ONLY_KEYS: [&str; 2] = ["name", "seed"];
+const TOP_ONLY_KEYS: [&str; 3] = ["name", "seed", "shards"];
 
 /// Keys of the `[checkpoint]` section.
 const CHECKPOINT_KEYS: [&str; 2] = ["dir", "every"];
@@ -720,6 +720,20 @@ fn interpret(doc: &Doc) -> Result<ExperimentSpec, ParseError> {
         )?,
         None => 0,
     };
+    let shards = match doc.top.get("shards") {
+        Some((_, value, line)) => {
+            let ctx = Ctx {
+                key: "shards",
+                line: *line,
+            };
+            match as_u64(value, ctx)? {
+                0 => return Err(ctx.err("the shard worker count must be positive")),
+                shards => usize::try_from(shards)
+                    .map_err(|_| ctx.err("the shard worker count is out of range"))?,
+            }
+        }
+        None => 1,
+    };
 
     let defaults = grid_from(&doc.top, &GridSpec::default())?;
     let grids = if doc.grids.is_empty() {
@@ -815,6 +829,7 @@ fn interpret(doc: &Doc) -> Result<ExperimentSpec, ParseError> {
     Ok(ExperimentSpec {
         name,
         seed,
+        shards,
         grids,
         checkpoint,
         output,
@@ -932,6 +947,11 @@ pub struct ExperimentSpec {
     /// Base seed; job `i` runs with the SplitMix child seed
     /// [`crate::seed::child_seed`]`(seed, i)`.
     pub seed: u64,
+    /// Default worker count for intra-run sharding of `local-sharded` jobs
+    /// (top-level `shards` key; `--shards` overrides it). An execution
+    /// detail like `--threads`: every artifact is byte-identical at any
+    /// value. Default 1.
+    pub shards: usize,
     /// The sweep's grids, concatenated in file order into one job list.
     pub grids: Vec<GridSpec>,
     /// Optional checkpoint policy (`[checkpoint]` section).
@@ -953,6 +973,7 @@ impl ExperimentSpec {
             output: name.clone(),
             name,
             seed,
+            shards: 1,
             grids: vec![GridSpec::default()],
             checkpoint: None,
         }
@@ -1051,6 +1072,11 @@ impl fmt::Display for ExperimentSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "name = {}", toml_str(&self.name))?;
         writeln!(f, "seed = {}", self.seed)?;
+        // Emitted only when non-default, so pre-sharding specs round-trip
+        // byte-identically.
+        if self.shards != 1 {
+            writeln!(f, "shards = {}", self.shards)?;
+        }
         if self.output != self.name {
             writeln!(f, "\n[output]")?;
             writeln!(f, "name = {}", toml_str(&self.output))?;

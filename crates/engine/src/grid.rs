@@ -44,6 +44,11 @@ pub enum Algorithm {
     ChainKmc(HamiltonianSpec),
     /// The asynchronous local algorithm `A`; work units are rounds.
     Local,
+    /// The checkerboard-synchronous variant of `A` built for intra-run
+    /// sharding (`sops_core::sharded`); work units are rounds. Its
+    /// trajectory is a pure function of the spec — the engine's `shards`
+    /// setting only changes how many workers execute each round.
+    LocalSharded,
     /// The deliberately weakened chain (see [`crate::ablation`]); work
     /// units are chain steps.
     Ablation(Guards),
@@ -70,7 +75,7 @@ impl Algorithm {
     pub fn hamiltonian(&self) -> Option<HamiltonianSpec> {
         match self {
             Algorithm::Chain(h) | Algorithm::ChainKmc(h) => Some(*h),
-            Algorithm::Local | Algorithm::Ablation(_) => None,
+            Algorithm::Local | Algorithm::LocalSharded | Algorithm::Ablation(_) => None,
         }
     }
 
@@ -99,6 +104,7 @@ impl fmt::Display for Algorithm {
             Algorithm::Chain(h) => chain(f, "chain", h),
             Algorithm::ChainKmc(h) => chain(f, "chain-kmc", h),
             Algorithm::Local => write!(f, "local"),
+            Algorithm::LocalSharded => write!(f, "local-sharded"),
             Algorithm::Ablation(g) => match (g.five_neighbor_rule, g.properties) {
                 (true, true) => write!(f, "ablation-full"),
                 (false, true) => write!(f, "ablation-no-five"),
@@ -123,6 +129,7 @@ impl FromStr for Algorithm {
             "chain" => Algorithm::Chain(hamiltonian),
             "chain-kmc" | "kmc" => Algorithm::ChainKmc(hamiltonian),
             "local" => Algorithm::Local,
+            "local-sharded" => Algorithm::LocalSharded,
             "ablation-full" | "ablation" => Algorithm::Ablation(Guards::full()),
             "ablation-no-five" => Algorithm::Ablation(Guards::without_five_neighbor_rule()),
             "ablation-no-prop" => Algorithm::Ablation(Guards::without_properties()),
@@ -133,8 +140,8 @@ impl FromStr for Algorithm {
             other => {
                 return Err(format!(
                     "unknown algorithm {other:?} \
-                     (try chain|chain-kmc|local|ablation-full|ablation-no-five|ablation-no-prop, \
-                     optionally with +<hamiltonian> on the chain samplers)"
+                     (try chain|chain-kmc|local|local-sharded|ablation-full|ablation-no-five|\
+                     ablation-no-prop, optionally with +<hamiltonian> on the chain samplers)"
                 ))
             }
         };
@@ -599,6 +606,7 @@ mod tests {
             "chain+alignment:3",
             "chain-kmc+alignment:5",
             "local",
+            "local-sharded",
             "ablation-full",
             "ablation-no-five",
             "ablation-no-prop",

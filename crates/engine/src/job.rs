@@ -16,7 +16,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sops::core::hamiltonian::{Alignment, HamiltonianSpec};
 use sops::core::snapshot::{self, SnapshotError};
-use sops::core::{ChainProbes, CompressionChain, KmcChain, KmcProbes, LocalRunner};
+use sops::core::{
+    ChainProbes, CompressionChain, KmcChain, KmcProbes, LocalRunner, ShardedLocalRunner,
+};
 use sops::system::{metrics, ParticleSystem};
 use sops_telemetry::{Live, Registry, Sheet};
 
@@ -25,6 +27,7 @@ use crate::checkpoint::{CkptLoad, Store};
 use crate::fault::{self, FaultPlan};
 use crate::grid::{Algorithm, JobSpec, ORIENT_SALT};
 use crate::result::{JobResult, StepRecord};
+use crate::shard::PoolExecutor;
 use crate::sink::{json_str, EventSink};
 
 /// How a job ended.
@@ -53,6 +56,10 @@ pub(crate) struct JobContext<'a> {
     /// Armed fault-injection plan checked at the `job.step` point (the
     /// store and sink carry their own handles); `None` in production.
     pub(crate) faults: Option<&'a FaultPlan>,
+    /// Worker count for intra-run sharding of `local-sharded` jobs. Purely
+    /// an execution detail — results and checkpoints are byte-identical at
+    /// any value; 1 runs the unsharded reference path.
+    pub(crate) shards: usize,
 }
 
 /// One of the simulators, dispatched per job. The chain samplers come in
@@ -64,6 +71,7 @@ enum Sim {
     Kmc(Box<KmcChain>),
     KmcAlign(Box<KmcChain<StdRng, Alignment>>),
     Local(Box<LocalRunner>),
+    LocalSharded(Box<ShardedLocalRunner>),
     Ablation(Box<AblationChain>),
 }
 
@@ -123,6 +131,9 @@ impl Sim {
             Algorithm::Local => Sim::Local(Box::new(
                 LocalRunner::from_seed(&start, spec.lambda, spec.seed).map_err(invalid)?,
             )),
+            Algorithm::LocalSharded => Sim::LocalSharded(Box::new(
+                ShardedLocalRunner::from_seed(&start, spec.lambda, spec.seed).map_err(invalid)?,
+            )),
             Algorithm::Ablation(guards) => Sim::Ablation(Box::new(
                 AblationChain::from_seed(
                     &start,
@@ -143,6 +154,7 @@ impl Sim {
             Sim::Kmc(_) => "kmc",
             Sim::KmcAlign(_) => "kmc-align",
             Sim::Local(_) => "local",
+            Sim::LocalSharded(_) => "local-sharded",
             Sim::Ablation(_) => "ablation",
         }
     }
@@ -157,6 +169,9 @@ impl Sim {
             "kmc" => Ok(Sim::Kmc(Box::new(KmcChain::restore(text)?))),
             "kmc-align" => Ok(Sim::KmcAlign(Box::new(KmcChain::restore(text)?))),
             "local" => Ok(Sim::Local(Box::new(LocalRunner::restore(text)?))),
+            "local-sharded" => Ok(Sim::LocalSharded(Box::new(ShardedLocalRunner::restore(
+                text,
+            )?))),
             "ablation" => Ok(Sim::Ablation(Box::new(AblationChain::restore(text)?))),
             other => Err(SnapshotError::Invalid(format!(
                 "unknown sim kind {other:?}"
@@ -171,6 +186,7 @@ impl Sim {
             Sim::Kmc(k) => k.snapshot(),
             Sim::KmcAlign(k) => k.snapshot(),
             Sim::Local(l) => l.snapshot(),
+            Sim::LocalSharded(l) => l.snapshot(),
             Sim::Ablation(a) => a.snapshot(),
         }
     }
@@ -183,6 +199,7 @@ impl Sim {
             Sim::Kmc(k) => k.system().len(),
             Sim::KmcAlign(k) => k.system().len(),
             Sim::Local(l) => l.len(),
+            Sim::LocalSharded(l) => l.len(),
             Sim::Ablation(a) => a.system().len(),
         }
     }
@@ -195,13 +212,16 @@ impl Sim {
             Sim::Kmc(k) => k.steps(),
             Sim::KmcAlign(k) => k.steps(),
             Sim::Local(l) => l.rounds(),
+            Sim::LocalSharded(l) => l.rounds(),
             Sim::Ablation(a) => a.steps(),
         }
     }
 
     /// Advances to `target` work units; may stop short when the simulator
     /// can make no further progress (halted ablation, all-crashed local).
-    fn advance_to(&mut self, target: u64) {
+    /// `shards` selects the worker count for `local-sharded` jobs (an
+    /// execution detail — the trajectory is identical at any value).
+    fn advance_to(&mut self, target: u64, shards: usize) {
         let delta = target.saturating_sub(self.work());
         if delta == 0 {
             return;
@@ -220,6 +240,13 @@ impl Sim {
                 k.run(delta);
             }
             Sim::Local(l) => l.run_rounds(delta),
+            Sim::LocalSharded(l) => {
+                if shards > 1 {
+                    l.run_rounds_with(delta, &PoolExecutor::new(shards));
+                } else {
+                    l.run_rounds(delta);
+                }
+            }
             Sim::Ablation(a) => a.run(delta),
         }
     }
@@ -231,6 +258,7 @@ impl Sim {
             Sim::Kmc(k) => k.perimeter(),
             Sim::KmcAlign(k) => k.perimeter(),
             Sim::Local(l) => l.tail_system().perimeter(),
+            Sim::LocalSharded(l) => l.tail_system().perimeter(),
             Sim::Ablation(a) => a.system().perimeter(),
         }
     }
@@ -250,6 +278,7 @@ impl Sim {
                 k.crash(id);
             }
             Sim::Local(l) => l.crash(id),
+            Sim::LocalSharded(l) => l.crash(id),
             // Ablation studies invariant violations, not fault tolerance;
             // crash scenarios do not apply to it.
             Sim::Ablation(_) => {}
@@ -278,7 +307,7 @@ impl Sim {
                 total: k.steps(),
                 max_jump: k.counts().max_jump,
             },
-            Sim::Local(_) | Sim::Ablation(_) => StepRecord::None,
+            Sim::Local(_) | Sim::LocalSharded(_) | Sim::Ablation(_) => StepRecord::None,
         }
     }
 
@@ -312,6 +341,10 @@ impl Sim {
                 (p, k.system().edge_count(), k.system().is_connected())
             }
             Sim::Local(l) => {
+                let tails = l.tail_system();
+                (tails.perimeter(), tails.edge_count(), tails.is_connected())
+            }
+            Sim::LocalSharded(l) => {
                 let tails = l.tail_system();
                 (tails.perimeter(), tails.edge_count(), tails.is_connected())
             }
@@ -477,7 +510,7 @@ fn advance_checkpointed(
         }
         let before = state.sim.work();
         let t0 = state.sheet.as_ref().map(|_| Instant::now());
-        state.sim.advance_to(next);
+        state.sim.advance_to(next, ctx.shards);
         if let (Some(t0), Some(sheet)) = (t0, state.sheet.as_mut()) {
             sheet.add(
                 &format!("time.step.{}_ns", state.sim.kind()),
@@ -553,6 +586,14 @@ fn drain_telemetry(state: &mut JobState, ctx: &JobContext<'_>, completed: bool) 
             if completed {
                 sheet.gauge_add("local.sim_time", l.time());
             }
+        }
+        Sim::LocalSharded(l) => {
+            let p = l.probes();
+            sheet.add(&format!("{kind}.expanded"), p.expanded);
+            sheet.add(&format!("{kind}.contracted_forward"), p.contracted_forward);
+            sheet.add(&format!("{kind}.contracted_back"), p.contracted_back);
+            sheet.add(&format!("{kind}.idle"), p.idle);
+            sheet.add(&format!("{kind}.activations"), p.total());
         }
         Sim::Ablation(_) => {}
     }

@@ -13,6 +13,10 @@
 //!   repetition).
 //! * **Worker pool** ([`pool`]) — a fixed-size `std::thread` pool draining
 //!   a shared queue. No external dependencies.
+//! * **Intra-run sharding** ([`shard`]) — the [`shard::PoolExecutor`] runs
+//!   one `local-sharded` simulation across the pool: each color step of the
+//!   checkerboard schedule fans its region tasks out to
+//!   [`EngineConfig::shards`] workers, byte-identical at any worker count.
 //! * **Checkpoint/resume** ([`checkpoint`], plus the snapshot APIs in
 //!   `sops_core::snapshot`) — sweeps periodically persist each in-flight
 //!   job (simulator snapshot + sampling state) and reuse completed-job
@@ -96,8 +100,10 @@ pub mod pool;
 pub mod result;
 mod run;
 pub mod seed;
+pub mod shard;
 pub mod sink;
 pub mod telemetry;
+pub mod testkit;
 
 pub use checkpoint::CheckpointConfig;
 pub use experiment::{CheckpointSpec, ExperimentSpec, GridSpec};
@@ -106,6 +112,7 @@ pub use grid::{Algorithm, CrashSpec, JobGrid, JobSpec, Shape, ORIENT_SALT};
 pub use pool::{default_threads, map_parallel, map_parallel_isolated};
 pub use result::{JobFailure, JobResult, StepRecord};
 pub use run::{run_grid, run_sweep, EngineConfig, SessionProgress, SweepReport, SweepSession};
+pub use shard::PoolExecutor;
 pub use sink::EventSink;
 pub use sops::core::hamiltonian::HamiltonianSpec;
 pub use telemetry::TelemetryConfig;

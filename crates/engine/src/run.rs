@@ -56,6 +56,14 @@ pub struct EngineConfig {
     /// skipped and reported in [`SweepReport::failed`], so a crashing job
     /// cannot wedge resume into re-failing forever.
     pub retry_failed: bool,
+    /// Worker count for *intra-run* sharding of `local-sharded` jobs (the
+    /// checkerboard-synchronous local algorithm, `sops_core::sharded`).
+    /// Like [`EngineConfig::threads`], a pure execution detail: results,
+    /// checkpoints and events are byte-identical at any value. 1 (the
+    /// default) runs each job single-threaded on the unsharded reference
+    /// path; checkpoints carry no shard count and resume portably across
+    /// values.
+    pub shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +77,7 @@ impl Default for EngineConfig {
             telemetry: TelemetryConfig::default(),
             faults: None,
             retry_failed: false,
+            shards: 1,
         }
     }
 }
@@ -264,6 +273,7 @@ pub struct SweepSession {
     stop: AtomicBool,
     checkpoints: AtomicU64,
     stop_after: Option<u64>,
+    shards: usize,
     outcomes: Mutex<Vec<Option<Outcome>>>,
     finished: AtomicBool,
 }
@@ -404,6 +414,7 @@ impl SweepSession {
             stop: AtomicBool::new(false),
             checkpoints: AtomicU64::new(0),
             stop_after: cfg.stop_after_checkpoints,
+            shards: cfg.shards.max(1),
             outcomes,
             finished: AtomicBool::new(false),
         })
@@ -428,6 +439,7 @@ impl SweepSession {
             stop_after: self.stop_after,
             registry: self.telemetry.is_active().then_some(&self.registry),
             faults: self.faults.as_deref(),
+            shards: self.shards,
         }
     }
 

@@ -1,0 +1,74 @@
+//! Intra-run sharding: the engine-side executor for the checkerboard
+//! local algorithm (`sops_core::sharded`).
+//!
+//! The core crate defines *what* a color step computes — a vector of
+//! [`ShardTask`]s, each self-contained (cell + frozen halo + seed stream) —
+//! and pins the executor contract: outputs in input order, every task run
+//! exactly once. This module supplies the parallel implementation on the
+//! engine's worker pool. Because the schedule and seed streams are fixed by
+//! the core, the worker count is an *execution* detail: results are
+//! byte-identical at any [`PoolExecutor::workers`], same as sweeps already
+//! guarantee per job.
+
+use sops::core::sharded::{ShardStepOut, ShardTask, StepExecutor};
+
+use crate::pool;
+
+/// Runs each color step's tasks on a fan-out/fan-in worker pool.
+///
+/// A panic inside one shard propagates out of [`StepExecutor::run_step`]
+/// (after all tasks have finished) and unwinds through the owning job,
+/// where the engine's per-job isolation quarantines it — one poisoned
+/// shard fails its job, never the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolExecutor {
+    workers: usize,
+}
+
+impl PoolExecutor {
+    /// An executor with the given worker count (0 is clamped to 1; 1 runs
+    /// inline on the calling thread).
+    #[must_use]
+    pub fn new(workers: usize) -> PoolExecutor {
+        PoolExecutor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl StepExecutor for PoolExecutor {
+    fn run_step(&self, tasks: Vec<ShardTask>) -> Vec<ShardStepOut> {
+        pool::map_parallel(self.workers, tasks, |_, task| task.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sops::core::sharded::{SerialExecutor, ShardedLocalRunner};
+    use sops::system::{shapes, ParticleSystem};
+
+    #[test]
+    fn pool_executor_matches_serial_at_any_width() {
+        let start = ParticleSystem::connected(shapes::line(20)).unwrap();
+        let mut reference = ShardedLocalRunner::from_seed(&start, 4.0, 5).unwrap();
+        reference.run_rounds_with(80, &SerialExecutor);
+        let golden = reference.snapshot();
+        for workers in [1, 2, 4, 8] {
+            let mut runner = ShardedLocalRunner::from_seed(&start, 4.0, 5).unwrap();
+            runner.run_rounds_with(80, &PoolExecutor::new(workers));
+            assert_eq!(runner.snapshot(), golden, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        assert_eq!(PoolExecutor::new(0).workers(), 1);
+    }
+}

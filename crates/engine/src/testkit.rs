@@ -1,0 +1,162 @@
+//! Shared test support: golden fingerprints, seed corpora, scratch
+//! directories, and sweep-artifact capture.
+//!
+//! The differential suites (`hamiltonian_differential`,
+//! `telemetry_differential`, `experiment_differential`,
+//! `shard_differential`) all pin artifacts the same three ways — an FNV-1a
+//! fingerprint of exact bytes, a CSV, and the JSONL event-line *set* (order
+//! interleaves by scheduling at `threads > 1`, the set does not). This
+//! module is the one copy of those helpers; it ships in the library (so
+//! integration tests of any crate can use it) but nothing in the production
+//! paths calls it.
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::PathBuf;
+
+use crate::grid::JobSpec;
+use crate::run::{run_sweep, EngineConfig, SweepReport};
+use crate::seed::child_seed;
+
+/// FNV-1a (64-bit) over exact bytes — the suites' golden-fingerprint hash.
+/// Stable across platforms and sessions; any byte drift in a pinned
+/// artifact changes the value.
+#[must_use]
+pub fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic corpus of `count` well-mixed seeds derived from `base`
+/// via the engine's own SplitMix64 child-seed stream — the same derivation
+/// sweeps use, so corpus seeds behave like real job seeds.
+#[must_use]
+pub fn seed_corpus(base: u64, count: usize) -> Vec<u64> {
+    (0..count as u64).map(|i| child_seed(base, i)).collect()
+}
+
+/// A scratch directory under the system temp dir, cleared of any previous
+/// contents. `tag` must be unique per call site — suites prefix it with
+/// their own name so concurrently running test binaries never collide.
+#[must_use]
+pub fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sops_testkit_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Line filter keeping everything except live `progress` heartbeats — the
+/// one sanctioned event-stream addition telemetry may make.
+#[must_use]
+pub fn not_progress(line: &str) -> bool {
+    !line.starts_with("{\"event\":\"progress\"")
+}
+
+/// Line filter keeping only `job_done` completion events (the per-job
+/// summary lines the experiment differential pins).
+#[must_use]
+pub fn job_done_only(line: &str) -> bool {
+    line.starts_with("{\"event\":\"job_done\"")
+}
+
+/// Runs `jobs` under `cfg` with the event stream captured into a scratch
+/// dir, and returns `(report, CSV bytes, filtered JSONL line set)`. The
+/// scratch dir (and any `events_path` already set on `cfg`) is replaced by
+/// a per-`tag` one and removed afterwards. Panics if the sweep does not
+/// complete — artifact capture is for healthy-path differentials.
+///
+/// # Panics
+///
+/// On sweep setup errors, an incomplete sweep, or an unreadable event file.
+#[must_use]
+pub fn sweep_artifacts(
+    jobs: Vec<JobSpec>,
+    cfg: &EngineConfig,
+    tag: &str,
+    keep: impl Fn(&str) -> bool,
+) -> (SweepReport, String, BTreeSet<String>) {
+    let dir = tmp_dir(tag);
+    let events = dir.join("events.jsonl");
+    let report = run_sweep(
+        jobs,
+        &EngineConfig {
+            events_path: Some(events.clone()),
+            ..cfg.clone()
+        },
+    )
+    .expect("sweep setup");
+    assert!(report.is_complete(), "sweep did not complete under {tag}");
+    let csv = report.to_table().to_csv();
+    let lines: BTreeSet<String> = std::fs::read_to_string(&events)
+        .expect("events written")
+        .lines()
+        .filter(|l| keep(l))
+        .map(str::to_string)
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (report, csv, lines)
+}
+
+/// Like [`sweep_artifacts`] but surfaces sweep setup errors instead of
+/// panicking — for suites that inject faults into the healthy path.
+///
+/// # Errors
+///
+/// Propagates the sweep's setup error.
+pub fn try_sweep_artifacts(
+    jobs: Vec<JobSpec>,
+    cfg: &EngineConfig,
+    tag: &str,
+    keep: impl Fn(&str) -> bool,
+) -> io::Result<(SweepReport, String, BTreeSet<String>)> {
+    let dir = tmp_dir(tag);
+    let events = dir.join("events.jsonl");
+    let report = run_sweep(
+        jobs,
+        &EngineConfig {
+            events_path: Some(events.clone()),
+            ..cfg.clone()
+        },
+    )?;
+    let csv = report.to_table().to_csv();
+    let lines: BTreeSet<String> = std::fs::read_to_string(&events)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| keep(l))
+        .map(str::to_string)
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((report, csv, lines))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // FNV-1a 64 reference values.
+        assert_eq!(fnv(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn seed_corpus_is_stable_and_distinct() {
+        let a = seed_corpus(9, 8);
+        assert_eq!(a, seed_corpus(9, 8));
+        let set: BTreeSet<u64> = a.iter().copied().collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn line_filters_select_expected_events() {
+        assert!(!not_progress("{\"event\":\"progress\",\"x\":1}"));
+        assert!(not_progress("{\"event\":\"job_done\",\"job\":0}"));
+        assert!(job_done_only("{\"event\":\"job_done\",\"job\":0}"));
+        assert!(!job_done_only("{\"event\":\"sample\",\"job\":0}"));
+    }
+}

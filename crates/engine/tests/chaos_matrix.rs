@@ -389,6 +389,65 @@ fn quarantined_jobs_are_skipped_until_retry_failed() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Intra-run sharding inherits the whole robustness contract: a panic
+/// injected into a `local-sharded` job while it runs on a multi-worker
+/// shard executor is caught like any other job failure — the job is
+/// quarantined, the healthy siblings finish, and `retry_failed` converges
+/// to the bytes of a sweep that never failed. The reference deliberately
+/// runs at a *different* shard count, pinning that the recovery bytes are
+/// shard-count-invariant too.
+#[test]
+fn sharded_job_panic_is_quarantined_and_recovers_byte_identically() {
+    let sharded_grid = || {
+        JobGrid::new(4242)
+            .ns([24])
+            .lambdas([3.0])
+            .algorithms([Algorithm::CHAIN, Algorithm::LocalSharded, Algorithm::Local])
+            .steps(1_200)
+            .burnin(200)
+            .samples(2)
+    };
+    // Reference: unsharded (shards = 1 runs the flat reference path).
+    let ref_dir = tmp_dir("shard_ref");
+    let reference = run_grid(&sharded_grid(), &cfg(&ref_dir, 2)).unwrap();
+    assert!(reference.is_complete() && reference.failed.is_empty());
+    let ref_csv = reference.to_table().to_csv();
+    let ref_done = done_files(&ref_dir);
+    let ref_lines = job_done_lines(&ref_dir);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Job 1 is the local-sharded one (algorithm is the outermost grid
+    // axis); panic it at every stepping chunk while it shards over two
+    // workers.
+    let dir = tmp_dir("shard_panic");
+    let mut broken = cfg(&dir, 2);
+    broken.shards = 2;
+    broken.faults =
+        Some(FaultSpec::new().with("job.step", Some(1), 1..=u64::MAX, FaultKind::Panic));
+    let degraded = run_grid(&sharded_grid(), &broken).unwrap();
+    assert!(!degraded.interrupted);
+    assert_eq!(degraded.results.len(), 2, "healthy jobs must finish");
+    assert_eq!(degraded.failed.len(), 1);
+    assert_eq!(degraded.failed[0].job, 1);
+    assert!(degraded.failed[0].error.starts_with("panic:"));
+    assert!(
+        dir.join("ckpt").join("failed").join("job-1.txt").exists(),
+        "the sharded job's failure must be durably quarantined"
+    );
+
+    // Recover, still sharded: byte-identical to the unsharded reference.
+    let mut retry = cfg(&dir, 2);
+    retry.shards = 2;
+    retry.retry_failed = true;
+    let recovered = run_grid(&sharded_grid(), &retry).unwrap();
+    assert!(recovered.is_complete() && recovered.failed.is_empty());
+    assert_eq!(counter(&recovered, "job.retried"), Some(1.0));
+    assert_eq!(recovered.to_table().to_csv(), ref_csv);
+    assert_eq!(done_files(&dir), ref_done);
+    assert_eq!(job_done_lines(&dir), ref_lines);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Without a checkpoint store there is no durability — but isolation and
 /// reporting still hold: one panicking job, two results, a `job_failed`
 /// event, a `sweep_degraded` event, and the `job.failed` counter.

@@ -16,6 +16,7 @@ use std::path::PathBuf;
 
 use proptest::prelude::*;
 use sops_engine::experiment::{CheckpointSpec, ExperimentSpec, GridSpec};
+use sops_engine::testkit::{job_done_only, sweep_artifacts, tmp_dir};
 use sops_engine::{Algorithm, CrashSpec, EngineConfig, HamiltonianSpec, JobGrid, Shape};
 
 /// Absolute path of a checked-in example experiment.
@@ -34,12 +35,6 @@ fn parse_example(name: &str) -> ExperimentSpec {
     ExperimentSpec::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
-fn tmp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("sops_experiment_diff_{name}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
-
 /// Runs a job list and returns (CSV bytes, job_done JSONL line set).
 ///
 /// The JSONL *line set* is the cross-thread-deterministic view: line order
@@ -50,29 +45,16 @@ fn run_to_artifacts(
     threads: usize,
     tag: &str,
 ) -> (String, BTreeSet<String>) {
-    let dir = tmp_dir(tag);
-    let events = dir.join("events.jsonl");
-    let report = sops_engine::run_sweep(
+    let (_, csv, done_lines) = sweep_artifacts(
         spec.jobs(),
         &EngineConfig {
             threads,
-            checkpoint: None,
-            events_path: Some(events.clone()),
-            stop_after_checkpoints: None,
             experiment: Some(spec.name.clone()),
             ..EngineConfig::default()
         },
-    )
-    .expect("sweep");
-    assert!(report.is_complete());
-    let csv = report.to_table().to_csv();
-    let done_lines: BTreeSet<String> = std::fs::read_to_string(&events)
-        .expect("events written")
-        .lines()
-        .filter(|l| l.starts_with("{\"event\":\"job_done\""))
-        .map(str::to_string)
-        .collect();
-    let _ = std::fs::remove_dir_all(&dir);
+        &format!("exp_diff_{tag}"),
+        job_done_only,
+    );
     (csv, done_lines)
 }
 
@@ -80,29 +62,15 @@ fn run_to_artifacts(
 /// provenance, exactly what `sops-cli sweep` constructs — and returns the
 /// same artifacts.
 fn run_flag_grid(grid: &JobGrid, threads: usize, tag: &str) -> (String, BTreeSet<String>) {
-    let dir = tmp_dir(tag);
-    let events = dir.join("events.jsonl");
-    let report = sops_engine::run_grid(
-        grid,
+    let (_, csv, done_lines) = sweep_artifacts(
+        grid.build(),
         &EngineConfig {
             threads,
-            checkpoint: None,
-            events_path: Some(events.clone()),
-            stop_after_checkpoints: None,
-            experiment: None,
             ..EngineConfig::default()
         },
-    )
-    .expect("sweep");
-    assert!(report.is_complete());
-    let csv = report.to_table().to_csv();
-    let done_lines: BTreeSet<String> = std::fs::read_to_string(&events)
-        .expect("events written")
-        .lines()
-        .filter(|l| l.starts_with("{\"event\":\"job_done\""))
-        .map(str::to_string)
-        .collect();
-    let _ = std::fs::remove_dir_all(&dir);
+        &format!("exp_diff_{tag}"),
+        job_done_only,
+    );
     (csv, done_lines)
 }
 
@@ -189,7 +157,7 @@ fn provenance_reaches_jsonl_and_checkpoint_meta() {
         "name = \"prov-check\"\nseed = 5\nns = [10]\nsteps = 500\nsamples = 2",
     )
     .unwrap();
-    let dir = tmp_dir("provenance");
+    let dir = tmp_dir("exp_diff_provenance");
     let events = dir.join("events.jsonl");
     let ck = dir.join("ckpt");
     let report = sops_engine::run_sweep(
@@ -332,14 +300,20 @@ fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
         (0usize..2, 0usize..26).prop_map(|(pick, letter)| {
             (pick > 0).then(|| format!("out-{}", char::from(b'a' + letter as u8)))
         }),
+        // Shard worker counts: mostly the default 1 (whose canonical form
+        // omits the key), sometimes a real fan-out.
+        (0usize..3, 2usize..9).prop_map(|(pick, k)| if pick == 0 { k } else { 1 }),
     )
-        .prop_map(|(name, seed, grids, checkpoint, output)| ExperimentSpec {
-            output: output.unwrap_or_else(|| name.clone()),
-            name,
-            seed,
-            grids,
-            checkpoint,
-        })
+        .prop_map(
+            |(name, seed, grids, checkpoint, output, shards)| ExperimentSpec {
+                output: output.unwrap_or_else(|| name.clone()),
+                name,
+                seed,
+                grids,
+                checkpoint,
+                shards,
+            },
+        )
 }
 
 proptest! {
@@ -366,6 +340,7 @@ proptest! {
             grids: vec![grid.clone()],
             checkpoint: None,
             output: "prop".into(),
+            shards: 1,
         };
         let mut hand_built = JobGrid::new(seed)
             .algorithms(grid.algorithms.iter().copied())

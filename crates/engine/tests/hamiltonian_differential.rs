@@ -13,18 +13,8 @@
 
 use sops::core::{CompressionChain, KmcChain, StepOutcome};
 use sops::system::{metrics, shapes, ParticleSystem};
+use sops_engine::testkit::{fnv, tmp_dir};
 use sops_engine::{Algorithm, CrashSpec, EngineConfig, HamiltonianSpec, JobGrid, Shape};
-
-/// FNV-1a 64 over raw bytes: stable across platforms and toolchains, unlike
-/// `DefaultHasher`.
-fn fnv(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325_u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0100_0000_01b3);
-    }
-    h
-}
 
 /// `(n, λ, seed, steps, stream_fnv, snap_fnv, snap_len)` recorded from the
 /// pre-refactor chain: the formatted outcome stream of every step and the
@@ -209,8 +199,10 @@ fn golden_grid() -> JobGrid {
 
 #[test]
 fn engine_sweep_csv_and_jsonl_match_pre_refactor_bytes_at_any_thread_count() {
-    let dir = std::env::temp_dir().join("sops_hamiltonian_golden");
-    let _ = std::fs::remove_dir_all(&dir);
+    // This test pins JSONL *bytes* (1-thread order included), so it reads
+    // the raw event file instead of going through `testkit::sweep_artifacts`
+    // (whose line-set view deliberately discards order).
+    let dir = tmp_dir("hamiltonian_golden");
     std::fs::create_dir_all(&dir).unwrap();
     let events = dir.join("events.jsonl");
     let report = sops_engine::run_grid(
@@ -331,8 +323,7 @@ fn alignment_order_parameter_increases_with_lambda() {
 /// resumed sweep converges to the bytes of the uninterrupted one.
 #[test]
 fn alignment_sweep_interrupt_and_resume_is_byte_identical() {
-    let dir = std::env::temp_dir().join("sops_alignment_resume");
-    let _ = std::fs::remove_dir_all(&dir);
+    let dir = tmp_dir("alignment_resume");
     let grid = JobGrid::new(11)
         .ns([20])
         .lambdas([4.0])

@@ -9,15 +9,10 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
+use sops_engine::testkit::{not_progress, sweep_artifacts, tmp_dir};
 use sops_engine::{
     run_sweep, CheckpointConfig, EngineConfig, JobGrid, SweepReport, TelemetryConfig,
 };
-
-fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("sops_tel_diff_{tag}"));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
 
 /// A small mixed-algorithm grid exercising every probe family.
 fn grid() -> JobGrid {
@@ -34,37 +29,25 @@ fn grid() -> JobGrid {
         .reps(2)
 }
 
-/// Runs the grid and returns `(report, csv, jsonl line set)`.
+/// Runs the grid and returns `(report, csv, jsonl line set)`. Line *order*
+/// interleaves at >1 thread (stated sink contract), so the set view is the
+/// comparable one; progress heartbeats are the one sanctioned addition and
+/// are stripped by the filter.
 fn run(
     telemetry: TelemetryConfig,
     threads: usize,
     tag: &str,
 ) -> (SweepReport, String, BTreeSet<String>) {
-    let dir = tmp_dir(tag);
-    let events = dir.join("events.jsonl");
-    let report = run_sweep(
+    sweep_artifacts(
         grid().build(),
         &EngineConfig {
             threads,
-            events_path: Some(events.clone()),
             telemetry,
             ..EngineConfig::default()
         },
+        &format!("tel_diff_{tag}"),
+        not_progress,
     )
-    .unwrap();
-    assert!(report.is_complete());
-    let csv = report.to_table().to_csv();
-    // Line *order* interleaves at >1 thread (stated sink contract), so
-    // compare sets. Progress/heartbeat events are the one sanctioned
-    // addition — strip them before comparing.
-    let lines: BTreeSet<String> = std::fs::read_to_string(&events)
-        .unwrap()
-        .lines()
-        .filter(|l| !l.starts_with("{\"event\":\"progress\""))
-        .map(str::to_string)
-        .collect();
-    let _ = std::fs::remove_dir_all(&dir);
-    (report, csv, lines)
 }
 
 #[test]
@@ -102,7 +85,7 @@ fn csv_and_jsonl_are_byte_identical_with_telemetry_on_off_and_progress() {
 
 #[test]
 fn progress_mode_emits_progress_events() {
-    let dir = tmp_dir("prog_events");
+    let dir = tmp_dir("tel_prog_events");
     let events = dir.join("events.jsonl");
     let report = run_sweep(
         grid().build(),
@@ -176,8 +159,8 @@ fn checkpoints_and_resume_are_byte_identical_with_telemetry_on_and_off() {
         assert!(report.interrupted);
         dir
     };
-    let dir_on = interrupted(TelemetryConfig::default(), "ck_on");
-    let dir_off = interrupted(TelemetryConfig::disabled(), "ck_off");
+    let dir_on = interrupted(TelemetryConfig::default(), "tel_ck_on");
+    let dir_off = interrupted(TelemetryConfig::disabled(), "tel_ck_off");
     for sub in ["ckpt", "done"] {
         let read_all = |root: &PathBuf| -> Vec<(String, String)> {
             let mut files = Vec::new();
@@ -265,7 +248,7 @@ fn metric_counters_are_thread_count_invariant() {
 #[test]
 fn sink_error_counts_surface_in_the_report() {
     // Happy path: no errors, no sink_errors event.
-    let dir = tmp_dir("sink_ok");
+    let dir = tmp_dir("tel_sink_ok");
     let events = dir.join("events.jsonl");
     let report = run_sweep(
         JobGrid::new(1).ns([8]).steps(500).samples(1).build(),
@@ -299,26 +282,19 @@ fn an_unmatched_fault_plan_changes_no_artifact() {
     let run_with = |faults: Option<sops_engine::FaultSpec>,
                     tag: &str|
      -> (SweepReport, String, BTreeSet<String>) {
-        let dir = tmp_dir(tag);
-        let events = dir.join("events.jsonl");
-        let report = run_sweep(
+        // Every line counts here (an unmatched plan may not add events
+        // either), so keep the full set rather than filtering.
+        let (report, csv, lines) = sweep_artifacts(
             grid().build(),
             &EngineConfig {
                 threads: 2,
-                events_path: Some(events.clone()),
                 faults,
                 ..EngineConfig::default()
             },
-        )
-        .unwrap();
-        assert!(report.is_complete() && report.failed.is_empty());
-        let csv = report.to_table().to_csv();
-        let lines = std::fs::read_to_string(&events)
-            .unwrap()
-            .lines()
-            .map(str::to_string)
-            .collect();
-        let _ = std::fs::remove_dir_all(&dir);
+            &format!("tel_{tag}"),
+            |_| true,
+        );
+        assert!(report.failed.is_empty());
         (report, csv, lines)
     };
     let (ref_report, ref_csv, ref_lines) = run_with(None, "nofault");

@@ -21,6 +21,9 @@
 //! * [`TriMap`]/[`TriSet`] — hash containers keyed by lattice points with a
 //!   fast, deterministic hasher, used on cold paths and by the reference
 //!   models that differential-test the grid.
+//! * [`RegionMap`] — tile-aligned region decomposition with a 4-color
+//!   checkerboard schedule, the geometry behind intra-run sharding of the
+//!   local algorithm.
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@ mod direction;
 mod grid;
 mod hash;
 mod hex;
+mod region;
 mod ring;
 mod triangle;
 
@@ -54,5 +58,6 @@ pub use direction::Direction;
 pub use grid::{BitWindow, TileGrid};
 pub use hash::{DeterministicState, FastHasher, TriMap, TriSet};
 pub use hex::HexNode;
+pub use region::{RegionId, RegionMap, REGION_COLORS};
 pub use ring::PairRing;
 pub use triangle::{Orientation, Triangle};

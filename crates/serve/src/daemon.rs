@@ -383,6 +383,10 @@ impl Inner {
             telemetry: TelemetryConfig::default(),
             faults: self.cfg.faults.clone(),
             retry_failed: false,
+            // The file's `shards` key still applies: intra-run sharding of
+            // local-sharded jobs is orthogonal to the daemon's own
+            // one-position-at-a-time scheduling.
+            shards: spec.shards,
         };
         let session = SweepSession::open(spec.jobs(), &engine_cfg)
             .map_err(|e| HttpError::new(500, format!("cannot open sweep: {e}")))?;
